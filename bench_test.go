@@ -1,0 +1,186 @@
+// Package cava_test benchmarks the paper-artifact regenerators (one bench
+// per table/figure; see DESIGN.md's experiment index) plus the hot paths of
+// the library: per-decision cost of each ABR scheme, full sessions, dataset
+// generation and classification.
+//
+// The experiment benches run at reduced trace counts so `go test -bench=.`
+// completes in minutes; use cmd/abreval for paper-scale runs.
+package cava_test
+
+import (
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/core"
+	"cava/internal/experiments"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/scene"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// benchExperiment runs one experiment per iteration at small scale.
+func benchExperiment(b *testing.B, id string, traces int) {
+	b.Helper()
+	opt := experiments.Options{Traces: traces}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1", 2) }
+func BenchmarkFig2(b *testing.B)   { benchExperiment(b, "fig2", 2) }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3", 2) }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4", 2) }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, "fig7", 2) }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b", 2) }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, "fig8", 2) }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9", 2) }
+func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10", 2) }
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11", 2) }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", 1) }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2", 2) }
+func BenchmarkCodec(b *testing.B)  { benchExperiment(b, "codec", 1) }
+func BenchmarkCap4x(b *testing.B)  { benchExperiment(b, "cap4x", 2) }
+func BenchmarkPredErr(b *testing.B) {
+	benchExperiment(b, "prederr", 2)
+}
+
+// Ablation and extension benches (DESIGN.md's "alpha" and "liveext").
+
+func BenchmarkAblationAlpha(b *testing.B) { benchExperiment(b, "alpha", 2) }
+func BenchmarkExtensionLive(b *testing.B) { benchExperiment(b, "liveext", 2) }
+func BenchmarkCBRvsVBR(b *testing.B)      { benchExperiment(b, "cbrvbr", 2) }
+func BenchmarkStartupSweep(b *testing.B)  { benchExperiment(b, "startup", 2) }
+func BenchmarkChunkDuration(b *testing.B) { benchExperiment(b, "chunkdur", 2) }
+func BenchmarkAllBaselines(b *testing.B)  { benchExperiment(b, "baselines", 2) }
+
+// BenchmarkLiveTestbed streams 30 chunks over a real shaped HTTP link.
+func BenchmarkLiveTestbed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("live", experiments.Options{Traces: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scheme decision micro-benchmarks: cost of one Select call mid-session.
+
+func benchDecision(b *testing.B, algo abr.Algorithm) {
+	b.Helper()
+	st := abr.State{ChunkIndex: 40, Now: 200, Buffer: 55, Playing: true,
+		PrevLevel: 3, Est: 2.4e6, LastThroughput: 2.1e6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		algo.Select(st)
+	}
+}
+
+func benchVideo() *video.Video {
+	return video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+}
+
+func BenchmarkDecisionCAVA(b *testing.B) { benchDecision(b, core.New(benchVideo())) }
+
+func BenchmarkDecisionMPC(b *testing.B) { benchDecision(b, abr.NewMPC(benchVideo(), false)) }
+
+func BenchmarkDecisionRobustMPC(b *testing.B) { benchDecision(b, abr.NewMPC(benchVideo(), true)) }
+
+func BenchmarkDecisionPANDA(b *testing.B) {
+	v := benchVideo()
+	benchDecision(b, abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxMin))
+}
+
+func BenchmarkDecisionBOLAE(b *testing.B) {
+	benchDecision(b, abr.NewBOLAE(benchVideo(), abr.BOLASeg, true))
+}
+
+func BenchmarkDecisionBBA1(b *testing.B) { benchDecision(b, abr.NewBBA1(benchVideo(), 0, 0)) }
+
+func BenchmarkDecisionRBA(b *testing.B) { benchDecision(b, abr.NewRBA(benchVideo(), 4)) }
+
+// Full-session benchmarks: one 10-minute session over one LTE trace.
+
+func benchSession(b *testing.B, factory abr.Factory) {
+	b.Helper()
+	v := benchVideo()
+	tr := trace.GenLTE(0)
+	cfg := player.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := player.Simulate(v, tr, factory(v), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSessionCAVA(b *testing.B) { benchSession(b, core.Factory()) }
+
+func BenchmarkSessionRobustMPC(b *testing.B) {
+	benchSession(b, func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, true) })
+}
+
+// Substrate benchmarks.
+
+func BenchmarkGenerateVideo(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	}
+}
+
+func BenchmarkGenerateLTETrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		trace.GenLTE(i % 200)
+	}
+}
+
+func BenchmarkQualityTable(b *testing.B) {
+	v := benchVideo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quality.NewTable(v, quality.VMAFPhone)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	v := benchVideo()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scene.ClassifyDefault(v)
+	}
+}
+
+func BenchmarkDownloadTime(b *testing.B) {
+	tr := trace.GenLTE(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DownloadTime(float64(i%600), 4e6)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	v := benchVideo()
+	tr := trace.GenLTE(0)
+	res := player.MustSimulate(v, tr, core.New(v), player.DefaultConfig())
+	qt := quality.NewTable(v, quality.VMAFPhone)
+	cats := scene.ClassifyDefault(v)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Summarize(res, qt, cats)
+	}
+}

@@ -1,0 +1,59 @@
+// Command abreval regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	abreval -list
+//	abreval -exp fig8 [-traces 200] [-workers 8]
+//	abreval -all [-traces 50]
+//
+// Each experiment prints the rows/series of the corresponding paper
+// artifact; see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// recorded paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cava/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig1..fig11, table1, table2, codec, cap4x, prederr, live)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment ids")
+		traces  = flag.Int("traces", 0, "traces per set (default 200)")
+		workers = flag.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	opt := experiments.Options{Traces: *traces, Workers: *workers}
+	ids := []string{*exp}
+	if *all {
+		ids = experiments.IDs()
+	} else if *exp == "" {
+		fmt.Fprintln(os.Stderr, "abreval: need -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abreval: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("===== %s — %s (%.1fs)\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+	}
+}

@@ -1,0 +1,146 @@
+// Command abrexport runs a scheme × video × trace sweep and writes the
+// per-session metrics as CSV or JSON for external analysis/plotting.
+//
+// Usage:
+//
+//	abrexport -videos ED-youtube-h264,BBB-youtube-h264 -set lte -traces 50 -out results.csv
+//	abrexport -videos ED-ffmpeg-h264 -set fcc -traces 200 -format json -out results.json
+//	abrexport -schemes cava,robustmpc -videos ED-ffmpeg-h264 -out -   # stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cava/internal/abr"
+	"cava/internal/core"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/report"
+	"cava/internal/sim"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func schemeByName(name string) (abr.Scheme, error) {
+	switch name {
+	case "cava":
+		return abr.Scheme{Name: "CAVA", New: core.Factory()}, nil
+	case "cava-p1", "cava-p12", "cava-p123":
+		return abr.Scheme{Name: "CAVA-" + name[5:], New: core.Variant(name[5:])}, nil
+	case "mpc":
+		return abr.Scheme{Name: "MPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, false) }}, nil
+	case "robustmpc":
+		return abr.Scheme{Name: "RobustMPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, true) }}, nil
+	case "panda-max-sum":
+		return abr.Scheme{Name: "PANDA/CQ max-sum", New: func(v *video.Video) abr.Algorithm {
+			return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxSum)
+		}}, nil
+	case "panda-max-min":
+		return abr.Scheme{Name: "PANDA/CQ max-min", New: func(v *video.Video) abr.Algorithm {
+			return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxMin)
+		}}, nil
+	case "bolae-peak", "bolae-avg", "bolae-seg":
+		variant := map[string]abr.BOLAVariant{
+			"bolae-peak": abr.BOLAPeak, "bolae-avg": abr.BOLAAvg, "bolae-seg": abr.BOLASeg,
+		}[name]
+		probe := abr.NewBOLAE(video.Dataset()[0], variant, true)
+		return abr.Scheme{Name: probe.Name(), New: func(v *video.Video) abr.Algorithm {
+			return abr.NewBOLAE(v, variant, true)
+		}}, nil
+	case "bba1":
+		return abr.Scheme{Name: "BBA-1", New: func(v *video.Video) abr.Algorithm { return abr.NewBBA1(v, 0, 0) }}, nil
+	case "rba":
+		return abr.Scheme{Name: "RBA", New: func(v *video.Video) abr.Algorithm { return abr.NewRBA(v, 4) }}, nil
+	case "pia":
+		return abr.Scheme{Name: "PIA", New: func(v *video.Video) abr.Algorithm { return abr.NewPIA(v) }}, nil
+	case "festive":
+		return abr.Scheme{Name: "FESTIVE", New: func(v *video.Video) abr.Algorithm { return abr.NewFESTIVE(v) }}, nil
+	default:
+		return abr.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func main() {
+	var (
+		videosFlag  = flag.String("videos", "ED-ffmpeg-h264", "comma-separated video ids")
+		schemesFlag = flag.String("schemes", "cava,mpc,robustmpc,panda-max-sum,panda-max-min", "comma-separated schemes")
+		set         = flag.String("set", "lte", "trace family: lte or fcc")
+		traces      = flag.Int("traces", 50, "traces per set")
+		format      = flag.String("format", "csv", "output format: csv or json")
+		out         = flag.String("out", "-", "output path ('-' = stdout)")
+	)
+	flag.Parse()
+
+	var videos []*video.Video
+	for _, id := range strings.Split(*videosFlag, ",") {
+		v := video.ByID(strings.TrimSpace(id))
+		if v == nil {
+			fmt.Fprintf(os.Stderr, "abrexport: unknown video %q\n", id)
+			os.Exit(2)
+		}
+		videos = append(videos, v)
+	}
+	var schemes []abr.Scheme
+	for _, name := range strings.Split(*schemesFlag, ",") {
+		sc, err := schemeByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abrexport: %v\n", err)
+			os.Exit(2)
+		}
+		schemes = append(schemes, sc)
+	}
+
+	var trs []*trace.Trace
+	var metric quality.Metric
+	switch *set {
+	case "lte":
+		trs = trace.GenLTESet(*traces)
+		metric = quality.VMAFPhone
+	case "fcc":
+		trs = trace.GenFCCSet(*traces)
+		metric = quality.VMAFTV
+	default:
+		fmt.Fprintf(os.Stderr, "abrexport: unknown trace set %q\n", *set)
+		os.Exit(2)
+	}
+
+	res := sim.Run(sim.Request{
+		Videos:  videos,
+		Traces:  trs,
+		Schemes: schemes,
+		Config:  player.DefaultConfig(),
+		Metric:  metric,
+	})
+	rows := report.Flatten(res)
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abrexport: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = report.WriteCSV(w, rows)
+	case "json":
+		err = report.WriteJSON(w, rows)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abrexport: %v\n", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %d session rows to %s\n", len(rows), *out)
+	}
+}

@@ -1,0 +1,95 @@
+// Command cava-sim runs a single ABR streaming session (or a small sweep)
+// and prints per-chunk decisions and the QoE summary.
+//
+// Usage:
+//
+//	cava-sim -video ED-youtube-h264 -trace lte:0 -scheme cava [-v]
+//	cava-sim -video BBB-ffmpeg-h264 -trace fcc:12 -scheme robustmpc
+//	cava-sim -list-videos
+//	cava-sim -list-schemes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cava/internal/cliutil"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/scene"
+	"cava/internal/video"
+)
+
+func main() {
+	var (
+		videoID     = flag.String("video", "ED-youtube-h264", "video id from the dataset")
+		traceSpec   = flag.String("trace", "lte:0", "trace spec: lte:<idx>, fcc:<idx>, const:<mbps>")
+		schemeName  = flag.String("scheme", "cava", "adaptation scheme")
+		verbose     = flag.Bool("v", false, "print per-chunk decisions")
+		listVideos  = flag.Bool("list-videos", false, "list dataset video ids")
+		listSchemes = flag.Bool("list-schemes", false, "list scheme names")
+	)
+	flag.Parse()
+
+	if *listVideos {
+		for _, v := range video.Dataset() {
+			fmt.Printf("%-22s %d tracks, %d chunks of %.0fs, cap %.0fx\n",
+				v.ID(), v.NumTracks(), v.NumChunks(), v.ChunkDur, v.Cap)
+		}
+		fmt.Println("ED-ffmpeg-h264-4x      (4x-capped variant via cap4x experiment)")
+		return
+	}
+	if *listSchemes {
+		for _, name := range cliutil.SchemeNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	v := video.ByID(*videoID)
+	if v == nil {
+		fmt.Fprintf(os.Stderr, "cava-sim: unknown video %q (try -list-videos)\n", *videoID)
+		os.Exit(2)
+	}
+	factory, err := cliutil.SchemeByName(*schemeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cava-sim: %v\n", err)
+		os.Exit(2)
+	}
+	tr, err := cliutil.ParseTrace(*traceSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cava-sim: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, err := player.Simulate(v, tr, factory(v), player.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cava-sim: %v\n", err)
+		os.Exit(1)
+	}
+	cellular := strings.HasPrefix(tr.ID, "lte")
+	qt := quality.NewTable(v, quality.DefaultMetricFor(cellular))
+	cats := scene.ClassifyDefault(v)
+	s := metrics.Summarize(res, qt, cats)
+
+	if *verbose {
+		fmt.Println("chunk  cat  level  size(Mb)  dl(s)  tput(Mbps)  buf(s)  stall(s)  vmaf")
+		for _, c := range res.Chunks {
+			fmt.Printf("%5d  Q%d   %5d  %8.2f  %5.1f  %10.2f  %6.1f  %8.1f  %4.0f\n",
+				c.Index, cats[c.Index], c.Level, c.SizeBits/1e6, c.DownloadSec,
+				c.Throughput/1e6, c.BufferAfter, c.RebufferSec, qt.At(c.Level, c.Index))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("video %s | trace %s (mean %.2f Mbps) | scheme %s\n", v.ID(), tr.ID, tr.Mean()/1e6, res.Scheme)
+	fmt.Printf("  startup delay       %.1f s\n", s.StartupDelay)
+	fmt.Printf("  Q4 chunk quality    %.1f (median %.1f)\n", s.Q4Quality, s.Q4MedianQuality)
+	fmt.Printf("  Q1-Q3 chunk quality %.1f\n", s.Q13Quality)
+	fmt.Printf("  low-quality chunks  %.1f%%\n", s.LowQualityPct)
+	fmt.Printf("  rebuffering         %.1f s\n", s.RebufferSec)
+	fmt.Printf("  quality change      %.2f /chunk\n", s.QualityChange)
+	fmt.Printf("  data usage          %.1f MB\n", s.DataMB)
+}

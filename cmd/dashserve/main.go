@@ -1,0 +1,104 @@
+// Command dashserve runs the DASH testbed: an HTTP segment server behind a
+// trace-shaped link, optionally driving a client session against it.
+//
+// Serve only (then point any client at it):
+//
+//	dashserve -video BBB-youtube-h264 -addr 127.0.0.1:8080 -trace lte:0
+//
+// Serve and stream one session (the §6.8 experiment in one process):
+//
+//	dashserve -video BBB-youtube-h264 -trace lte:0 -scheme cava -run -scale 60
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"cava/internal/cliutil"
+	"cava/internal/dash"
+	"cava/internal/metrics"
+	"cava/internal/quality"
+	"cava/internal/scene"
+	"cava/internal/video"
+)
+
+func main() {
+	var (
+		videoID   = flag.String("video", "BBB-youtube-h264", "video id from the dataset")
+		addr      = flag.String("addr", "127.0.0.1:0", "listen address")
+		traceSpec = flag.String("trace", "lte:0", "shaping trace: lte:<i>, fcc:<i>, const:<mbps>, none")
+		scale     = flag.Float64("scale", 60, "time compression factor")
+		run       = flag.Bool("run", false, "also run a client session and print its metrics")
+		scheme    = flag.String("scheme", "cava", "client scheme: cava, bolae-peak, bolae-avg, bolae-seg")
+		chunksN   = flag.Int("chunks", 0, "client: stop after N chunks (0 = all)")
+	)
+	flag.Parse()
+
+	v := video.ByID(*videoID)
+	if v == nil {
+		fmt.Fprintf(os.Stderr, "dashserve: unknown video %q\n", *videoID)
+		os.Exit(2)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+		os.Exit(1)
+	}
+	var listener net.Listener = ln
+	if *traceSpec != "none" {
+		tr, err := cliutil.ParseTrace(*traceSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+			os.Exit(2)
+		}
+		listener = dash.NewShapedListener(ln, dash.NewShaper(tr, *scale))
+		fmt.Printf("shaping with %s at %gx time scale\n", tr.ID, *scale)
+	}
+	srv := &http.Server{Handler: dash.NewServer(v).Handler()}
+	fmt.Printf("serving %s on http://%s\n", v.ID(), ln.Addr())
+
+	if !*run {
+		if err := srv.Serve(listener); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	go srv.Serve(listener)
+	defer srv.Close()
+
+	factory, err := cliutil.SchemeByName(*scheme)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+		os.Exit(2)
+	}
+	client, err := dash.NewClient(dash.ClientConfig{
+		BaseURL:      "http://" + ln.Addr().String(),
+		NewAlgorithm: factory,
+		TimeScale:    *scale,
+		MaxChunks:    *chunksN,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	res, err := client.Run(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashserve: session: %v\n", err)
+		os.Exit(1)
+	}
+	qt := quality.NewTable(v, quality.VMAFPhone)
+	s := metrics.Summarize(res, qt, scene.ClassifyDefault(v))
+	fmt.Printf("session complete: scheme %s, %d chunks, wall %.1fs (virtual %.1fs)\n",
+		res.Scheme, len(res.Chunks), time.Since(start).Seconds(), res.SessionSec)
+	fmt.Printf("  Q4 quality %.1f | low-quality %.1f%% | rebuffer %.1fs | quality change %.2f | data %.1f MB\n",
+		s.Q4Quality, s.LowQualityPct, s.RebufferSec, s.QualityChange, s.DataMB)
+}

@@ -1,0 +1,124 @@
+// Command videogen generates the 16-video synthetic VBR dataset and either
+// prints per-track statistics or writes DASH manifests (JSON) to a
+// directory.
+//
+// Usage:
+//
+//	videogen -stats
+//	videogen -out manifests/
+//	videogen -video ED-youtube-h264 -chunks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cava/internal/dash"
+	"cava/internal/scene"
+	"cava/internal/video"
+)
+
+// writeManifest renders one video's manifest in the chosen format.
+func writeManifest(dir, format, id string, m *dash.Manifest) error {
+	create := func(name string) (*os.File, error) {
+		return os.Create(filepath.Join(dir, name))
+	}
+	switch format {
+	case "json":
+		f, err := create(id + ".json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return m.EncodeTo(f)
+	case "mpd":
+		f, err := create(id + ".mpd")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return dash.WriteMPD(f, m)
+	case "hls":
+		f, err := create(id + ".m3u8")
+		if err != nil {
+			return err
+		}
+		if err := dash.WriteHLSMaster(f, m); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		for ti := range m.Tracks {
+			mf, err := create(fmt.Sprintf("%s_track_%d.m3u8", id, ti))
+			if err != nil {
+				return err
+			}
+			if err := dash.WriteHLSMedia(mf, m, ti); err != nil {
+				mf.Close()
+				return err
+			}
+			mf.Close()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want json, mpd, or hls)", format)
+	}
+}
+
+func main() {
+	var (
+		stats   = flag.Bool("stats", false, "print per-track statistics for the whole dataset")
+		out     = flag.String("out", "", "write manifests to this directory")
+		format  = flag.String("format", "json", "manifest format: json, mpd, or hls")
+		videoID = flag.String("video", "", "with -chunks: which video to dump")
+		chunks  = flag.Bool("chunks", false, "dump per-chunk sizes and categories for -video")
+	)
+	flag.Parse()
+
+	switch {
+	case *stats:
+		for _, v := range video.Dataset() {
+			fmt.Printf("%s (%s, %.0fs chunks, cap %.0fx, %d chunks)\n",
+				v.ID(), v.Genre, v.ChunkDur, v.Cap, v.NumChunks())
+			for _, t := range v.Tracks {
+				fmt.Printf("  %-6s avg %6.2f Mbps  peak/avg %.2f  CoV %.2f\n",
+					t.Res.Name, t.AvgBitrate/1e6, t.PeakToAvg(), t.CoV())
+			}
+		}
+	case *chunks:
+		v := video.ByID(*videoID)
+		if v == nil {
+			fmt.Fprintf(os.Stderr, "videogen: unknown video %q\n", *videoID)
+			os.Exit(2)
+		}
+		cats := scene.ClassifyDefault(v)
+		fmt.Println("chunk  category  complexity  sizes per track (Mb)")
+		for i := 0; i < v.NumChunks(); i++ {
+			fmt.Printf("%5d  Q%d        %.2f      ", i, cats[i], v.Complexity[i])
+			for l := 0; l < v.NumTracks(); l++ {
+				fmt.Printf(" %6.2f", v.ChunkSize(l, i)/1e6)
+			}
+			fmt.Println()
+		}
+	case *out != "":
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "videogen: %v\n", err)
+			os.Exit(1)
+		}
+		files := 0
+		for _, v := range video.Dataset() {
+			m := dash.BuildManifest(v)
+			if err := writeManifest(*out, *format, v.ID(), m); err != nil {
+				fmt.Fprintf(os.Stderr, "videogen: %v\n", err)
+				os.Exit(1)
+			}
+			files++
+		}
+		fmt.Printf("wrote %d %s manifests to %s\n", files, *format, *out)
+	default:
+		fmt.Fprintln(os.Stderr, "videogen: need -stats, -out <dir>, or -video <id> -chunks")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,65 @@
+// lte-compare: run CAVA against the state-of-the-art baselines over a set
+// of LTE traces (the paper's §6.3 setting, at example scale) and print the
+// five-metric comparison.
+//
+//	go run ./examples/lte-compare [-traces 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"cava/internal/abr"
+	"cava/internal/core"
+	"cava/internal/metrics"
+	"cava/internal/quality"
+	"cava/internal/sim"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func main() {
+	traces := flag.Int("traces", 40, "number of LTE traces")
+	flag.Parse()
+
+	v := video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, video.H264)
+	schemes := []abr.Scheme{
+		{Name: "CAVA", New: core.Factory()},
+		{Name: "MPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, false) }},
+		{Name: "RobustMPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, true) }},
+		{Name: "PANDA/CQ max-min", New: func(v *video.Video) abr.Algorithm {
+			return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxMin)
+		}},
+		{Name: "BOLA-E (seg)", New: func(v *video.Video) abr.Algorithm {
+			return abr.NewBOLAE(v, abr.BOLASeg, true)
+		}},
+		{Name: "BBA-1", New: func(v *video.Video) abr.Algorithm { return abr.NewBBA1(v, 0, 0) }},
+		{Name: "RBA", New: func(v *video.Video) abr.Algorithm { return abr.NewRBA(v, 4) }},
+		{Name: "PIA", New: func(v *video.Video) abr.Algorithm { return abr.NewPIA(v) }},
+		{Name: "FESTIVE", New: func(v *video.Video) abr.Algorithm { return abr.NewFESTIVE(v) }},
+	}
+
+	fmt.Printf("video %s over %d LTE traces (VMAF phone model)\n\n", v.ID(), *traces)
+	res := sim.Run(sim.Request{
+		Videos:  []*video.Video{v},
+		Traces:  trace.GenLTESet(*traces),
+		Schemes: schemes,
+		Metric:  quality.VMAFPhone,
+	})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tQ4 quality\tlow-qual %\trebuffer (s)\tqual change\tdata (MB)")
+	for _, sc := range schemes {
+		ss := res.Summaries(sc.Name, v.ID())
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.2f\t%.1f\n",
+			sc.Name,
+			sim.MeanOf(ss, metrics.FieldQ4Quality),
+			sim.MeanOf(ss, metrics.FieldLowQualityPct),
+			sim.MeanOf(ss, metrics.FieldRebuffer),
+			sim.MeanOf(ss, metrics.FieldQualityChange),
+			sim.MeanOf(ss, metrics.FieldDataMB))
+	}
+	w.Flush()
+}

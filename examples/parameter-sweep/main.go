@@ -1,0 +1,59 @@
+// parameter-sweep: explore CAVA's two window parameters (the §6.2 study at
+// example scale): the inner controller window W and the outer controller
+// window W'.
+//
+//	go run ./examples/parameter-sweep [-traces 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"cava/internal/abr"
+	"cava/internal/core"
+	"cava/internal/metrics"
+	"cava/internal/quality"
+	"cava/internal/sim"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func sweep(name string, traces int, values []float64, set func(*core.Params, float64)) {
+	v := video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, video.H264)
+	fmt.Printf("%s sweep (%s, %d LTE traces):\n", name, v.ID(), traces)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\tQ4 quality\trebuffer (s)\tqual change\tdata (MB)\n", name)
+	for _, val := range values {
+		p := core.DefaultParams()
+		set(&p, val)
+		res := sim.Run(sim.Request{
+			Videos: []*video.Video{v},
+			Traces: trace.GenLTESet(traces),
+			Schemes: []abr.Scheme{{Name: "CAVA", New: func(v *video.Video) abr.Algorithm {
+				return core.NewWith(v, p, core.AllPrinciples, "CAVA")
+			}}},
+			Metric: quality.VMAFPhone,
+		})
+		ss := res.Summaries("CAVA", v.ID())
+		fmt.Fprintf(w, "%.0f\t%.1f\t%.1f\t%.2f\t%.1f\n", val,
+			sim.MeanOf(ss, metrics.FieldQ4Quality),
+			sim.MeanOf(ss, metrics.FieldRebuffer),
+			sim.MeanOf(ss, metrics.FieldQualityChange),
+			sim.MeanOf(ss, metrics.FieldDataMB))
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func main() {
+	traces := flag.Int("traces", 30, "number of LTE traces per point")
+	flag.Parse()
+
+	sweep("W (s)", *traces, []float64{2, 10, 20, 40, 80, 160},
+		func(p *core.Params, v float64) { p.InnerWindowSec = v })
+	sweep("W' (s)", *traces, []float64{20, 60, 200, 400},
+		func(p *core.Params, v float64) { p.OuterWindowSec = v })
+	fmt.Println("paper defaults: W = 40s, W' = 200s")
+}

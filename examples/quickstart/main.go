@@ -1,0 +1,51 @@
+// Quickstart: stream one VBR video over one LTE trace with CAVA and print
+// the QoE summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cava/internal/core"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/scene"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func main() {
+	// 1. A video: Elephant Dream as YouTube would encode it — six H.264
+	//    tracks (144p..1080p), ~5-second chunks, capped VBR.
+	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+
+	// 2. A network: one synthetic LTE drive-test trace.
+	tr := trace.GenLTE(0)
+
+	// 3. An ABR algorithm: CAVA with the paper's defaults.
+	algo := core.New(v)
+
+	// 4. Stream it: 10 s startup latency, 100 s client buffer.
+	res, err := player.Simulate(v, tr, algo, player.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Score the session with the VMAF phone model and the chunk-size
+	//    quartile classification (Q4 = the most complex scenes).
+	qt := quality.NewTable(v, quality.VMAFPhone)
+	cats := scene.ClassifyDefault(v)
+	s := metrics.Summarize(res, qt, cats)
+
+	fmt.Printf("streamed %s over %s (mean %.1f Mbps)\n", v.ID(), tr.ID, tr.Mean()/1e6)
+	fmt.Printf("  startup delay:        %.1f s\n", s.StartupDelay)
+	fmt.Printf("  Q4 (complex) quality: %.1f VMAF\n", s.Q4Quality)
+	fmt.Printf("  Q1-Q3 quality:        %.1f VMAF\n", s.Q13Quality)
+	fmt.Printf("  low-quality chunks:   %.1f%%\n", s.LowQualityPct)
+	fmt.Printf("  rebuffering:          %.1f s\n", s.RebufferSec)
+	fmt.Printf("  quality change:       %.2f VMAF/chunk\n", s.QualityChange)
+	fmt.Printf("  data usage:           %.1f MB\n", s.DataMB)
+}

@@ -1,0 +1,3 @@
+module cava
+
+go 1.22

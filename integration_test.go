@@ -1,0 +1,126 @@
+package cava_test
+
+import (
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/core"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/scene"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// allSchemes is every scheme in the repository, for cross-cutting tests.
+func allSchemes() []abr.Scheme {
+	return []abr.Scheme{
+		{Name: "CAVA", New: core.Factory()},
+		{Name: "CAVA-p1", New: core.Variant("p1")},
+		{Name: "CAVA-p12", New: core.Variant("p12")},
+		{Name: "CAVA-live5", New: core.Live(5)},
+		{Name: "MPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, false) }},
+		{Name: "RobustMPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, true) }},
+		{Name: "PANDA-sum", New: func(v *video.Video) abr.Algorithm {
+			return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxSum)
+		}},
+		{Name: "PANDA-min", New: func(v *video.Video) abr.Algorithm {
+			return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxMin)
+		}},
+		{Name: "BOLA", New: func(v *video.Video) abr.Algorithm { return abr.NewBOLAE(v, abr.BOLAAvg, false) }},
+		{Name: "BOLA-E peak", New: func(v *video.Video) abr.Algorithm { return abr.NewBOLAE(v, abr.BOLAPeak, true) }},
+		{Name: "BOLA-E avg", New: func(v *video.Video) abr.Algorithm { return abr.NewBOLAE(v, abr.BOLAAvg, true) }},
+		{Name: "BOLA-E seg", New: func(v *video.Video) abr.Algorithm { return abr.NewBOLAE(v, abr.BOLASeg, true) }},
+		{Name: "BBA-1", New: func(v *video.Video) abr.Algorithm { return abr.NewBBA1(v, 0, 0) }},
+		{Name: "RBA", New: func(v *video.Video) abr.Algorithm { return abr.NewRBA(v, 4) }},
+		{Name: "PIA", New: func(v *video.Video) abr.Algorithm { return abr.NewPIA(v) }},
+		{Name: "FESTIVE", New: func(v *video.Video) abr.Algorithm { return abr.NewFESTIVE(v) }},
+	}
+}
+
+// TestEverySchemeOnEveryVideo streams every scheme over every dataset video
+// (plus the 4x-capped encode) on LTE and FCC traces and checks session
+// invariants end to end. This is the repository's broadest integration
+// sweep: ~500 full sessions.
+func TestEverySchemeOnEveryVideo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("broad integration sweep")
+	}
+	videos := append(video.Dataset(), video.Cap4xED())
+	traces := []*trace.Trace{trace.GenLTE(0), trace.GenFCC(0)}
+	cfg := player.DefaultConfig()
+	for _, v := range videos {
+		qt := quality.NewTable(v, quality.VMAFPhone)
+		cats := scene.ClassifyDefault(v)
+		for _, tr := range traces {
+			for _, sc := range allSchemes() {
+				res, err := player.Simulate(v, tr, sc.New(v), cfg)
+				if err != nil {
+					t.Fatalf("%s / %s / %s: %v", v.ID(), tr.ID, sc.Name, err)
+				}
+				if len(res.Chunks) != v.NumChunks() {
+					t.Fatalf("%s / %s / %s: %d chunks", v.ID(), tr.ID, sc.Name, len(res.Chunks))
+				}
+				s := metrics.Summarize(res, qt, cats)
+				if s.AvgQuality <= 0 || s.AvgQuality > 100 {
+					t.Fatalf("%s / %s / %s: avg quality %v", v.ID(), tr.ID, sc.Name, s.AvgQuality)
+				}
+				if s.DataMB <= 0 {
+					t.Fatalf("%s / %s / %s: no data downloaded", v.ID(), tr.ID, sc.Name)
+				}
+				if s.RebufferSec < 0 || s.RebufferSec > 1200 {
+					t.Fatalf("%s / %s / %s: rebuffering %v", v.ID(), tr.ID, sc.Name, s.RebufferSec)
+				}
+			}
+		}
+	}
+}
+
+// TestHeadlineOrdering verifies the paper's core claims hold on a modest
+// sweep: among manifest-only schemes CAVA has the best Q4 quality, and it
+// rebuffers far less than the optimization baselines while using no more
+// data.
+func TestHeadlineOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trace ordering sweep")
+	}
+	v := video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, video.H264)
+	qt := quality.NewTable(v, quality.VMAFPhone)
+	cats := scene.ClassifyDefault(v)
+	cfg := player.DefaultConfig()
+
+	agg := map[string][]metrics.Summary{}
+	schemes := []abr.Scheme{
+		{Name: "CAVA", New: core.Factory()},
+		{Name: "RobustMPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, true) }},
+		{Name: "RBA", New: func(v *video.Video) abr.Algorithm { return abr.NewRBA(v, 4) }},
+		{Name: "BBA-1", New: func(v *video.Video) abr.Algorithm { return abr.NewBBA1(v, 0, 0) }},
+	}
+	const n = 25
+	for _, sc := range schemes {
+		for i := 0; i < n; i++ {
+			res := player.MustSimulate(v, trace.GenLTE(i), sc.New(v), cfg)
+			agg[sc.Name] = append(agg[sc.Name], metrics.Summarize(res, qt, cats))
+		}
+	}
+	mean := func(name string, f metrics.Field) float64 {
+		return metrics.Mean(metrics.Collect(agg[name], f))
+	}
+
+	cavaQ4 := mean("CAVA", metrics.FieldQ4Quality)
+	for _, base := range []string{"RobustMPC", "RBA", "BBA-1"} {
+		if bq := mean(base, metrics.FieldQ4Quality); cavaQ4 <= bq {
+			t.Errorf("CAVA Q4 %.1f not above %s's %.1f", cavaQ4, base, bq)
+		}
+	}
+	if cr, rr := mean("CAVA", metrics.FieldRebuffer), mean("RobustMPC", metrics.FieldRebuffer); cr >= rr {
+		t.Errorf("CAVA rebuffering %.1f not below RobustMPC's %.1f", cr, rr)
+	}
+	if cd, rd := mean("CAVA", metrics.FieldDataMB), mean("RobustMPC", metrics.FieldDataMB); cd > rd*1.05 {
+		t.Errorf("CAVA data %.1f MB above RobustMPC's %.1f", cd, rd)
+	}
+	if cc, rc := mean("CAVA", metrics.FieldQualityChange), mean("RobustMPC", metrics.FieldQualityChange); cc >= rc {
+		t.Errorf("CAVA quality change %.2f not below RobustMPC's %.2f", cc, rc)
+	}
+}

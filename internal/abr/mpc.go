@@ -1,0 +1,143 @@
+package abr
+
+import (
+	"math"
+
+	"cava/internal/video"
+)
+
+// MPC implements the model-predictive-control scheme of Yin et al.
+// (SIGCOMM'15) with the paper's recommended VBR adaptation: actual chunk
+// sizes drive the predicted buffer evolution. At each decision it searches
+// all track sequences over a finite horizon, simulates the buffer under the
+// predicted bandwidth, and picks the first track of the sequence maximizing
+//
+//	QoE = Σ q_k − λ Σ |q_k − q_{k−1}| − μ Σ rebuffer_k
+//
+// where q_k is the chunk bitrate in Mbps. RobustMPC divides the bandwidth
+// prediction by (1 + max recent relative prediction error), trading some
+// quality for much less rebuffering under volatile bandwidth.
+type MPC struct {
+	v *video.Video
+	// Horizon is the look-ahead length in chunks (5 in the paper).
+	Horizon int
+	// LambdaSwitch weighs the quality-change penalty.
+	LambdaSwitch float64
+	// MuRebuf weighs the rebuffering penalty (quality units per second).
+	MuRebuf float64
+	// BufferCap bounds the predicted buffer (the player's max buffer).
+	BufferCap float64
+	// Robust enables the RobustMPC error-discounted prediction.
+	Robust bool
+
+	errWindow []float64
+	lastPred  float64
+}
+
+// NewMPC returns an MPC instance with the paper-aligned defaults
+// (horizon 5, λ=1, μ=6 quality-units/s, 100 s buffer cap).
+func NewMPC(v *video.Video, robust bool) *MPC {
+	return &MPC{
+		v:            v,
+		Horizon:      5,
+		LambdaSwitch: 1,
+		MuRebuf:      6,
+		BufferCap:    100,
+		Robust:       robust,
+	}
+}
+
+// Name implements Algorithm.
+func (m *MPC) Name() string {
+	if m.Robust {
+		return "RobustMPC"
+	}
+	return "MPC"
+}
+
+// qual returns the MPC quality of chunk i at level l: its bitrate in Mbps.
+func (m *MPC) qual(l, i int) float64 {
+	return m.v.ChunkBitrate(l, i) / 1e6
+}
+
+// Select implements Algorithm.
+func (m *MPC) Select(st State) int {
+	v := m.v
+	// Track prediction error for the robust discount.
+	if m.lastPred > 0 && st.LastThroughput > 0 {
+		e := math.Abs(m.lastPred-st.LastThroughput) / m.lastPred
+		m.errWindow = append(m.errWindow, e)
+		if len(m.errWindow) > 5 {
+			m.errWindow = m.errWindow[len(m.errWindow)-5:]
+		}
+	}
+	pred := st.Est
+	m.lastPred = pred
+	if pred <= 0 {
+		return 0
+	}
+	if m.Robust {
+		maxErr := 0.0
+		for _, e := range m.errWindow {
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		pred /= 1 + maxErr
+	}
+
+	horizon := m.Horizon
+	if rem := v.NumChunks() - st.ChunkIndex; rem < horizon {
+		horizon = rem
+	}
+	if horizon <= 0 {
+		return clampLevel(st.PrevLevel, v.NumTracks())
+	}
+
+	prevQ := 0.0
+	havePrev := st.PrevLevel >= 0
+	if havePrev {
+		if pi := st.ChunkIndex - 1; pi >= 0 {
+			prevQ = m.qual(st.PrevLevel, pi)
+		}
+	}
+
+	best := math.Inf(-1)
+	bestFirst := 0
+	var dfs func(depth int, buf, prevQ, acc float64, first int, hasPrev bool)
+	dfs = func(depth int, buf, prevQ, acc float64, first int, hasPrev bool) {
+		if depth == horizon {
+			if acc > best {
+				best = acc
+				bestFirst = first
+			}
+			return
+		}
+		i := st.ChunkIndex + depth
+		for l := 0; l < v.NumTracks(); l++ {
+			dl := v.ChunkSize(l, i) / pred
+			b := buf - dl
+			rebuf := 0.0
+			if b < 0 {
+				rebuf = -b
+				b = 0
+			}
+			b += v.ChunkDur
+			if b > m.BufferCap {
+				b = m.BufferCap
+			}
+			q := m.qual(l, i)
+			a := acc + q - m.MuRebuf*rebuf
+			if hasPrev {
+				a -= m.LambdaSwitch * math.Abs(q-prevQ)
+			}
+			f := first
+			if depth == 0 {
+				f = l
+			}
+			dfs(depth+1, b, q, a, f, true)
+		}
+	}
+	dfs(0, st.Buffer, prevQ, 0, 0, havePrev)
+	return bestFirst
+}

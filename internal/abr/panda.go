@@ -1,0 +1,153 @@
+package abr
+
+import (
+	"math"
+
+	"cava/internal/quality"
+	"cava/internal/video"
+)
+
+// PANDAMode selects the PANDA/CQ objective over the look-ahead window.
+type PANDAMode int
+
+// The two PANDA/CQ variants the paper evaluates (§6.1).
+const (
+	// MaxSum maximizes the sum of the qualities of the next N chunks.
+	MaxSum PANDAMode = iota
+	// MaxMin maximizes the minimum quality among the next N chunks.
+	MaxMin
+)
+
+// PANDACQ implements the consistent-quality window optimization of Li et
+// al. (MMSys'14) as characterized in the paper: it is the only baseline
+// that consumes per-chunk video-quality values (information not available
+// in today's DASH/HLS manifests). Over a window of N future chunks it
+// searches track sequences within the window's data budget — the predicted
+// bandwidth × window playback time, scaled by BudgetFactor — and picks the
+// first track of the sequence optimizing the selected quality objective,
+// breaking ties toward fewer track switches and then lower data usage.
+// The rate budget is what makes the objectives meaningful: without it,
+// max-sum would degenerately select the top track for every chunk. The
+// scheme equalizes quality rather than regulating the buffer, so sustained
+// over-prediction drains the buffer into stalls — the §6.3/§6.7 behaviour
+// the paper reports. When no sequence fits the budget it minimizes data.
+type PANDACQ struct {
+	v *video.Video
+	q *quality.Table
+	// Mode is the quality objective.
+	Mode PANDAMode
+	// Horizon is the look-ahead window in chunks (5 as in CAVA's N).
+	Horizon int
+	// BufferCap bounds the predicted buffer.
+	BufferCap float64
+	// BudgetFactor scales the window's data budget relative to the
+	// predicted bandwidth (1 keeps the buffer level on average).
+	BudgetFactor float64
+}
+
+// NewPANDACQ returns a PANDA/CQ instance over the given quality table.
+func NewPANDACQ(v *video.Video, q *quality.Table, mode PANDAMode) *PANDACQ {
+	return &PANDACQ{v: v, q: q, Mode: mode, Horizon: 5, BufferCap: 100, BudgetFactor: 1}
+}
+
+// Name implements Algorithm.
+func (p *PANDACQ) Name() string {
+	if p.Mode == MaxMin {
+		return "PANDA/CQ max-min"
+	}
+	return "PANDA/CQ max-sum"
+}
+
+// Select implements Algorithm.
+func (p *PANDACQ) Select(st State) int {
+	v := p.v
+	pred := st.Est
+	if pred <= 0 {
+		return 0
+	}
+	horizon := p.Horizon
+	if rem := v.NumChunks() - st.ChunkIndex; rem < horizon {
+		horizon = rem
+	}
+	if horizon <= 0 {
+		return clampLevel(st.PrevLevel, v.NumTracks())
+	}
+
+	type cand struct {
+		feasible bool
+		obj      float64 // quality objective (higher better)
+		rebuf    float64
+		switches int
+		bits     float64
+		first    int
+	}
+	best := cand{feasible: false, obj: math.Inf(-1), rebuf: math.Inf(1)}
+	better := func(a, b cand) bool {
+		if a.feasible != b.feasible {
+			return a.feasible
+		}
+		if !a.feasible {
+			// Nothing fits the budget: less data wins.
+			if a.bits != b.bits {
+				return a.bits < b.bits
+			}
+			return a.obj > b.obj
+		}
+		if a.obj != b.obj {
+			return a.obj > b.obj
+		}
+		if a.switches != b.switches {
+			return a.switches < b.switches
+		}
+		return a.bits < b.bits
+	}
+
+	budget := p.BudgetFactor * pred * float64(horizon) * v.ChunkDur
+
+	var dfs func(depth int, buf float64, prevL int, sum, min, rebuf, bits float64, switches, first int)
+	dfs = func(depth int, buf float64, prevL int, sum, min, rebuf, bits float64, switches, first int) {
+		if depth == horizon {
+			obj := sum
+			if p.Mode == MaxMin {
+				obj = min
+			}
+			c := cand{feasible: bits <= budget, obj: obj, rebuf: rebuf,
+				switches: switches, bits: bits, first: first}
+			if better(c, best) {
+				best = c
+			}
+			return
+		}
+		i := st.ChunkIndex + depth
+		for l := 0; l < v.NumTracks(); l++ {
+			size := v.ChunkSize(l, i)
+			dl := size / pred
+			b := buf - dl
+			rb := rebuf
+			if b < 0 {
+				rb += -b
+				b = 0
+			}
+			b += v.ChunkDur
+			if b > p.BufferCap {
+				b = p.BufferCap
+			}
+			q := p.q.At(l, i)
+			mn := min
+			if q < mn {
+				mn = q
+			}
+			sw := switches
+			if prevL >= 0 && l != prevL {
+				sw++
+			}
+			f := first
+			if depth == 0 {
+				f = l
+			}
+			dfs(depth+1, b, l, sum+q, mn, rb, bits+size, sw, f)
+		}
+	}
+	dfs(0, st.Buffer, st.PrevLevel, 0, math.Inf(1), 0, 0, 0, 0)
+	return best.first
+}

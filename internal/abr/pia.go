@@ -1,0 +1,144 @@
+package abr
+
+import (
+	"math"
+
+	"cava/internal/video"
+)
+
+// PIA implements the PID-control ABR scheme of Qin et al. (INFOCOM'17) —
+// the CBR-era feedback framework CAVA generalizes (§5). PIA regulates the
+// buffer toward a *fixed* target with the control law
+//
+//	u_t = Kp(x_r − x_t) + Ki∫(x_r − x_τ)dτ + 1(x_t − Δ)
+//
+// and picks the track whose *average* bitrate is closest to Ĉ/u_t from
+// below. Unlike CAVA it knows nothing about per-chunk sizes: each track is
+// its declared average, which is exactly the CBR assumption that breaks
+// down for VBR content (the gap CAVA's three principles close).
+type PIA struct {
+	v *video.Video
+	// TargetBuffer is the fixed buffer target x_r in seconds.
+	TargetBuffer float64
+	// Kp and Ki are the PID gains.
+	Kp, Ki float64
+	// UMin and UMax clamp the control signal.
+	UMin, UMax float64
+
+	integral float64
+	lastNow  float64
+	primed   bool
+}
+
+// NewPIA returns a PIA instance with gains matching this repository's CAVA
+// configuration (the paper tunes both the same way).
+func NewPIA(v *video.Video) *PIA {
+	return &PIA{
+		v:            v,
+		TargetBuffer: 60,
+		Kp:           0.06,
+		Ki:           0.0004,
+		UMin:         0.35,
+		UMax:         2.5,
+	}
+}
+
+// Name implements Algorithm.
+func (p *PIA) Name() string { return "PIA" }
+
+// Select implements Algorithm.
+func (p *PIA) Select(st State) int {
+	if st.Est <= 0 {
+		return 0
+	}
+	e := p.TargetBuffer - st.Buffer
+	if p.primed {
+		if dt := st.Now - p.lastNow; dt > 0 {
+			p.integral += e * dt
+			if lim := 0.8 / p.Ki; p.integral > lim {
+				p.integral = lim
+			} else if p.integral < -lim {
+				p.integral = -lim
+			}
+		}
+	} else {
+		p.primed = true
+	}
+	p.lastNow = st.Now
+
+	u := p.Kp*e + p.Ki*p.integral
+	if st.Buffer >= p.v.ChunkDur {
+		u++
+	}
+	u = math.Max(p.UMin, math.Min(p.UMax, u))
+
+	// Highest track whose average bitrate fits the controller's budget.
+	budget := st.Est / u
+	level := 0
+	for l := 0; l < p.v.NumTracks(); l++ {
+		if p.v.AvgBitrate(l) <= budget {
+			level = l
+		}
+	}
+	return level
+}
+
+// FESTIVE implements the rate-based scheme of Jiang et al. (CoNEXT'12) in
+// its single-player essentials: a harmonic-mean bandwidth estimate drives a
+// reference track (with a conservative safety factor), upward switches are
+// delayed until the reference has persisted for a few chunks (gradual
+// switching), and downward switches happen immediately. Like RBA it treats
+// a track's declared average as its cost — another CBR assumption that
+// mishandles VBR bursts.
+type FESTIVE struct {
+	v *video.Video
+	// SafetyFactor discounts the estimate (0.85 per the paper's p=0.85).
+	SafetyFactor float64
+	// UpDelay is how many consecutive chunks the reference must stay
+	// above the current level before switching up one step.
+	UpDelay int
+
+	upStreak int
+}
+
+// NewFESTIVE returns a FESTIVE instance with the original constants.
+func NewFESTIVE(v *video.Video) *FESTIVE {
+	return &FESTIVE{v: v, SafetyFactor: 0.85, UpDelay: 3}
+}
+
+// Name implements Algorithm.
+func (f *FESTIVE) Name() string { return "FESTIVE" }
+
+// Select implements Algorithm.
+func (f *FESTIVE) Select(st State) int {
+	if st.Est <= 0 {
+		return 0
+	}
+	budget := f.SafetyFactor * st.Est
+	ref := 0
+	for l := 0; l < f.v.NumTracks(); l++ {
+		if f.v.AvgBitrate(l) <= budget {
+			ref = l
+		}
+	}
+	cur := st.PrevLevel
+	if cur < 0 {
+		f.upStreak = 0
+		return ref
+	}
+	switch {
+	case ref > cur:
+		f.upStreak++
+		if f.upStreak >= f.UpDelay {
+			f.upStreak = 0
+			return cur + 1 // gradual: one level at a time
+		}
+		return cur
+	case ref < cur:
+		f.upStreak = 0
+		return ref // immediate down-switch
+	default:
+		f.upStreak = 0
+		return cur
+	}
+}

@@ -1,0 +1,125 @@
+package abr_test
+
+import (
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/player"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func testVideoExt() *video.Video {
+	return video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+}
+
+func TestPIANoEstimate(t *testing.T) {
+	p := abr.NewPIA(testVideoExt())
+	if got := p.Select(abr.State{ChunkIndex: 0, Buffer: 30}); got != 0 {
+		t.Errorf("PIA without estimate selected %d", got)
+	}
+	if p.Name() != "PIA" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestPIABufferFeedback(t *testing.T) {
+	v := testVideoExt()
+	// Below target: conservative (u > 1 shrinks the budget). Above
+	// target: aggressive. Same estimate, fresh controllers.
+	lo := abr.NewPIA(v).Select(abr.State{ChunkIndex: 10, Now: 0, Buffer: 10, Est: 2.5e6, PrevLevel: 2})
+	hi := abr.NewPIA(v).Select(abr.State{ChunkIndex: 10, Now: 0, Buffer: 95, Est: 2.5e6, PrevLevel: 2})
+	if lo > hi {
+		t.Errorf("PIA picked %d below target but %d above target", lo, hi)
+	}
+	// At equilibrium the budget is the raw estimate: highest avg <= est.
+	eq := abr.NewPIA(v).Select(abr.State{ChunkIndex: 10, Now: 0, Buffer: 60, Est: 2.5e6, PrevLevel: 2})
+	want := 0
+	for l := 0; l < v.NumTracks(); l++ {
+		if v.AvgBitrate(l) <= 2.5e6 {
+			want = l
+		}
+	}
+	if eq != want {
+		t.Errorf("PIA at equilibrium picked %d, want %d", eq, want)
+	}
+}
+
+func TestPIAMonotoneInBandwidth(t *testing.T) {
+	v := testVideoExt()
+	prev := -1
+	for est := 2e5; est < 1e8; est *= 2 {
+		l := abr.NewPIA(v).Select(abr.State{ChunkIndex: 5, Now: 0, Buffer: 60, Est: est, PrevLevel: 2})
+		if l < prev {
+			t.Fatal("PIA level decreased as bandwidth grew")
+		}
+		prev = l
+	}
+}
+
+func TestPIAFullSession(t *testing.T) {
+	v := testVideoExt()
+	res, err := player.Simulate(v, trace.GenLTE(1), abr.NewPIA(v), player.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != v.NumChunks() {
+		t.Fatal("PIA session incomplete")
+	}
+}
+
+func TestFESTIVEGradualUpswitch(t *testing.T) {
+	v := testVideoExt()
+	f := abr.NewFESTIVE(v)
+	// Reference well above the current level: the first UpDelay-1 calls
+	// hold, then one step up.
+	st := abr.State{ChunkIndex: 10, Buffer: 40, Est: 1e8, PrevLevel: 1}
+	if got := f.Select(st); got != 1 {
+		t.Fatalf("upswitch after 1 streak chunk: %d", got)
+	}
+	if got := f.Select(st); got != 1 {
+		t.Fatalf("upswitch after 2 streak chunks: %d", got)
+	}
+	if got := f.Select(st); got != 2 {
+		t.Fatalf("third streak chunk should step up one level, got %d", got)
+	}
+}
+
+func TestFESTIVEImmediateDownswitch(t *testing.T) {
+	v := testVideoExt()
+	f := abr.NewFESTIVE(v)
+	got := f.Select(abr.State{ChunkIndex: 10, Buffer: 40, Est: 3e5, PrevLevel: 4})
+	if got >= 4 {
+		t.Errorf("FESTIVE held level %d on a collapsed estimate", got)
+	}
+}
+
+func TestFESTIVESafetyFactor(t *testing.T) {
+	v := testVideoExt()
+	f := abr.NewFESTIVE(v)
+	// First decision (no previous level) goes straight to the reference,
+	// which must respect the 0.85 safety factor.
+	est := v.AvgBitrate(3) / 0.85 * 0.99 // just below what level 3 needs
+	got := f.Select(abr.State{ChunkIndex: 0, Buffer: 10, Est: est, PrevLevel: -1})
+	if got > 2 {
+		t.Errorf("safety factor ignored: selected %d", got)
+	}
+}
+
+func TestFESTIVEFullSession(t *testing.T) {
+	v := testVideoExt()
+	res, err := player.Simulate(v, trace.GenLTE(2), abr.NewFESTIVE(v), player.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != v.NumChunks() {
+		t.Fatal("FESTIVE session incomplete")
+	}
+	// Gradual switching: never more than one level up between consecutive
+	// chunks.
+	for i := 1; i < len(res.Chunks); i++ {
+		if res.Chunks[i].Level > res.Chunks[i-1].Level+1 {
+			t.Fatalf("FESTIVE jumped from %d to %d", res.Chunks[i-1].Level, res.Chunks[i].Level)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package abr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cava/internal/quality"
+	"cava/internal/video"
+)
+
+// Property tests across every scheme: for arbitrary (bounded) player
+// states, Select must return a valid track and never panic, including at
+// the video edges and with degenerate estimates.
+
+func allAlgorithms(v *video.Video) []Algorithm {
+	pq := quality.NewTable(v, quality.PSNR)
+	return []Algorithm{
+		NewBBA1(v, 0, 0),
+		NewRBA(v, 4),
+		NewMPC(v, false),
+		NewMPC(v, true),
+		NewPANDACQ(v, pq, MaxSum),
+		NewPANDACQ(v, pq, MaxMin),
+		NewBOLAE(v, BOLAPeak, true),
+		NewBOLAE(v, BOLAAvg, true),
+		NewBOLAE(v, BOLASeg, true),
+		NewBOLAE(v, BOLAAvg, false),
+		NewPIA(v),
+		NewFESTIVE(v),
+		Fixed(3)(v),
+	}
+}
+
+func TestAllSchemesValidOnArbitraryStates(t *testing.T) {
+	v := testVideo()
+	algos := allAlgorithms(v)
+	f := func(chunkU uint16, bufU uint8, estU uint32, prevI int8, tputU uint32, playing bool) bool {
+		st := State{
+			ChunkIndex:     int(chunkU) % v.NumChunks(),
+			Now:            float64(chunkU),
+			Buffer:         float64(bufU % 100),
+			Playing:        playing,
+			PrevLevel:      int(prevI)%v.NumTracks() - 1, // includes -1 and negatives
+			Est:            float64(estU % 20_000_000),
+			LastThroughput: float64(tputU % 20_000_000),
+		}
+		for _, a := range algos {
+			l := a.Select(st)
+			if l < 0 || l >= v.NumTracks() {
+				t.Logf("%s returned %d for %+v", a.Name(), l, st)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllSchemesEdgeStates(t *testing.T) {
+	v := testVideo()
+	edges := []State{
+		{},                                    // zero state
+		{ChunkIndex: v.NumChunks() - 1},       // last chunk, no estimate
+		{ChunkIndex: 0, Est: 1, Buffer: 0},    // absurdly low estimate
+		{ChunkIndex: 5, Est: 1e12, Buffer: 0}, // absurdly high estimate
+		{ChunkIndex: 5, Est: 2e6, Buffer: 1e6, PrevLevel: 5},
+		{ChunkIndex: v.NumChunks(), Est: 2e6, PrevLevel: 2}, // past the end
+	}
+	for _, a := range allAlgorithms(v) {
+		for i, st := range edges {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s panicked on edge state %d: %v", a.Name(), i, r)
+					}
+				}()
+				if st.ChunkIndex >= v.NumChunks() {
+					// Only horizon-based schemes define behaviour past the
+					// end; skip the others.
+					switch a.(type) {
+					case *MPC, *PANDACQ:
+					default:
+						return
+					}
+				}
+				l := a.Select(st)
+				if l < 0 || l >= v.NumTracks() {
+					t.Errorf("%s returned %d on edge state %d", a.Name(), l, i)
+				}
+			}()
+		}
+	}
+}
+
+func TestDelayersNeverNegative(t *testing.T) {
+	v := testVideo()
+	for _, a := range allAlgorithms(v) {
+		d, ok := a.(Delayer)
+		if !ok {
+			continue
+		}
+		for buf := 0.0; buf <= 120; buf += 7 {
+			if w := d.Delay(State{ChunkIndex: 10, Buffer: buf, Est: 2e6}); w < 0 {
+				t.Errorf("%s returned negative delay %v at buffer %v", a.Name(), w, buf)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package abr
+
+import "cava/internal/video"
+
+// This file implements the two myopic schemes of §4: BBA-1 (buffer-based,
+// Huang et al. SIGCOMM'14 adapted to VBR via its chunk map) and RBA
+// (rate-based, Zhang et al. INFOCOM'17 as described in the paper). Both
+// consider only the immediate next chunk, which is exactly the behaviour
+// the non-myopic principle corrects: they mechanically pick high levels for
+// small (simple) chunks and low levels for large (complex) chunks.
+
+// BBA1 is the buffer-based scheme: a chunk map linearly maps the current
+// buffer level to an allowed chunk size between the average chunk size of
+// the lowest track and that of the highest track; the scheme picks the
+// highest track whose next chunk fits.
+type BBA1 struct {
+	v *video.Video
+	// ReservoirSec is the buffer level below which the lowest track is
+	// always selected.
+	ReservoirSec float64
+	// CushionEndSec is the buffer level at which the highest track
+	// becomes allowed.
+	CushionEndSec float64
+}
+
+// NewBBA1 returns a BBA-1 instance with the given reservoir and cushion
+// end (defaults 10 s and 90 s when non-positive).
+func NewBBA1(v *video.Video, reservoirSec, cushionEndSec float64) *BBA1 {
+	if reservoirSec <= 0 {
+		reservoirSec = 10
+	}
+	if cushionEndSec <= reservoirSec {
+		cushionEndSec = 90
+	}
+	return &BBA1{v: v, ReservoirSec: reservoirSec, CushionEndSec: cushionEndSec}
+}
+
+// Name implements Algorithm.
+func (b *BBA1) Name() string { return "BBA-1" }
+
+// Select implements Algorithm.
+func (b *BBA1) Select(st State) int {
+	v := b.v
+	i := st.ChunkIndex
+	loAvg := v.AvgBitrate(0) * v.ChunkDur
+	hiAvg := v.AvgBitrate(v.NumTracks()-1) * v.ChunkDur
+
+	var allowed float64
+	switch {
+	case st.Buffer <= b.ReservoirSec:
+		allowed = loAvg
+	case st.Buffer >= b.CushionEndSec:
+		allowed = hiAvg
+	default:
+		f := (st.Buffer - b.ReservoirSec) / (b.CushionEndSec - b.ReservoirSec)
+		allowed = loAvg + f*(hiAvg-loAvg)
+	}
+	level := 0
+	for l := 0; l < v.NumTracks(); l++ {
+		if v.ChunkSize(l, i) <= allowed {
+			level = l
+		}
+	}
+	return level
+}
+
+// RBA is the rate-based scheme: it selects the highest track such that,
+// after downloading the corresponding chunk at the estimated bandwidth, the
+// buffer still holds at least MinChunks chunks.
+type RBA struct {
+	v *video.Video
+	// MinChunks is the number of chunks that must remain buffered after
+	// the download (4 in the paper).
+	MinChunks int
+}
+
+// NewRBA returns an RBA instance; minChunks defaults to 4 when non-positive.
+func NewRBA(v *video.Video, minChunks int) *RBA {
+	if minChunks <= 0 {
+		minChunks = 4
+	}
+	return &RBA{v: v, MinChunks: minChunks}
+}
+
+// Name implements Algorithm.
+func (r *RBA) Name() string { return "RBA" }
+
+// Select implements Algorithm.
+func (r *RBA) Select(st State) int {
+	v := r.v
+	if st.Est <= 0 {
+		return 0
+	}
+	need := float64(r.MinChunks) * v.ChunkDur
+	level := 0
+	for l := 0; l < v.NumTracks(); l++ {
+		dl := v.ChunkSize(l, st.ChunkIndex) / st.Est
+		if st.Buffer-dl >= need {
+			level = l
+		}
+	}
+	return level
+}

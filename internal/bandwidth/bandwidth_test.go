@@ -1,0 +1,175 @@
+package bandwidth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cava/internal/trace"
+)
+
+func TestHarmonicMeanExact(t *testing.T) {
+	h := NewHarmonicMean(5)
+	// Throughputs 1, 2 and 4 Mbps: harmonic mean = 3/(1+0.5+0.25) Mbps.
+	h.ObserveDownload(1e6, 1)
+	h.ObserveDownload(2e6, 1)
+	h.ObserveDownload(4e6, 1)
+	want := 3.0 / (1 + 0.5 + 0.25) * 1e6
+	if got := h.Predict(0); math.Abs(got-want) > 1 {
+		t.Errorf("harmonic mean = %v, want %v", got, want)
+	}
+}
+
+func TestHarmonicMeanWindow(t *testing.T) {
+	h := NewHarmonicMean(2)
+	h.ObserveDownload(1e6, 1) // falls out of the window
+	h.ObserveDownload(2e6, 1)
+	h.ObserveDownload(2e6, 1)
+	if got := h.Predict(0); math.Abs(got-2e6) > 1 {
+		t.Errorf("windowed harmonic mean = %v, want 2e6", got)
+	}
+}
+
+func TestHarmonicMeanAtMostArithmetic(t *testing.T) {
+	f := func(samples []uint32) bool {
+		h := NewHarmonicMean(0)
+		sum, n := 0.0, 0
+		for _, s := range samples {
+			tp := float64(s%10000) + 1
+			h.ObserveDownload(tp, 1)
+			n++
+			if n > DefaultWindow {
+				continue
+			}
+		}
+		if n == 0 {
+			return h.Predict(0) == 0
+		}
+		// Recompute the arithmetic mean over the retained window.
+		start := 0
+		if n > DefaultWindow {
+			start = n - DefaultWindow
+		}
+		cnt := 0
+		for i, s := range samples {
+			if i < start {
+				continue
+			}
+			sum += float64(s%10000) + 1
+			cnt++
+		}
+		return h.Predict(0) <= sum/float64(cnt)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictorsIgnoreInvalidObservations(t *testing.T) {
+	preds := []Predictor{NewHarmonicMean(5), NewEWMA(0.3), NewLast()}
+	for _, p := range preds {
+		p.ObserveDownload(0, 1)
+		p.ObserveDownload(1e6, 0)
+		p.ObserveDownload(-1, -1)
+		if got := p.Predict(0); got != 0 {
+			t.Errorf("%T: prediction after invalid observations = %v, want 0", p, got)
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.ObserveDownload(2e6, 1)
+	if got := e.Predict(0); got != 2e6 {
+		t.Errorf("first sample = %v, want 2e6", got)
+	}
+	e.ObserveDownload(4e6, 1)
+	if got := e.Predict(0); math.Abs(got-3e6) > 1 {
+		t.Errorf("EWMA = %v, want 3e6", got)
+	}
+}
+
+func TestEWMABadAlphaCoerced(t *testing.T) {
+	e := NewEWMA(-1)
+	e.ObserveDownload(1e6, 1)
+	if e.Predict(0) != 1e6 {
+		t.Error("EWMA with coerced alpha broken")
+	}
+}
+
+func TestLast(t *testing.T) {
+	l := NewLast()
+	if l.Predict(0) != 0 {
+		t.Error("Last should predict 0 before observations")
+	}
+	l.ObserveDownload(3e6, 1)
+	l.ObserveDownload(6e6, 2)
+	if got := l.Predict(0); got != 3e6 {
+		t.Errorf("Last = %v, want 3e6", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	preds := []Predictor{NewHarmonicMean(5), NewEWMA(0.3), NewLast()}
+	for _, p := range preds {
+		p.ObserveDownload(1e6, 1)
+		p.Reset()
+		if got := p.Predict(0); got != 0 {
+			t.Errorf("%T: prediction after Reset = %v, want 0", p, got)
+		}
+	}
+}
+
+func TestNoisyOracleExactWhenErrZero(t *testing.T) {
+	tr := trace.Constant("c", 2.5e6, 60, 1)
+	o := NewNoisyOracle(tr, 0, 1)
+	for _, tm := range []float64{0, 10, 59} {
+		if got := o.Predict(tm); got != 2.5e6 {
+			t.Errorf("Predict(%v) = %v, want 2.5e6", tm, got)
+		}
+	}
+}
+
+func TestNoisyOracleBounds(t *testing.T) {
+	tr := trace.Constant("c", 2e6, 60, 1)
+	o := NewNoisyOracle(tr, 0.5, 7)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 2000; i++ {
+		p := o.Predict(5)
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+		if p < 1e6-1 || p > 3e6+1 {
+			t.Fatalf("prediction %v outside C(1±0.5)", p)
+		}
+	}
+	// The uniform distribution should fill most of the range.
+	if lo > 1.2e6 || hi < 2.8e6 {
+		t.Errorf("predictions poorly spread: [%v, %v]", lo, hi)
+	}
+}
+
+func TestNoisyOracleDeterministicPerSeed(t *testing.T) {
+	tr := trace.Constant("c", 2e6, 60, 1)
+	a := NewNoisyOracle(tr, 0.25, 99)
+	b := NewNoisyOracle(tr, 0.25, 99)
+	for i := 0; i < 20; i++ {
+		if a.Predict(1) != b.Predict(1) {
+			t.Fatal("same-seed oracles diverge")
+		}
+	}
+}
+
+func TestNoisyOracleTracksTrace(t *testing.T) {
+	tr := trace.Step("s", 1e6, 4e6, 10, 40, 1)
+	o := NewNoisyOracle(tr, 0, 1)
+	if o.Predict(0) != 4e6 {
+		t.Error("oracle should see the high step at t=0")
+	}
+	if o.Predict(10) != 1e6 {
+		t.Error("oracle should see the low step at t=10")
+	}
+}

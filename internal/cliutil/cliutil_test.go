@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func TestParseTraceFamilies(t *testing.T) {
+	lte, err := ParseTrace("lte:3")
+	if err != nil || lte.ID != "lte-003" {
+		t.Fatalf("lte spec: %v, %v", lte, err)
+	}
+	fcc, err := ParseTrace("fcc:0")
+	if err != nil || fcc.Interval != trace.FCCInterval {
+		t.Fatalf("fcc spec: %v, %v", fcc, err)
+	}
+	c, err := ParseTrace("const:2.5")
+	if err != nil || c.Mean() != 2.5e6 {
+		t.Fatalf("const spec: %v, %v", c, err)
+	}
+}
+
+func TestParseTraceMahimahi(t *testing.T) {
+	var buf bytes.Buffer
+	if err := trace.WriteMahimahi(&buf, trace.Constant("x", 3e6, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mm.log")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace("mahimahi:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() < 4 {
+		t.Errorf("mahimahi trace too short: %v", tr.Duration())
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "lte", "lte:x", "fcc:y", "const:z", "const:-1",
+		"mars:1", "mahimahi:/does/not/exist",
+	} {
+		if _, err := ParseTrace(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestSchemeRegistryComplete(t *testing.T) {
+	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	for _, name := range SchemeNames() {
+		f, err := SchemeByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		algo := f(v)
+		if algo.Name() == "" {
+			t.Errorf("%s: empty algorithm name", name)
+		}
+		if l := algo.Select(abr.State{ChunkIndex: 0, Buffer: 20, Est: 2e6}); l < 0 || l >= v.NumTracks() {
+			t.Errorf("%s: first decision %d out of range", name, l)
+		}
+	}
+}
+
+func TestSchemeByNameUnknown(t *testing.T) {
+	if _, err := SchemeByName("nope"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+
+	"cava/internal/abr"
+	"cava/internal/video"
+)
+
+// Auto-tuning extension (inspired by Oboe, SIGCOMM'18, which the paper's
+// related work highlights): CAVA's differential-treatment strength and
+// control clamps are picked offline for a broad operating range; AutoCAVA
+// re-tunes them online from the observed throughput regime. On stable
+// links it leans into differential treatment (nothing threatens the
+// buffer); on highly volatile links it softens the inflation and widens
+// the low-buffer guard, trading a little Q4 quality for stall safety.
+
+// Regime classifies the recent network volatility.
+type Regime int
+
+// Volatility regimes.
+const (
+	// RegimeUnknown means not enough samples yet.
+	RegimeUnknown Regime = iota
+	// RegimeStable is CoV below 0.30.
+	RegimeStable
+	// RegimeModerate is CoV in [0.30, 0.70).
+	RegimeModerate
+	// RegimeVolatile is CoV of 0.70 and above.
+	RegimeVolatile
+)
+
+// String names the regime.
+func (r Regime) String() string {
+	switch r {
+	case RegimeStable:
+		return "stable"
+	case RegimeModerate:
+		return "moderate"
+	case RegimeVolatile:
+		return "volatile"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassifyRegime computes the volatility regime of throughput samples.
+func ClassifyRegime(samples []float64) Regime {
+	if len(samples) < 4 {
+		return RegimeUnknown
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	if mean <= 0 {
+		return RegimeVolatile
+	}
+	ss := 0.0
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	cov := math.Sqrt(ss/float64(len(samples))) / mean
+	switch {
+	case cov < 0.30:
+		return RegimeStable
+	case cov < 0.70:
+		return RegimeModerate
+	default:
+		return RegimeVolatile
+	}
+}
+
+// paramsFor maps a regime onto CAVA tunables.
+func paramsFor(r Regime) Params {
+	p := DefaultParams()
+	switch r {
+	case RegimeStable:
+		// Nothing threatens the buffer: spend harder on complex scenes
+		// and allow a brisker startup.
+		p.AlphaComplex = 1.5
+		p.AlphaSimple = 0.75
+		p.UMax = 2.0
+		p.Q4NoInflateBuffer = 12
+	case RegimeVolatile:
+		// Bursty link: soften the inflation, save more on simple scenes,
+		// and keep the no-inflate guard wide.
+		p.AlphaComplex = 1.25
+		p.AlphaSimple = 0.65
+		p.Q4NoInflateBuffer = 30
+	}
+	return p
+}
+
+// Tune replaces the controller's tunables mid-session, preserving the PID
+// state and the chunk classification (which depend on fixed structural
+// parameters: RefLevel, NumClasses, the video).
+func (c *CAVA) Tune(p Params) {
+	p.RefLevel = c.p.RefLevel
+	p.NumClasses = c.p.NumClasses
+	c.p = p
+}
+
+// CurrentParams exposes the active tunables (for tests and logging).
+func (c *CAVA) CurrentParams() Params { return c.p }
+
+// AutoCAVA wraps CAVA with online regime detection over the observed
+// per-chunk throughputs, re-tuning every AdaptEvery decisions.
+type AutoCAVA struct {
+	*CAVA
+	// AdaptEvery is the re-tune period in chunks (8 by default).
+	AdaptEvery int
+	// WindowSize is how many throughput samples feed the detector (24).
+	WindowSize int
+
+	samples []float64
+	since   int
+	regime  Regime
+}
+
+// NewAuto returns an auto-tuning CAVA instance.
+func NewAuto(v *video.Video) *AutoCAVA {
+	return &AutoCAVA{
+		CAVA:       NewWith(v, DefaultParams(), AllPrinciples, "CAVA-auto"),
+		AdaptEvery: 8,
+		WindowSize: 24,
+	}
+}
+
+// AutoFactory returns the AutoCAVA factory.
+func AutoFactory() abr.Factory {
+	return func(v *video.Video) abr.Algorithm { return NewAuto(v) }
+}
+
+// Regime exposes the currently detected regime.
+func (a *AutoCAVA) Regime() Regime { return a.regime }
+
+// Select implements abr.Algorithm: observe, maybe re-tune, then delegate.
+func (a *AutoCAVA) Select(st abr.State) int {
+	if st.LastThroughput > 0 {
+		a.samples = append(a.samples, st.LastThroughput)
+		if len(a.samples) > a.WindowSize {
+			a.samples = a.samples[len(a.samples)-a.WindowSize:]
+		}
+	}
+	a.since++
+	if a.since >= a.AdaptEvery {
+		a.since = 0
+		if r := ClassifyRegime(a.samples); r != RegimeUnknown && r != a.regime {
+			a.regime = r
+			a.Tune(paramsFor(r))
+		}
+	}
+	return a.CAVA.Select(st)
+}

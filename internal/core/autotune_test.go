@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/player"
+	"cava/internal/trace"
+)
+
+func TestClassifyRegime(t *testing.T) {
+	if ClassifyRegime([]float64{1, 2}) != RegimeUnknown {
+		t.Error("too-few samples not unknown")
+	}
+	stable := []float64{2e6, 2.05e6, 1.95e6, 2.02e6, 1.98e6}
+	if ClassifyRegime(stable) != RegimeStable {
+		t.Error("near-constant samples not stable")
+	}
+	volatile := []float64{0.2e6, 5e6, 0.5e6, 8e6, 0.1e6, 4e6}
+	if ClassifyRegime(volatile) != RegimeVolatile {
+		t.Error("wild samples not volatile")
+	}
+	if ClassifyRegime([]float64{0, 0, 0, 0}) != RegimeVolatile {
+		t.Error("zero-mean treated leniently")
+	}
+	for _, r := range []Regime{RegimeUnknown, RegimeStable, RegimeModerate, RegimeVolatile} {
+		if r.String() == "" {
+			t.Error("regime without a name")
+		}
+	}
+}
+
+func TestTunePreservesStructure(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	before := c.Categories()
+	p := DefaultParams()
+	p.AlphaComplex = 1.2
+	p.RefLevel = 0   // must be ignored by Tune
+	p.NumClasses = 8 // must be ignored by Tune
+	c.Tune(p)
+	if c.CurrentParams().AlphaComplex != 1.2 {
+		t.Error("tunable not applied")
+	}
+	if c.CurrentParams().RefLevel != DefaultParams().RefLevel {
+		t.Error("structural RefLevel changed by Tune")
+	}
+	after := c.Categories()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("classification changed by Tune")
+		}
+	}
+}
+
+func TestAutoCAVAAdaptsToRegime(t *testing.T) {
+	v := testVideo()
+	a := NewAuto(v)
+	if a.Name() != "CAVA-auto" {
+		t.Errorf("name = %q", a.Name())
+	}
+	// Feed stable throughput observations through decisions.
+	for i := 0; i < 20; i++ {
+		a.Select(abr.State{ChunkIndex: i, Now: float64(5 * i), Buffer: 40,
+			Est: 2e6, LastThroughput: 2e6 * (1 + 0.01*float64(i%2)), PrevLevel: 2})
+	}
+	if a.Regime() != RegimeStable {
+		t.Errorf("regime = %v after stable samples", a.Regime())
+	}
+	if a.CurrentParams().UMax != paramsFor(RegimeStable).UMax {
+		t.Error("stable params not applied")
+	}
+	// Now volatile samples flip the regime.
+	tputs := []float64{0.2e6, 6e6, 0.4e6, 9e6, 0.3e6, 5e6}
+	for i := 20; i < 60; i++ {
+		a.Select(abr.State{ChunkIndex: i, Now: float64(5 * i), Buffer: 40,
+			Est: 2e6, LastThroughput: tputs[i%len(tputs)], PrevLevel: 2})
+	}
+	if a.Regime() != RegimeVolatile {
+		t.Errorf("regime = %v after volatile samples", a.Regime())
+	}
+	if a.CurrentParams().Q4NoInflateBuffer != paramsFor(RegimeVolatile).Q4NoInflateBuffer {
+		t.Error("volatile params not applied")
+	}
+}
+
+func TestAutoCAVASessionSane(t *testing.T) {
+	v := testVideo()
+	cfg := player.DefaultConfig()
+	for i := 0; i < 6; i++ {
+		res, err := player.Simulate(v, trace.GenLTE(i), NewAuto(v), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Chunks) != v.NumChunks() {
+			t.Fatal("auto session incomplete")
+		}
+	}
+}
+
+func TestAutoCAVAComparableToFixed(t *testing.T) {
+	// Auto-tuning must not collapse performance relative to fixed CAVA on
+	// the environment both were designed for.
+	v := testVideo()
+	cfg := player.DefaultConfig()
+	var fixedBits, autoBits, fixedReb, autoReb float64
+	n := 10
+	for i := 0; i < n; i++ {
+		tr := trace.GenLTE(i)
+		f := player.MustSimulate(v, tr, New(v), cfg)
+		a := player.MustSimulate(v, tr, NewAuto(v), cfg)
+		fixedBits += f.TotalBits
+		autoBits += a.TotalBits
+		fixedReb += f.TotalRebufferSec
+		autoReb += a.TotalRebufferSec
+	}
+	if autoBits < 0.7*fixedBits {
+		t.Errorf("auto delivers %.0f%% of fixed CAVA's data; collapsed", 100*autoBits/fixedBits)
+	}
+	if autoReb > fixedReb+60 {
+		t.Errorf("auto rebuffers far more: %.1f vs %.1f", autoReb, fixedReb)
+	}
+}

@@ -1,0 +1,421 @@
+// Package core implements CAVA — Control-theoretic Adaptation for VBR-based
+// ABR streaming — the paper's primary contribution (§5).
+//
+// CAVA consists of two controllers working in synergy:
+//
+//   - The inner controller selects the track. A PID feedback block (Eq. 1–2)
+//     regulates the relative buffer filling rate u_t toward a dynamic target
+//     buffer level; an optimizer (Eq. 3–4) then picks the track minimizing a
+//     weighted sum of (i) deviation of the required bandwidth from the
+//     assumed bandwidth and (ii) track change, where the required bandwidth
+//     uses the average bitrate of a window of W future chunks (non-myopic,
+//     P1) and the assumed bandwidth is inflated for complex Q4 chunks and
+//     deflated for simple chunks (differential treatment, P2).
+//   - The outer controller sets the target buffer level (Eq. 5): when large
+//     chunks loom within a window of W′ future chunks it raises the target
+//     proactively (P3), so the buffer is charged before complex scenes
+//     arrive.
+//
+// CAVA uses only information available in today's DASH/HLS manifests:
+// per-chunk sizes, declared track bitrates, and client-side buffer and
+// throughput observations.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cava/internal/abr"
+	"cava/internal/scene"
+	"cava/internal/video"
+)
+
+// Params holds every tunable of CAVA with the paper's defaults (§5, §6).
+type Params struct {
+	// HorizonN is the optimizer's look-ahead horizon in chunks (N = 5).
+	HorizonN int
+	// InnerWindowSec is the inner-controller window W in seconds over
+	// which future chunk bitrates are averaged (40 s; §6.2).
+	InnerWindowSec float64
+	// OuterWindowSec is the outer-controller look-ahead W′ in seconds
+	// (200 s; §6.2).
+	OuterWindowSec float64
+	// AlphaComplex inflates the bandwidth estimate for Q4 chunks (1.1).
+	AlphaComplex float64
+	// AlphaSimple deflates the bandwidth estimate for Q1–Q3 chunks (0.8).
+	AlphaSimple float64
+	// NoDeflateBuffer is the buffer level (seconds) above which the
+	// deflation heuristic is skipped when it would pick a very low level
+	// (10 s; §5.3).
+	NoDeflateBuffer float64
+	// NoDeflateMaxLevel is the highest 0-based level considered "very
+	// low" for the no-deflate heuristic (1, i.e. the paper's levels 1–2).
+	NoDeflateMaxLevel int
+	// Q4NoInflate enables the optional heuristic that skips inflation for
+	// Q4 chunks when the buffer is below Q4NoInflateBuffer. Disabled in
+	// the paper's reported results (§5.3).
+	Q4NoInflate bool
+	// Q4NoInflateBuffer is the low-buffer threshold for Q4NoInflate.
+	Q4NoInflateBuffer float64
+	// BaseTargetBuffer is the base target buffer level x̄r in seconds
+	// (60; 40 yields similar results per §5.4).
+	BaseTargetBuffer float64
+	// TargetCapFactor clamps the dynamic target at factor·x̄r (2).
+	TargetCapFactor float64
+	// TargetMax additionally clamps the dynamic target below the player's
+	// reachable buffer; a target above the buffer cap would bias the
+	// controller conservative permanently (90 for the paper's 100 s
+	// player buffer).
+	TargetMax float64
+	// Kp and Ki are the PID proportional and integral gains; a wide
+	// range performs well (§6.1, following PIA's methodology).
+	Kp, Ki float64
+	// UMin and UMax clamp the controller output to keep the track search
+	// meaningful under extreme buffer errors.
+	UMin, UMax float64
+	// EtaWeight is the track-change penalty weight applied when the
+	// current and previous chunks are in the same complexity category
+	// (Eq. 3's η_t). The paper uses 1 to weigh the two penalty terms
+	// equally; since the deviation term is summed over the N-chunk
+	// horizon, weighing the change term by N keeps the two terms at
+	// equal per-chunk scale.
+	EtaWeight float64
+	// Lookahead bounds how many future chunks (beyond the current one)
+	// the controllers may inspect; 0 means unbounded (VoD). In live
+	// streaming only the chunks the encoder has already produced are
+	// known, so both the inner window and the outer preview truncate at
+	// the live edge — the §8 future-work extension.
+	Lookahead int
+	// RefLevel is the reference track ℓ̃ for chunk classification and the
+	// outer controller; negative selects the middle track.
+	RefLevel int
+	// NumClasses is the size-quantile class count (4 ⇒ quartiles).
+	NumClasses int
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		HorizonN:          5,
+		InnerWindowSec:    40,
+		OuterWindowSec:    200,
+		AlphaComplex:      1.5,
+		AlphaSimple:       0.7,
+		NoDeflateBuffer:   10,
+		NoDeflateMaxLevel: 2,
+		Q4NoInflate:       true,
+		Q4NoInflateBuffer: 20,
+		BaseTargetBuffer:  60,
+		TargetCapFactor:   2,
+		TargetMax:         90,
+		Kp:                0.06,
+		Ki:                0.0004,
+		UMin:              0.35,
+		UMax:              2.5,
+		EtaWeight:         5,
+		RefLevel:          -1,
+		NumClasses:        scene.DefaultNumClasses,
+	}
+}
+
+// Principles toggles the three design principles for the §6.4 ablation.
+type Principles struct {
+	// NonMyopic enables P1: window-W bitrate averaging in the optimizer.
+	NonMyopic bool
+	// Differential enables P2: α inflation/deflation and the
+	// category-aware track-change weight η.
+	Differential bool
+	// Proactive enables P3: the outer preview controller.
+	Proactive bool
+}
+
+// AllPrinciples is full CAVA (p123).
+var AllPrinciples = Principles{NonMyopic: true, Differential: true, Proactive: true}
+
+// CAVA is a per-session instance implementing abr.Algorithm.
+type CAVA struct {
+	v    *video.Video
+	p    Params
+	pr   Principles
+	cats []scene.Category
+
+	ref        int     // resolved reference track
+	refAvgSize float64 // mean chunk size of the reference track (bits)
+
+	integral float64 // PID integral accumulator (seconds²)
+	lastNow  float64
+	primed   bool
+
+	name string
+}
+
+// New returns a full CAVA instance with default parameters.
+func New(v *video.Video) *CAVA { return NewWith(v, DefaultParams(), AllPrinciples, "CAVA") }
+
+// NewWith returns a CAVA instance with explicit parameters, principle
+// toggles and display name (used for the p1/p12/p123 ablation variants).
+func NewWith(v *video.Video, p Params, pr Principles, name string) *CAVA {
+	ref := p.RefLevel
+	if ref < 0 || ref >= v.NumTracks() {
+		ref = scene.DefaultReferenceTrack(v.NumTracks())
+	}
+	c := &CAVA{
+		v:    v,
+		p:    p,
+		pr:   pr,
+		cats: scene.Classify(v, ref, p.NumClasses),
+		ref:  ref,
+		name: name,
+	}
+	sum := 0.0
+	for _, s := range v.Tracks[ref].ChunkSizes {
+		sum += s
+	}
+	c.refAvgSize = sum / float64(v.NumChunks())
+	return c
+}
+
+// Variant builds the ablation factories used in §6.4: p1 (non-myopic only),
+// p12 (plus differential treatment) and p123 (full CAVA).
+func Variant(which string) abr.Factory {
+	pr := AllPrinciples
+	name := "CAVA"
+	switch which {
+	case "p1":
+		pr = Principles{NonMyopic: true}
+		name = "CAVA-p1"
+	case "p12":
+		pr = Principles{NonMyopic: true, Differential: true}
+		name = "CAVA-p12"
+	case "p123":
+		name = "CAVA-p123"
+	}
+	return func(v *video.Video) abr.Algorithm {
+		return NewWith(v, DefaultParams(), pr, name)
+	}
+}
+
+// Factory returns the default full-CAVA factory.
+func Factory() abr.Factory {
+	return func(v *video.Video) abr.Algorithm { return New(v) }
+}
+
+// Live returns a CAVA factory restricted to a live-streaming lookahead of
+// the given number of future chunks (the §8 future-work extension): only
+// already-encoded chunks inform the inner window and the outer preview.
+func Live(lookahead int) abr.Factory {
+	return func(v *video.Video) abr.Algorithm {
+		p := DefaultParams()
+		p.Lookahead = lookahead
+		return NewWith(v, p, AllPrinciples, fmt.Sprintf("CAVA-live%d", lookahead))
+	}
+}
+
+// Name implements abr.Algorithm.
+func (c *CAVA) Name() string { return c.name }
+
+// Categories exposes the chunk classification (for experiments and tests).
+func (c *CAVA) Categories() []scene.Category { return c.cats }
+
+// TargetBuffer computes the outer controller's dynamic target buffer level
+// x_r(t) for a decision at chunk index i (Eq. 5). Without P3 the target is
+// the base level.
+func (c *CAVA) TargetBuffer(i int) float64 {
+	xr := c.p.BaseTargetBuffer
+	if !c.pr.Proactive {
+		return xr
+	}
+	wChunks := int(math.Round(c.p.OuterWindowSec / c.v.ChunkDur))
+	if wChunks < 1 {
+		wChunks = 1
+	}
+	// Eq. 5's preview window starts at the current chunk.
+	start := i
+	end := start + wChunks
+	if end > c.v.NumChunks() {
+		end = c.v.NumChunks()
+	}
+	if limit := c.liveEdge(i); end > limit {
+		end = limit
+	}
+	if end <= start {
+		return xr
+	}
+	sum := 0.0
+	for k := start; k < end; k++ {
+		sum += c.v.ChunkSize(c.ref, k)
+	}
+	n := float64(end - start)
+	// Deviation of the upcoming window from the track average, converted
+	// to seconds by dividing by the reference track's average bitrate.
+	refAvgBitrate := c.v.AvgBitrate(c.ref)
+	dev := (sum - c.refAvgSize*n) / refAvgBitrate
+	if dev > 0 {
+		xr += dev
+	}
+	if cap := c.p.TargetCapFactor * c.p.BaseTargetBuffer; xr > cap {
+		xr = cap
+	}
+	if c.p.TargetMax > 0 && xr > c.p.TargetMax {
+		xr = c.p.TargetMax
+	}
+	return xr
+}
+
+// liveEdge returns one past the last chunk index whose size is known at a
+// decision for chunk i (NumChunks for VoD).
+func (c *CAVA) liveEdge(i int) int {
+	if c.p.Lookahead <= 0 {
+		return c.v.NumChunks()
+	}
+	edge := i + 1 + c.p.Lookahead
+	if edge > c.v.NumChunks() {
+		edge = c.v.NumChunks()
+	}
+	return edge
+}
+
+// controlSignal runs the PID feedback block (Eq. 2), returning u_t.
+func (c *CAVA) controlSignal(now, buffer, target float64) float64 {
+	e := target - buffer
+	if c.primed {
+		dt := now - c.lastNow
+		if dt > 0 {
+			c.integral += e * dt
+			// Anti-windup: bound the integral contribution so transient
+			// large errors (startup, outages) do not bias decisions long
+			// after the buffer has recovered.
+			if lim := 0.8 / c.p.Ki; c.integral > lim {
+				c.integral = lim
+			} else if c.integral < -lim {
+				c.integral = -lim
+			}
+		}
+	} else {
+		c.primed = true
+	}
+	c.lastNow = now
+
+	u := c.p.Kp*e + c.p.Ki*c.integral
+	if buffer >= c.v.ChunkDur {
+		u += 1 // the linearizing indicator term 1(x_t − Δ)
+	}
+	if u < c.p.UMin {
+		u = c.p.UMin
+	}
+	if u > c.p.UMax {
+		u = c.p.UMax
+	}
+	return u
+}
+
+// windowAvgBitrate returns R̄_t(ℓ): the average bitrate of the W-chunk
+// window starting at chunk i on track ℓ (P1). With P1 disabled it is the
+// single chunk's bitrate (myopic).
+func (c *CAVA) windowAvgBitrate(level, i int) float64 {
+	if !c.pr.NonMyopic {
+		return c.v.ChunkBitrate(level, i)
+	}
+	wChunks := int(math.Round(c.p.InnerWindowSec / c.v.ChunkDur))
+	if wChunks < 1 {
+		wChunks = 1
+	}
+	end := i + wChunks
+	if end > c.v.NumChunks() {
+		end = c.v.NumChunks()
+	}
+	if limit := c.liveEdge(i); end > limit {
+		end = limit
+	}
+	sum := 0.0
+	for k := i; k < end; k++ {
+		sum += c.v.ChunkSize(level, k)
+	}
+	return sum / (float64(end-i) * c.v.ChunkDur)
+}
+
+// alpha returns the bandwidth inflation/deflation factor α_t for chunk i
+// (P2), before heuristics.
+func (c *CAVA) alpha(i int, buffer float64) float64 {
+	if !c.pr.Differential {
+		return 1
+	}
+	if scene.IsComplex(c.cats[i]) {
+		if c.p.Q4NoInflate && buffer < c.p.Q4NoInflateBuffer {
+			return 1
+		}
+		return c.p.AlphaComplex
+	}
+	return c.p.AlphaSimple
+}
+
+// eta returns the track-change penalty weight η_t for chunk i (Eq. 3): zero
+// when the current and previous chunks are in different complexity
+// categories (Q4 vs non-Q4), one otherwise. Without P2 it is always one.
+func (c *CAVA) eta(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	if !c.pr.Differential {
+		return c.p.EtaWeight
+	}
+	if scene.IsComplex(c.cats[i]) != scene.IsComplex(c.cats[i-1]) {
+		return 0
+	}
+	return c.p.EtaWeight
+}
+
+// objective evaluates Q(ℓ) of Eq. 3 for a candidate level.
+func (c *CAVA) objective(level, i, prevLevel int, u, estBW, alpha, eta float64) float64 {
+	n := c.p.HorizonN
+	if rem := c.v.NumChunks() - i; rem < n {
+		n = rem
+	}
+	if n < 1 {
+		n = 1
+	}
+	rbar := c.windowAvgBitrate(level, i)
+	dev := u*rbar - alpha*estBW
+	q := float64(n) * dev * dev
+	if prevLevel >= 0 {
+		d := c.v.AvgBitrate(level) - c.v.AvgBitrate(prevLevel)
+		q += eta * d * d
+	}
+	return q
+}
+
+// bestLevel solves Eq. 4 by evaluating Q(ℓ) over all tracks (O(N·|L|)).
+func (c *CAVA) bestLevel(i, prevLevel int, u, estBW, alpha, eta float64) int {
+	best, bestQ := 0, math.Inf(1)
+	for l := 0; l < c.v.NumTracks(); l++ {
+		q := c.objective(l, i, prevLevel, u, estBW, alpha, eta)
+		if q < bestQ {
+			best, bestQ = l, q
+		}
+	}
+	return best
+}
+
+// Select implements abr.Algorithm: one full CAVA decision.
+func (c *CAVA) Select(st abr.State) int {
+	i := st.ChunkIndex
+	if st.Est <= 0 {
+		// No throughput observation yet: start from the lowest track.
+		return 0
+	}
+	target := c.TargetBuffer(i)
+	u := c.controlSignal(st.Now, st.Buffer, target)
+	alpha := c.alpha(i, st.Buffer)
+	eta := c.eta(i)
+
+	level := c.bestLevel(i, st.PrevLevel, u, st.Est, alpha, eta)
+
+	// No-deflate heuristic (§5.3): deflation should save bandwidth for
+	// complex scenes, not push simple scenes to the lowest rungs when
+	// there is no stall risk.
+	if c.pr.Differential && !scene.IsComplex(c.cats[i]) &&
+		level <= c.p.NoDeflateMaxLevel && st.Buffer > c.p.NoDeflateBuffer && alpha < 1 {
+		level = c.bestLevel(i, st.PrevLevel, u, st.Est, 1, eta)
+	}
+	return level
+}

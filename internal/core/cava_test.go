@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/scene"
+	"cava/internal/video"
+)
+
+func testVideo() *video.Video {
+	return video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+}
+
+func TestNames(t *testing.T) {
+	v := testVideo()
+	if New(v).Name() != "CAVA" {
+		t.Error("default name wrong")
+	}
+	for _, w := range []string{"p1", "p12", "p123"} {
+		a := Variant(w)(v)
+		if a.Name() != "CAVA-"+w {
+			t.Errorf("variant %s name = %q", w, a.Name())
+		}
+	}
+}
+
+func TestVariantPrinciples(t *testing.T) {
+	v := testVideo()
+	p1 := Variant("p1")(v).(*CAVA)
+	if p1.pr.Differential || p1.pr.Proactive || !p1.pr.NonMyopic {
+		t.Errorf("p1 principles = %+v", p1.pr)
+	}
+	p12 := Variant("p12")(v).(*CAVA)
+	if !p12.pr.Differential || p12.pr.Proactive {
+		t.Errorf("p12 principles = %+v", p12.pr)
+	}
+	p123 := Variant("p123")(v).(*CAVA)
+	if !p123.pr.Differential || !p123.pr.Proactive || !p123.pr.NonMyopic {
+		t.Errorf("p123 principles = %+v", p123.pr)
+	}
+}
+
+func TestTargetBufferBounds(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	base := c.p.BaseTargetBuffer
+	cap := c.p.TargetCapFactor * base
+	for i := 0; i < v.NumChunks(); i++ {
+		x := c.TargetBuffer(i)
+		if x < base-1e-9 || x > cap+1e-9 {
+			t.Fatalf("target at chunk %d = %v outside [%v, %v]", i, x, base, cap)
+		}
+	}
+}
+
+func TestTargetBufferFlatWithoutP3(t *testing.T) {
+	v := testVideo()
+	c := Variant("p12")(v).(*CAVA)
+	for i := 0; i < v.NumChunks(); i += 11 {
+		if x := c.TargetBuffer(i); x != c.p.BaseTargetBuffer {
+			t.Fatalf("p12 target at %d = %v, want base", i, x)
+		}
+	}
+}
+
+func TestTargetBufferRisesBeforeLargeCluster(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	// The target must be elevated somewhere (the video has complex
+	// clusters) and flat elsewhere.
+	raised := 0
+	for i := 0; i < v.NumChunks(); i++ {
+		if c.TargetBuffer(i) > c.p.BaseTargetBuffer+1 {
+			raised++
+		}
+	}
+	if raised == 0 {
+		t.Error("outer controller never raised the target")
+	}
+	if raised == v.NumChunks() {
+		t.Error("outer controller always raised the target")
+	}
+}
+
+func TestControlSignalDirection(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	// Buffer far below target: controller demands filling (u > 1).
+	u := c.controlSignal(0, 10, 60)
+	if u <= 1 {
+		t.Errorf("u = %v with buffer below target, want > 1", u)
+	}
+	// Fresh controller, buffer far above target: u < 1 (draining).
+	c2 := New(v)
+	u2 := c2.controlSignal(0, 95, 60)
+	if u2 >= 1 {
+		t.Errorf("u = %v with buffer above target, want < 1", u2)
+	}
+	// Clamps.
+	c3 := New(v)
+	if u3 := c3.controlSignal(0, 0, 1e6); u3 > c3.p.UMax {
+		t.Errorf("u exceeds UMax: %v", u3)
+	}
+	c4 := New(v)
+	if u4 := c4.controlSignal(0, 1e6, 0); u4 < c4.p.UMin {
+		t.Errorf("u below UMin: %v", u4)
+	}
+}
+
+func TestControlSignalIndicatorTerm(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	// At equal buffer and target with buffer >= one chunk, u == 1 exactly
+	// on the first call (no integral accumulated yet).
+	if u := c.controlSignal(0, 60, 60); u != 1 {
+		t.Errorf("u at equilibrium = %v, want 1 (indicator active)", u)
+	}
+	c2 := New(v)
+	// Buffer below one chunk duration: indicator off.
+	if u := c2.controlSignal(0, 1, 1); u != c2.p.UMin {
+		t.Errorf("u with near-empty buffer = %v, want UMin", u)
+	}
+}
+
+func TestControlSignalAntiWindup(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	// Hold a large error for a long simulated time; the integral must be
+	// clamped.
+	for i := 0; i < 1000; i++ {
+		c.controlSignal(float64(i)*10, 0, 120)
+	}
+	if lim := 0.8 / c.p.Ki; c.integral > lim+1e-9 {
+		t.Errorf("integral %v above anti-windup limit %v", c.integral, lim)
+	}
+}
+
+func TestWindowAvgBitrate(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	w := int(math.Round(c.p.InnerWindowSec / v.ChunkDur))
+	// Manual average for a mid-video chunk.
+	i, level := 20, 3
+	sum := 0.0
+	for k := i; k < i+w; k++ {
+		sum += v.ChunkSize(level, k)
+	}
+	want := sum / (float64(w) * v.ChunkDur)
+	if got := c.windowAvgBitrate(level, i); math.Abs(got-want) > 1e-6 {
+		t.Errorf("window average = %v, want %v", got, want)
+	}
+	// Myopic variant returns the single chunk's bitrate.
+	myopic := NewWith(v, DefaultParams(), Principles{}, "m")
+	if got := myopic.windowAvgBitrate(level, i); got != v.ChunkBitrate(level, i) {
+		t.Errorf("myopic bitrate = %v, want chunk bitrate", got)
+	}
+	// Window truncates at the end of the video.
+	last := v.NumChunks() - 1
+	if got := c.windowAvgBitrate(level, last); got != v.ChunkBitrate(level, last) {
+		t.Errorf("end-of-video window average = %v, want last chunk bitrate", got)
+	}
+}
+
+func TestWindowSmoothsQ4Requirement(t *testing.T) {
+	// The non-myopic principle's purpose: for a Q4 chunk the window
+	// average is below the chunk's own bitrate, enabling a higher track.
+	v := testVideo()
+	c := New(v)
+	ref := v.Tracks[3].ChunkSizes
+	large := 10
+	for i := 10; i < v.NumChunks()-20; i++ {
+		if ref[i] > ref[large] {
+			large = i
+		}
+	}
+	if c.windowAvgBitrate(3, large) >= v.ChunkBitrate(3, large) {
+		t.Error("window average not below the largest chunk's own bitrate")
+	}
+}
+
+func TestAlphaRules(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	cats := c.Categories()
+	var q4, simple int = -1, -1
+	for i, cat := range cats {
+		if cat == scene.Q4 && q4 < 0 {
+			q4 = i
+		}
+		if cat == scene.Q1 && simple < 0 {
+			simple = i
+		}
+	}
+	if a := c.alpha(q4, 60); a != c.p.AlphaComplex {
+		t.Errorf("alpha(Q4, rich buffer) = %v, want %v", a, c.p.AlphaComplex)
+	}
+	if a := c.alpha(simple, 60); a != c.p.AlphaSimple {
+		t.Errorf("alpha(simple) = %v, want %v", a, c.p.AlphaSimple)
+	}
+	// Q4 no-inflate guard at low buffer.
+	if a := c.alpha(q4, c.p.Q4NoInflateBuffer-1); a != 1 {
+		t.Errorf("alpha(Q4, low buffer) = %v, want 1", a)
+	}
+	// Without P2 alpha is always 1.
+	p1 := Variant("p1")(v).(*CAVA)
+	if p1.alpha(q4, 60) != 1 || p1.alpha(simple, 60) != 1 {
+		t.Error("p1 applies differential alpha")
+	}
+}
+
+func TestEtaRules(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	cats := c.Categories()
+	if c.eta(0) != 0 {
+		t.Error("eta(0) must be 0 (no previous chunk)")
+	}
+	for i := 1; i < v.NumChunks(); i++ {
+		boundary := scene.IsComplex(cats[i]) != scene.IsComplex(cats[i-1])
+		e := c.eta(i)
+		if boundary && e != 0 {
+			t.Fatalf("eta at category boundary %d = %v, want 0", i, e)
+		}
+		if !boundary && e != c.p.EtaWeight {
+			t.Fatalf("eta inside category run %d = %v, want %v", i, e, c.p.EtaWeight)
+		}
+	}
+	p1 := Variant("p1")(v).(*CAVA)
+	if p1.eta(5) != p1.p.EtaWeight {
+		t.Error("p1 should always penalize switches")
+	}
+}
+
+func TestSelectNoEstimate(t *testing.T) {
+	v := testVideo()
+	if got := New(v).Select(abr.State{ChunkIndex: 0}); got != 0 {
+		t.Errorf("selection without estimate = %d, want 0", got)
+	}
+}
+
+func TestSelectValidAndMonotoneInBandwidth(t *testing.T) {
+	v := testVideo()
+	prev := -1
+	for est := 2e5; est < 1e8; est *= 2 {
+		c := New(v)
+		l := c.Select(abr.State{ChunkIndex: 10, Now: 50, Buffer: 60, Est: est, PrevLevel: 2})
+		if l < 0 || l >= v.NumTracks() {
+			t.Fatalf("invalid level %d", l)
+		}
+		if l < prev {
+			t.Fatalf("level decreased as bandwidth grew")
+		}
+		prev = l
+	}
+}
+
+func TestNoDeflateHeuristic(t *testing.T) {
+	v := testVideo()
+	cats := scene.ClassifyDefault(v)
+	simple := -1
+	for i, cat := range cats {
+		if cat == scene.Q1 {
+			simple = i
+			break
+		}
+	}
+	// Pick a bandwidth so low that deflated selection lands at a very low
+	// level; with a comfortable buffer the heuristic must re-run with
+	// alpha=1 and produce a level >= the deflated choice.
+	p := DefaultParams()
+	deflOff := NewWith(v, p, Principles{NonMyopic: true}, "x")
+	st := abr.State{ChunkIndex: simple, Now: 100, Buffer: 40, Est: 4e5, PrevLevel: 1}
+	withHeuristic := New(v).Select(st)
+	plain := deflOff.Select(st)
+	if withHeuristic < 0 || withHeuristic >= v.NumTracks() {
+		t.Fatalf("invalid level")
+	}
+	// The heuristic guards against unnecessarily low picks: CAVA must not
+	// sit below the undeflated choice by more than the differential design
+	// intends when the buffer is comfortable.
+	if withHeuristic < plain-1 {
+		t.Errorf("deflation drove simple chunk to %d vs undeflated %d despite rich buffer", withHeuristic, plain)
+	}
+}
+
+func TestCategoriesExposed(t *testing.T) {
+	v := testVideo()
+	c := New(v)
+	want := scene.ClassifyDefault(v)
+	got := c.Categories()
+	if len(got) != len(want) {
+		t.Fatal("category length mismatch")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("category %d differs", i)
+		}
+	}
+}
+
+func TestDeterministicDecisions(t *testing.T) {
+	v := testVideo()
+	a, b := New(v), New(v)
+	for i := 0; i < 50; i++ {
+		st := abr.State{ChunkIndex: i, Now: float64(i) * 5, Buffer: 30 + float64(i%40), Est: 2e6, PrevLevel: i % 6}
+		if a.Select(st) != b.Select(st) {
+			t.Fatalf("decision %d not deterministic", i)
+		}
+	}
+}
+
+func TestRefLevelOverride(t *testing.T) {
+	v := testVideo()
+	p := DefaultParams()
+	p.RefLevel = 1
+	c := NewWith(v, p, AllPrinciples, "CAVA")
+	if c.ref != 1 {
+		t.Errorf("ref = %d, want 1", c.ref)
+	}
+	p.RefLevel = 99
+	c = NewWith(v, p, AllPrinciples, "CAVA")
+	if c.ref != scene.DefaultReferenceTrack(v.NumTracks()) {
+		t.Errorf("out-of-range ref not coerced to middle track")
+	}
+}

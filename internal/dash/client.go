@@ -1,0 +1,261 @@
+package dash
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cava/internal/abr"
+	"cava/internal/bandwidth"
+	"cava/internal/player"
+)
+
+// ClientConfig configures a streaming client session.
+type ClientConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient performs the requests; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+	// NewAlgorithm builds the adaptation logic from the client-side video
+	// view reconstructed from the manifest.
+	NewAlgorithm abr.Factory
+	// TimeScale must match the link shaper's scale so buffer dynamics run
+	// in the same virtual time as the network (1 for real time).
+	TimeScale float64
+	// StartupSec and MaxBufferSec mirror the simulator configuration
+	// (virtual seconds; defaults 10 and 100).
+	StartupSec   float64
+	MaxBufferSec float64
+	// Predictor estimates bandwidth; nil uses the harmonic mean of the
+	// past 5 segments.
+	Predictor bandwidth.Predictor
+	// MaxChunks truncates the session after this many segments (0 = all),
+	// keeping integration tests fast.
+	MaxChunks int
+}
+
+// Client streams a video over HTTP under an ABR algorithm, reporting the
+// same Result structure as the simulator so the metrics pipeline applies
+// unchanged.
+type Client struct {
+	cfg ClientConfig
+}
+
+// NewClient validates the config and returns a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("dash: client needs a BaseURL")
+	}
+	if cfg.NewAlgorithm == nil {
+		return nil, fmt.Errorf("dash: client needs an algorithm factory")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.StartupSec <= 0 {
+		cfg.StartupSec = 10
+	}
+	if cfg.MaxBufferSec <= 0 {
+		cfg.MaxBufferSec = 100
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.Predictor == nil {
+		cfg.Predictor = bandwidth.NewHarmonicMean(bandwidth.DefaultWindow)
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// FetchManifest retrieves and validates the manifest: the native JSON
+// format first, falling back to a DASH MPD (so the client can stream from
+// any server that publishes /manifest.mpd with the segment-size
+// descriptor).
+func (c *Client) FetchManifest(ctx context.Context) (*Manifest, error) {
+	m, jsonErr := c.fetchManifestAs(ctx, "/manifest.json", DecodeManifest)
+	if jsonErr == nil {
+		return m, nil
+	}
+	m, mpdErr := c.fetchManifestAs(ctx, "/manifest.mpd", ReadMPD)
+	if mpdErr == nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("dash: fetching manifest: %v (MPD fallback: %v)", jsonErr, mpdErr)
+}
+
+// fetchManifestAs retrieves one manifest representation.
+func (c *Client) fetchManifestAs(ctx context.Context, path string,
+	decode func(io.Reader) (*Manifest, error)) (*Manifest, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	return decode(resp.Body)
+}
+
+// Run streams the video and returns the session result in virtual time.
+func (c *Client) Run(ctx context.Context) (*player.Result, error) {
+	m, err := c.FetchManifest(ctx)
+	if err != nil {
+		return nil, err
+	}
+	view := m.ToVideo()
+	algo := c.cfg.NewAlgorithm(view)
+	delayer, canDelay := algo.(abr.Delayer)
+	pred := c.cfg.Predictor
+	pred.Reset()
+
+	n := m.NumSegments()
+	if c.cfg.MaxChunks > 0 && c.cfg.MaxChunks < n {
+		n = c.cfg.MaxChunks
+	}
+
+	res := &player.Result{VideoID: m.VideoID, TraceID: "live", Scheme: algo.Name()}
+	scale := c.cfg.TimeScale
+	start := time.Now()
+	vnow := func() float64 { return time.Since(start).Seconds() * scale }
+
+	buffer := 0.0
+	lastV := 0.0
+	playing := false
+	prevLevel := -1
+	lastThroughput := 0.0
+
+	// advance moves the virtual clock to v, draining the buffer while
+	// playing and returning stall seconds.
+	advance := func(v float64) float64 {
+		dt := v - lastV
+		lastV = v
+		if dt <= 0 || !playing {
+			return 0
+		}
+		if buffer >= dt {
+			buffer -= dt
+			return 0
+		}
+		stall := dt - buffer
+		buffer = 0
+		return stall
+	}
+	// sleepVirtual idles for d virtual seconds.
+	sleepVirtual := func(d float64) error {
+		if d <= 0 {
+			return nil
+		}
+		t := time.NewTimer(time.Duration(d / scale * float64(time.Second)))
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec := player.ChunkRecord{Index: i, BufferBefore: buffer}
+		st := abr.State{
+			ChunkIndex:     i,
+			Now:            vnow(),
+			Buffer:         buffer,
+			Playing:        playing,
+			PrevLevel:      prevLevel,
+			Est:            pred.Predict(vnow()),
+			LastThroughput: lastThroughput,
+		}
+		if canDelay {
+			if d := delayer.Delay(st); d > 0 {
+				rec.WaitSec += d
+				if err := sleepVirtual(d); err != nil {
+					return nil, err
+				}
+				stall := advance(vnow())
+				res.TotalRebufferSec += stall
+				rec.RebufferSec += stall
+			}
+		}
+		if playing && buffer+m.ChunkDur > c.cfg.MaxBufferSec {
+			wait := buffer + m.ChunkDur - c.cfg.MaxBufferSec
+			rec.WaitSec += wait
+			if err := sleepVirtual(wait); err != nil {
+				return nil, err
+			}
+			advance(vnow())
+		}
+
+		st.Now, st.Buffer, st.Est = vnow(), buffer, pred.Predict(vnow())
+		level := algo.Select(st)
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(m.Tracks) {
+			level = len(m.Tracks) - 1
+		}
+
+		v0 := vnow()
+		bytes, err := c.fetchSegment(ctx, level, i)
+		if err != nil {
+			return nil, err
+		}
+		v1 := vnow()
+		vdur := v1 - v0
+		bits := float64(bytes) * 8
+
+		rec.Level = level
+		rec.SizeBits = bits
+		rec.StartTime = v0
+		rec.DownloadSec = vdur
+		if vdur > 0 {
+			rec.Throughput = bits / vdur
+		}
+		stall := advance(v1)
+		res.TotalRebufferSec += stall
+		rec.RebufferSec += stall
+		buffer += m.ChunkDur
+		rec.BufferAfter = buffer
+
+		pred.ObserveDownload(bits, vdur)
+		lastThroughput = rec.Throughput
+		prevLevel = level
+		res.Chunks = append(res.Chunks, rec)
+		res.TotalBits += bits
+
+		if !playing && (buffer >= c.cfg.StartupSec || i == n-1) {
+			playing = true
+			res.StartupDelay = vnow()
+			lastV = res.StartupDelay
+		}
+	}
+	res.SessionSec = vnow()
+	return res, nil
+}
+
+// fetchSegment downloads one segment fully, returning its byte count.
+func (c *Client) fetchSegment(ctx context.Context, track, index int) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+SegmentURL(track, index), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("dash: fetching segment %d/%d: %w", track, index, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("dash: segment %d/%d status %s", track, index, resp.Status)
+	}
+	return io.Copy(io.Discard, resp.Body)
+}

@@ -1,0 +1,161 @@
+package dash
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cava/internal/core"
+	"cava/internal/trace"
+)
+
+// Failure-injection tests: the client must fail loudly and promptly, never
+// hang or return a half-session as success.
+
+func TestClientManifestServerDown(t *testing.T) {
+	// Reserve a port, then close it so nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c, err := NewClient(ClientConfig{BaseURL: "http://" + addr, NewAlgorithm: core.Factory()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Run(ctx); err == nil {
+		t.Fatal("Run succeeded against a dead server")
+	}
+}
+
+func TestClientBadManifest(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"video_id":"x","chunk_dur":0,"tracks":[]}`))
+	}))
+	defer srv.Close()
+	c, _ := NewClient(ClientConfig{BaseURL: srv.URL, NewAlgorithm: core.Factory()})
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Fatal("Run accepted an invalid manifest")
+	}
+}
+
+func TestClientManifestHTTPError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	c, _ := NewClient(ClientConfig{BaseURL: srv.URL, NewAlgorithm: core.Factory()})
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Fatal("Run accepted a 500 manifest response")
+	}
+}
+
+func TestClientSegment404(t *testing.T) {
+	v := testVideo()
+	m := BuildManifest(v)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/manifest.json" {
+			m.EncodeTo(w)
+			return
+		}
+		http.NotFound(w, r) // every segment missing
+	}))
+	defer srv.Close()
+	c, _ := NewClient(ClientConfig{BaseURL: srv.URL, NewAlgorithm: core.Factory(), MaxChunks: 3})
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Fatal("Run survived missing segments")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	v := testVideo()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A glacial link so the session cannot finish quickly.
+	shaped := NewShapedListener(ln, NewShaper(trace.Constant("slow", 5e4, 1200, 1), 1))
+	srv := &http.Server{Handler: NewServer(v).Handler()}
+	go srv.Serve(shaped)
+	defer srv.Close()
+
+	c, _ := NewClient(ClientConfig{
+		BaseURL:      "http://" + ln.Addr().String(),
+		NewAlgorithm: core.Factory(),
+		TimeScale:    1,
+		MaxChunks:    5,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Run(ctx)
+	if err == nil {
+		t.Fatal("Run completed over a 50 kbps unscaled link in 300ms")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("cancellation took %v; client not honoring context", time.Since(start))
+	}
+}
+
+func TestShaperZeroScaleCoerced(t *testing.T) {
+	s := NewShaper(trace.Constant("c", 1e6, 10, 1), 0)
+	if s.TimeScale() != 1 {
+		t.Errorf("scale = %v, want coerced 1", s.TimeScale())
+	}
+}
+
+func TestVirtualNowAdvances(t *testing.T) {
+	s := NewShaper(trace.Constant("c", 80e6, 10, 1), 50)
+	if s.VirtualNow() != 0 {
+		t.Error("virtual clock should be 0 before first Wait")
+	}
+	s.Wait(1000)
+	time.Sleep(20 * time.Millisecond)
+	if v := s.VirtualNow(); v <= 0 {
+		t.Errorf("virtual clock did not advance: %v", v)
+	}
+}
+
+func TestClientMPDFallback(t *testing.T) {
+	v := testVideo()
+	m := BuildManifest(v)
+	full := NewServer(v)
+	// A server that only speaks MPD (and segments): the JSON endpoint 404s.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/manifest.mpd":
+			WriteMPD(w, m)
+		case r.URL.Path == "/manifest.json":
+			http.NotFound(w, r)
+		default:
+			full.Handler().ServeHTTP(w, r)
+		}
+	}))
+	defer srv.Close()
+	c, _ := NewClient(ClientConfig{BaseURL: srv.URL, NewAlgorithm: core.Factory(), MaxChunks: 3})
+	got, err := c.FetchManifest(context.Background())
+	if err != nil {
+		t.Fatalf("MPD fallback failed: %v", err)
+	}
+	if got.NumSegments() != v.NumChunks() {
+		t.Error("fallback manifest lost segments")
+	}
+	// And a short session must stream through it.
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 3 {
+		t.Errorf("streamed %d chunks via MPD manifest", len(res.Chunks))
+	}
+}

@@ -1,0 +1,152 @@
+// Package dash implements a DASH-like streaming testbed over a real HTTP
+// stack: a JSON manifest (an MPD analogue carrying per-segment sizes, the
+// information §3.2 notes DASH exposes to clients), a segment server, a
+// trace-driven token-bucket link shaper (the `tc` analogue of §6.8), and a
+// streaming client player that runs any abr.Algorithm against live HTTP
+// downloads.
+//
+// The testbed reproduces the paper's dash.js experiment (§6.8): real
+// manifest fetch, real segment GETs over a shaped TCP connection, and
+// application-level throughput estimation — the same code path a browser
+// player exercises — while remaining fast enough for CI via virtual-time
+// scaling.
+package dash
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"cava/internal/video"
+)
+
+// Manifest is the client-visible description of a video, mirroring what a
+// DASH MPD (plus segment index) provides: the track ladder with declared
+// bitrates and every segment's exact size.
+type Manifest struct {
+	// VideoID identifies the content.
+	VideoID string `json:"video_id"`
+	// ChunkDur is the segment playback duration in seconds.
+	ChunkDur float64 `json:"chunk_dur"`
+	// FPS is the content frame rate.
+	FPS float64 `json:"fps"`
+	// Tracks lists renditions in ascending bitrate order.
+	Tracks []ManifestTrack `json:"tracks"`
+}
+
+// ManifestTrack is one rendition in the manifest.
+type ManifestTrack struct {
+	// ID is the 0-based track index.
+	ID int `json:"id"`
+	// Resolution is the display name (e.g. "480p").
+	Resolution string `json:"resolution"`
+	// Width and Height are the coded dimensions.
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// DeclaredBitrate is the manifest-declared average bitrate (bits/s).
+	DeclaredBitrate float64 `json:"declared_bitrate"`
+	// PeakBitrate is the highest per-segment bitrate (bits/s).
+	PeakBitrate float64 `json:"peak_bitrate"`
+	// SegmentBits holds each segment's exact size in bits.
+	SegmentBits []float64 `json:"segment_bits"`
+}
+
+// BuildManifest derives the manifest of a video.
+func BuildManifest(v *video.Video) *Manifest {
+	m := &Manifest{VideoID: v.ID(), ChunkDur: v.ChunkDur, FPS: v.FPS}
+	for _, t := range v.Tracks {
+		m.Tracks = append(m.Tracks, ManifestTrack{
+			ID:              t.ID,
+			Resolution:      t.Res.Name,
+			Width:           t.Res.Width,
+			Height:          t.Res.Height,
+			DeclaredBitrate: t.DeclaredBitrate,
+			PeakBitrate:     t.PeakBitrate,
+			SegmentBits:     append([]float64(nil), t.ChunkSizes...),
+		})
+	}
+	return m
+}
+
+// NumSegments returns the per-track segment count (0 for an empty manifest).
+func (m *Manifest) NumSegments() int {
+	if len(m.Tracks) == 0 {
+		return 0
+	}
+	return len(m.Tracks[0].SegmentBits)
+}
+
+// Validate checks structural sanity of a received manifest.
+func (m *Manifest) Validate() error {
+	if m.ChunkDur <= 0 {
+		return fmt.Errorf("dash: manifest %q has non-positive chunk duration", m.VideoID)
+	}
+	if len(m.Tracks) == 0 {
+		return fmt.Errorf("dash: manifest %q has no tracks", m.VideoID)
+	}
+	n := len(m.Tracks[0].SegmentBits)
+	if n == 0 {
+		return fmt.Errorf("dash: manifest %q has no segments", m.VideoID)
+	}
+	for _, t := range m.Tracks {
+		if len(t.SegmentBits) != n {
+			return fmt.Errorf("dash: manifest %q track %d segment count mismatch", m.VideoID, t.ID)
+		}
+		for i, s := range t.SegmentBits {
+			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return fmt.Errorf("dash: manifest %q track %d segment %d bad size", m.VideoID, t.ID, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ToVideo reconstructs the client-side view of the video from the manifest.
+// The latent complexity is unknown at the client (as in real DASH), so it
+// is zero-filled; adaptation logic must rely on segment sizes only, which
+// is precisely the constraint CAVA is designed for. The returned video is
+// suitable for constructing algorithms, not for quality evaluation.
+func (m *Manifest) ToVideo() *video.Video {
+	v := &video.Video{
+		Name:       m.VideoID,
+		ChunkDur:   m.ChunkDur,
+		FPS:        m.FPS,
+		Complexity: make([]float64, m.NumSegments()),
+	}
+	for _, t := range m.Tracks {
+		sizes := append([]float64(nil), t.SegmentBits...)
+		avg := 0.0
+		for _, s := range sizes {
+			avg += s
+		}
+		avg /= float64(len(sizes)) * m.ChunkDur
+		v.Tracks = append(v.Tracks, video.Track{
+			ID:              t.ID,
+			Res:             video.Resolution{Name: t.Resolution, Width: t.Width, Height: t.Height},
+			AvgBitrate:      avg,
+			PeakBitrate:     t.PeakBitrate,
+			DeclaredBitrate: t.DeclaredBitrate,
+			ChunkSizes:      sizes,
+		})
+	}
+	return v
+}
+
+// EncodeTo writes the manifest as JSON.
+func (m *Manifest) EncodeTo(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(m)
+}
+
+// DecodeManifest parses a JSON manifest and validates it.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("dash: decoding manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,257 @@
+package dash
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// DASH MPD interop: the JSON Manifest is this repository's native format,
+// but real deployments speak MPEG-DASH Media Presentation Descriptions.
+// WriteMPD/ReadMPD convert a Manifest to and from a static on-demand MPD
+// with one video AdaptationSet and SegmentTemplate addressing that matches
+// this package's segment URLs.
+//
+// Standard MPDs do not carry exact per-segment sizes (players learn them
+// from segment indexes); since per-chunk sizes are exactly the information
+// VBR-aware adaptation needs (§3.2), the writer embeds them in a
+// SupplementalProperty descriptor (scheme "urn:cava:segment-sizes:2018",
+// value = comma-separated sizes in bits), mirroring how HLS added
+// EXT-X-BITRATE. Readers that do not know the scheme ignore it, as the
+// DASH spec requires.
+
+const segmentSizesScheme = "urn:cava:segment-sizes:2018"
+
+// mpdXML mirrors the subset of the MPD schema we emit.
+type mpdXML struct {
+	XMLName                   xml.Name `xml:"MPD"`
+	Xmlns                     string   `xml:"xmlns,attr"`
+	Type                      string   `xml:"type,attr"`
+	Profiles                  string   `xml:"profiles,attr"`
+	MediaPresentationDuration string   `xml:"mediaPresentationDuration,attr"`
+	MinBufferTime             string   `xml:"minBufferTime,attr"`
+	ProgramInformation        *struct {
+		Title string `xml:"Title"`
+	} `xml:"ProgramInformation,omitempty"`
+	Period periodXML `xml:"Period"`
+}
+
+type periodXML struct {
+	ID             string          `xml:"id,attr"`
+	Duration       string          `xml:"duration,attr"`
+	AdaptationSets []adaptationXML `xml:"AdaptationSet"`
+}
+
+type adaptationXML struct {
+	ContentType      string              `xml:"contentType,attr"`
+	SegmentAlignment bool                `xml:"segmentAlignment,attr"`
+	FrameRate        string              `xml:"frameRate,attr,omitempty"`
+	Representations  []representationXML `xml:"Representation"`
+}
+
+type representationXML struct {
+	ID              string            `xml:"id,attr"`
+	Width           int               `xml:"width,attr"`
+	Height          int               `xml:"height,attr"`
+	Bandwidth       int64             `xml:"bandwidth,attr"`
+	Codecs          string            `xml:"codecs,attr,omitempty"`
+	SegmentTemplate segmentTplXML     `xml:"SegmentTemplate"`
+	Supplemental    []supplementalXML `xml:"SupplementalProperty"`
+}
+
+type segmentTplXML struct {
+	Media       string `xml:"media,attr"`
+	Timescale   int    `xml:"timescale,attr"`
+	Duration    int    `xml:"duration,attr"`
+	StartNumber int    `xml:"startNumber,attr"`
+}
+
+type supplementalXML struct {
+	SchemeIDURI string `xml:"schemeIdUri,attr"`
+	Value       string `xml:"value,attr"`
+}
+
+// isoDuration renders seconds as an ISO-8601 duration (PTxxS form).
+func isoDuration(sec float64) string {
+	return fmt.Sprintf("PT%gS", sec)
+}
+
+// parseISODuration accepts the PT…S / PT…M…S / PT…H…M…S forms.
+func parseISODuration(s string) (float64, error) {
+	orig := s
+	if !strings.HasPrefix(s, "PT") {
+		return 0, fmt.Errorf("dash: bad ISO duration %q", orig)
+	}
+	s = s[2:]
+	total := 0.0
+	for _, unit := range []struct {
+		suffix string
+		mult   float64
+	}{{"H", 3600}, {"M", 60}, {"S", 1}} {
+		if i := strings.Index(s, unit.suffix); i >= 0 {
+			v, err := strconv.ParseFloat(s[:i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("dash: bad ISO duration %q", orig)
+			}
+			total += v * unit.mult
+			s = s[i+1:]
+		}
+	}
+	if s != "" {
+		return 0, fmt.Errorf("dash: bad ISO duration %q", orig)
+	}
+	return total, nil
+}
+
+// WriteMPD renders the manifest as a static on-demand DASH MPD.
+func WriteMPD(w io.Writer, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	duration := float64(m.NumSegments()) * m.ChunkDur
+	doc := mpdXML{
+		Xmlns:                     "urn:mpeg:dash:schema:mpd:2011",
+		Type:                      "static",
+		Profiles:                  "urn:mpeg:dash:profile:isoff-on-demand:2011",
+		MediaPresentationDuration: isoDuration(duration),
+		MinBufferTime:             isoDuration(m.ChunkDur * 2),
+		Period: periodXML{
+			ID:       "0",
+			Duration: isoDuration(duration),
+		},
+	}
+	doc.ProgramInformation = &struct {
+		Title string `xml:"Title"`
+	}{Title: m.VideoID}
+
+	aset := adaptationXML{
+		ContentType:      "video",
+		SegmentAlignment: true,
+		FrameRate:        strconv.Itoa(int(math.Round(m.FPS))),
+	}
+	for _, t := range m.Tracks {
+		sizes := make([]string, len(t.SegmentBits))
+		for i, s := range t.SegmentBits {
+			sizes[i] = strconv.FormatInt(int64(math.Round(s)), 10)
+		}
+		aset.Representations = append(aset.Representations, representationXML{
+			ID:        strconv.Itoa(t.ID),
+			Width:     t.Width,
+			Height:    t.Height,
+			Bandwidth: int64(math.Round(t.DeclaredBitrate)),
+			Codecs:    "avc1.640028",
+			SegmentTemplate: segmentTplXML{
+				Media:       "seg/$RepresentationID$/$Number$",
+				Timescale:   1,
+				Duration:    int(math.Round(m.ChunkDur)),
+				StartNumber: 0,
+			},
+			Supplemental: []supplementalXML{
+				{SchemeIDURI: segmentSizesScheme, Value: strings.Join(sizes, ",")},
+				{SchemeIDURI: "urn:cava:peak-bitrate:2018",
+					Value: strconv.FormatInt(int64(math.Round(t.PeakBitrate)), 10)},
+			},
+		})
+	}
+	doc.Period.AdaptationSets = []adaptationXML{aset}
+
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("dash: encoding MPD: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadMPD parses an MPD written by WriteMPD (or any single-period,
+// single-video-AdaptationSet MPD carrying the segment-sizes descriptor)
+// back into a Manifest.
+func ReadMPD(r io.Reader) (*Manifest, error) {
+	var doc mpdXML
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dash: parsing MPD: %w", err)
+	}
+	if len(doc.Period.AdaptationSets) == 0 {
+		return nil, fmt.Errorf("dash: MPD has no AdaptationSet")
+	}
+	var aset *adaptationXML
+	for i := range doc.Period.AdaptationSets {
+		a := &doc.Period.AdaptationSets[i]
+		if a.ContentType == "video" || a.ContentType == "" {
+			aset = a
+			break
+		}
+	}
+	if aset == nil {
+		return nil, fmt.Errorf("dash: MPD has no video AdaptationSet")
+	}
+
+	m := &Manifest{VideoID: "mpd"}
+	if doc.ProgramInformation != nil && doc.ProgramInformation.Title != "" {
+		m.VideoID = doc.ProgramInformation.Title
+	}
+	if fr, err := strconv.ParseFloat(aset.FrameRate, 64); err == nil {
+		m.FPS = fr
+	}
+	for _, rep := range aset.Representations {
+		if m.ChunkDur == 0 && rep.SegmentTemplate.Duration > 0 {
+			ts := rep.SegmentTemplate.Timescale
+			if ts <= 0 {
+				ts = 1
+			}
+			m.ChunkDur = float64(rep.SegmentTemplate.Duration) / float64(ts)
+		}
+		id, err := strconv.Atoi(rep.ID)
+		if err != nil {
+			return nil, fmt.Errorf("dash: bad representation id %q", rep.ID)
+		}
+		mt := ManifestTrack{
+			ID:              id,
+			Resolution:      fmt.Sprintf("%dp", rep.Height),
+			Width:           rep.Width,
+			Height:          rep.Height,
+			DeclaredBitrate: float64(rep.Bandwidth),
+		}
+		for _, sp := range rep.Supplemental {
+			switch sp.SchemeIDURI {
+			case segmentSizesScheme:
+				for _, f := range strings.Split(sp.Value, ",") {
+					v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+					if err != nil {
+						return nil, fmt.Errorf("dash: bad segment size %q", f)
+					}
+					mt.SegmentBits = append(mt.SegmentBits, v)
+				}
+			case "urn:cava:peak-bitrate:2018":
+				if v, err := strconv.ParseFloat(sp.Value, 64); err == nil {
+					mt.PeakBitrate = v
+				}
+			}
+		}
+		if mt.PeakBitrate == 0 {
+			mt.PeakBitrate = mt.DeclaredBitrate
+		}
+		m.Tracks = append(m.Tracks, mt)
+	}
+	// Verify the declared presentation duration is consistent when present.
+	if doc.MediaPresentationDuration != "" && m.ChunkDur > 0 {
+		if d, err := parseISODuration(doc.MediaPresentationDuration); err == nil {
+			want := float64(m.NumSegments()) * m.ChunkDur
+			if math.Abs(d-want) > m.ChunkDur {
+				return nil, fmt.Errorf("dash: MPD duration %gs inconsistent with %d segments of %gs",
+					d, m.NumSegments(), m.ChunkDur)
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,231 @@
+package dash
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMPDRoundTrip(t *testing.T) {
+	v := testVideo()
+	m := BuildManifest(v)
+	var buf bytes.Buffer
+	if err := WriteMPD(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "urn:mpeg:dash:schema:mpd:2011") {
+		t.Error("MPD missing schema namespace")
+	}
+	got, err := ReadMPD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VideoID != m.VideoID {
+		t.Errorf("VideoID = %q, want %q", got.VideoID, m.VideoID)
+	}
+	if got.ChunkDur != m.ChunkDur || len(got.Tracks) != len(m.Tracks) {
+		t.Fatalf("structure lost: dur=%v tracks=%d", got.ChunkDur, len(got.Tracks))
+	}
+	for li := range got.Tracks {
+		if got.Tracks[li].Height != m.Tracks[li].Height {
+			t.Errorf("track %d height mismatch", li)
+		}
+		if len(got.Tracks[li].SegmentBits) != len(m.Tracks[li].SegmentBits) {
+			t.Fatalf("track %d segment count mismatch", li)
+		}
+		for ci := range got.Tracks[li].SegmentBits {
+			// Sizes are rounded to whole bits in the descriptor.
+			if math.Abs(got.Tracks[li].SegmentBits[ci]-m.Tracks[li].SegmentBits[ci]) > 0.5 {
+				t.Fatalf("track %d segment %d size drifted", li, ci)
+			}
+		}
+	}
+	// The reconstructed manifest must still drive a client view.
+	if err := got.ToVideo().Validate(); err != nil {
+		t.Errorf("client view from MPD invalid: %v", err)
+	}
+}
+
+func TestMPDErrors(t *testing.T) {
+	if _, err := ReadMPD(strings.NewReader("not xml")); err == nil {
+		t.Error("garbage accepted as MPD")
+	}
+	if _, err := ReadMPD(strings.NewReader(`<?xml version="1.0"?><MPD><Period id="0" duration="PT1S"></Period></MPD>`)); err == nil {
+		t.Error("MPD without adaptation sets accepted")
+	}
+	// Inconsistent declared duration.
+	v := testVideo()
+	var buf bytes.Buffer
+	if err := WriteMPD(&buf, BuildManifest(v)); err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(buf.String(), `mediaPresentationDuration="PT600S"`,
+		`mediaPresentationDuration="PT9S"`, 1)
+	if !strings.Contains(buf.String(), `PT600S`) {
+		t.Skip("duration attribute format changed")
+	}
+	if _, err := ReadMPD(strings.NewReader(bad)); err == nil {
+		t.Error("inconsistent MPD duration accepted")
+	}
+}
+
+func TestISODuration(t *testing.T) {
+	cases := map[string]float64{
+		"PT600S":    600,
+		"PT10M":     600,
+		"PT1H10M5S": 4205,
+		"PT2.5S":    2.5,
+		"PT1H":      3600,
+	}
+	for in, want := range cases {
+		got, err := parseISODuration(in)
+		if err != nil || got != want {
+			t.Errorf("parseISODuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "600", "PTXS", "PT5X"} {
+		if _, err := parseISODuration(bad); err == nil {
+			t.Errorf("parseISODuration(%q) accepted", bad)
+		}
+	}
+	if isoDuration(600) != "PT600S" {
+		t.Errorf("isoDuration(600) = %s", isoDuration(600))
+	}
+}
+
+func TestHLSMasterRoundTrip(t *testing.T) {
+	v := testVideo()
+	m := BuildManifest(v)
+	var buf bytes.Buffer
+	if err := WriteHLSMaster(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	variants, err := ReadHLSMaster(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != len(m.Tracks) {
+		t.Fatalf("%d variants, want %d", len(variants), len(m.Tracks))
+	}
+	for i, vt := range variants {
+		if vt.Height != m.Tracks[i].Height {
+			t.Errorf("variant %d height %d, want %d", i, vt.Height, m.Tracks[i].Height)
+		}
+		if math.Abs(vt.AverageBandwidth-m.Tracks[i].DeclaredBitrate) > 1 {
+			t.Errorf("variant %d average bandwidth drifted", i)
+		}
+		if vt.Bandwidth < vt.AverageBandwidth {
+			t.Errorf("variant %d peak below average", i)
+		}
+		if vt.URI == "" {
+			t.Errorf("variant %d missing URI", i)
+		}
+	}
+}
+
+func TestHLSMediaRoundTrip(t *testing.T) {
+	v := testVideo()
+	m := BuildManifest(v)
+	var buf bytes.Buffer
+	if err := WriteHLSMedia(&buf, m, 3); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadHLSMedia(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.SegmentBits) != v.NumChunks() {
+		t.Fatalf("%d segments, want %d", len(tr.SegmentBits), v.NumChunks())
+	}
+	if tr.TargetDuration < m.ChunkDur {
+		t.Errorf("target duration %v below chunk duration", tr.TargetDuration)
+	}
+	// EXT-X-BITRATE is kbps-rounded; sizes must agree within 0.1%.
+	for i := range tr.SegmentBits {
+		want := v.ChunkSize(3, i)
+		if rel := math.Abs(tr.SegmentBits[i]-want) / want; rel > 0.01 {
+			t.Fatalf("segment %d size off by %.2f%%", i, rel*100)
+		}
+	}
+	if tr.URIs[0] != "seg/3/0" {
+		t.Errorf("first URI = %q", tr.URIs[0])
+	}
+}
+
+func TestHLSMediaErrors(t *testing.T) {
+	if _, err := ReadHLSMedia(strings.NewReader("nope")); err == nil {
+		t.Error("non-playlist accepted")
+	}
+	if _, err := ReadHLSMedia(strings.NewReader("#EXTM3U\nseg/0/0\n")); err == nil {
+		t.Error("segment without EXTINF accepted")
+	}
+	if _, err := ReadHLSMedia(strings.NewReader("#EXTM3U\n#EXT-X-ENDLIST\n")); err == nil {
+		t.Error("empty playlist accepted")
+	}
+	if _, err := ReadHLSMaster(strings.NewReader("#EXTM3U\n")); err == nil {
+		t.Error("variant-less master accepted")
+	}
+}
+
+func TestWriteHLSMediaBadTrack(t *testing.T) {
+	m := BuildManifest(testVideo())
+	var buf bytes.Buffer
+	if err := WriteHLSMedia(&buf, m, 99); err == nil {
+		t.Error("out-of-range track accepted")
+	}
+}
+
+func TestSplitHLSAttrs(t *testing.T) {
+	got := splitHLSAttrs(`BANDWIDTH=1,CODECS="a,b",RESOLUTION=1x2`)
+	if len(got) != 3 || got[1] != `CODECS="a,b"` {
+		t.Errorf("splitHLSAttrs = %v", got)
+	}
+}
+
+func TestServerServesMPDAndHLS(t *testing.T) {
+	v := testVideo()
+	srv := httptest.NewServer(NewServer(v).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMPD(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("served MPD unreadable: %v", err)
+	}
+	if m.NumSegments() != v.NumChunks() {
+		t.Error("served MPD lost segments")
+	}
+
+	resp, err = http.Get(srv.URL + "/master.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants, err := ReadHLSMaster(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(variants) != v.NumTracks() {
+		t.Fatalf("served master playlist bad: %v (%d variants)", err, len(variants))
+	}
+
+	resp, err = http.Get(srv.URL + "/track_2.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadHLSMedia(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(tr.SegmentBits) != v.NumChunks() {
+		t.Fatalf("served media playlist bad: %v", err)
+	}
+
+	resp, _ = http.Get(srv.URL + "/track_99.m3u8")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bogus media playlist status %d", resp.StatusCode)
+	}
+}

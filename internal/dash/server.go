@@ -1,0 +1,158 @@
+package dash
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cava/internal/video"
+)
+
+// Server serves a video's manifest and segments over HTTP:
+//
+//	GET /manifest.json        -> JSON manifest (native format)
+//	GET /manifest.mpd         -> DASH MPD (XML)
+//	GET /master.m3u8          -> HLS master playlist
+//	GET /track_{id}.m3u8      -> HLS media playlist for one track
+//	GET /seg/{track}/{index}  -> segment payload (application/octet-stream)
+//
+// Segment payloads are synthetic bytes of exactly the encoded size (rounded
+// up to whole bytes); the client measures throughput from their transfer,
+// which is all ABR logic observes from real segments too.
+type Server struct {
+	v   *video.Video
+	m   *Manifest
+	pad []byte // shared payload source, served in slices
+}
+
+// NewServer builds a server for one video.
+func NewServer(v *video.Video) *Server {
+	// A modest shared buffer; segment writes loop over it. Non-zero
+	// content defeats any accidental compression in the path.
+	pad := make([]byte, 64<<10)
+	for i := range pad {
+		pad[i] = byte(i*131 + 17)
+	}
+	return &Server{v: v, m: BuildManifest(v), pad: pad}
+}
+
+// Manifest exposes the server's manifest (for tests and tools).
+func (s *Server) Manifest() *Manifest { return s.m }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest.json", s.handleManifest)
+	mux.HandleFunc("/manifest.mpd", s.handleMPD)
+	mux.HandleFunc("/master.m3u8", s.handleHLSMaster)
+	mux.HandleFunc("/seg/", s.handleSegment)
+	// Media playlists have per-track names (/track_<id>.m3u8), which a
+	// ServeMux exact pattern cannot express; route them from the root.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/track_") && strings.HasSuffix(r.URL.Path, ".m3u8") {
+			s.handleHLSMedia(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	return mux
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.m.EncodeTo(w); err != nil {
+		// Connection-level failure; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) handleMPD(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/dash+xml")
+	_ = WriteMPD(w, s.m)
+}
+
+func (s *Server) handleHLSMaster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+	_ = WriteHLSMaster(w, s.m)
+}
+
+func (s *Server) handleHLSMedia(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/track_")
+	name = strings.TrimSuffix(name, ".m3u8")
+	id, err := strconv.Atoi(name)
+	if err != nil || id < 0 || id >= len(s.m.Tracks) {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+	_ = WriteHLSMedia(w, s.m, id)
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	track, index, err := parseSegmentPath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if track < 0 || track >= s.v.NumTracks() || index < 0 || index >= s.v.NumChunks() {
+		http.NotFound(w, r)
+		return
+	}
+	bytes := int(s.v.ChunkSize(track, index)+7) / 8
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(bytes))
+	for bytes > 0 {
+		n := bytes
+		if n > len(s.pad) {
+			n = len(s.pad)
+		}
+		if _, err := w.Write(s.pad[:n]); err != nil {
+			return // client went away
+		}
+		bytes -= n
+	}
+}
+
+// parseSegmentPath extracts track and index from "/seg/{track}/{index}".
+func parseSegmentPath(path string) (track, index int, err error) {
+	rest := strings.TrimPrefix(path, "/seg/")
+	parts := strings.Split(rest, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("dash: bad segment path %q", path)
+	}
+	track, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("dash: bad track in %q", path)
+	}
+	index, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("dash: bad index in %q", path)
+	}
+	return track, index, nil
+}
+
+// SegmentURL renders the request path for a segment.
+func SegmentURL(track, index int) string {
+	return fmt.Sprintf("/seg/%d/%d", track, index)
+}

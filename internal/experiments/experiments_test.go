@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOpt keeps experiment tests fast while exercising the full pipeline.
+var tinyOpt = Options{Traces: 3}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{"alpha", "autotune", "baselines", "cap4x", "cbrvbr", "chunkdur", "codec", "fig1",
+		"fig10", "fig11", "fig2", "fig3", "fig4", "fig7", "fig7b", "fig8", "fig9",
+		"live", "liveext", "multiclient", "oracle", "prederr", "startup", "table1", "table2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, id := range got {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestUnknownID(t *testing.T) {
+	if _, err := Run("nope", tinyOpt); err == nil {
+		t.Error("unknown experiment id did not error")
+	}
+}
+
+func TestRunAllFastExperiments(t *testing.T) {
+	// "live" opens real sockets and sleeps in wall time; it has its own
+	// test below. Everything else must run at tiny scale.
+	for _, id := range IDs() {
+		if id == "live" {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id, tinyOpt)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if res.ID != id || res.Text == "" {
+				t.Fatalf("%s: empty result", id)
+			}
+		})
+	}
+}
+
+func TestFig1ContainsLadder(t *testing.T) {
+	res, err := Run("fig1", tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rung := range []string{"144p", "240p", "360p", "480p", "720p", "1080p"} {
+		if !strings.Contains(res.Text, rung) {
+			t.Errorf("fig1 output missing track %s", rung)
+		}
+	}
+}
+
+func TestFig8ComparesAllSchemes(t *testing.T) {
+	res, err := Run("fig8", tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"CAVA", "MPC", "RobustMPC", "PANDA/CQ max-sum", "PANDA/CQ max-min"} {
+		if !strings.Contains(res.Text, s) {
+			t.Errorf("fig8 output missing scheme %s", s)
+		}
+	}
+	if !strings.Contains(res.Text, "quality of Q4 chunks") ||
+		!strings.Contains(res.Text, "total rebuffering") ||
+		!strings.Contains(res.Text, "data usage") {
+		t.Error("fig8 output missing a metric section")
+	}
+}
+
+func TestTable1CoversBothSets(t *testing.T) {
+	res, err := Run("table1", tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "LTE") || !strings.Contains(res.Text, "FCC") {
+		t.Error("table1 missing a trace set")
+	}
+	for _, v := range []string{"ED", "BBB", "ToS", "Sintel", "Sports", "Animal", "Nature", "Action"} {
+		if !strings.Contains(res.Text, v) {
+			t.Errorf("table1 missing video %s", v)
+		}
+	}
+}
+
+func TestFig10HasAblationVariants(t *testing.T) {
+	res, err := Run("fig10", tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "CAVA-p12") || !strings.Contains(res.Text, "CAVA-p123") {
+		t.Error("fig10 missing ablation variants")
+	}
+}
+
+func TestLiveExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP experiment")
+	}
+	res, err := Run("live", Options{Traces: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "CAVA") || !strings.Contains(res.Text, "BOLA-E (seg)") {
+		t.Errorf("live output missing schemes:\n%s", res.Text)
+	}
+}
+
+func TestDeterministicOutputs(t *testing.T) {
+	a, err := Run("fig3", tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig3", tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Error("fig3 output not deterministic")
+	}
+}

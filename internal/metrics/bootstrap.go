@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Bootstrap confidence intervals for sweep aggregates. Experiment tables
+// report mean deltas across traces; the CI helpers quantify how stable
+// those deltas are without distributional assumptions, which matters when
+// comparing schemes at reduced trace counts.
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	// Point is the statistic on the full sample.
+	Point float64
+	// Lo and Hi bound the interval.
+	Lo, Hi float64
+	// Level is the nominal coverage (e.g. 0.95).
+	Level float64
+}
+
+// Contains reports whether x lies inside the interval.
+func (c CI) Contains(x float64) bool { return x >= c.Lo && x <= c.Hi }
+
+// BootstrapMeanCI estimates a percentile-bootstrap CI of the mean with the
+// given number of resamples (1000 when non-positive) and coverage level
+// (0.95 when out of range). The seed makes results reproducible.
+func BootstrapMeanCI(xs []float64, resamples int, level float64, seed int64) CI {
+	return bootstrapCI(xs, Mean, resamples, level, seed)
+}
+
+// BootstrapMedianCI is BootstrapMeanCI for the median.
+func BootstrapMedianCI(xs []float64, resamples int, level float64, seed int64) CI {
+	return bootstrapCI(xs, Median, resamples, level, seed)
+}
+
+func bootstrapCI(xs []float64, stat func([]float64) float64, resamples int, level float64, seed int64) CI {
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	point := stat(xs)
+	if len(xs) < 2 {
+		return CI{Point: point, Lo: point, Hi: point, Level: level}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stats := make([]float64, resamples)
+	sample := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range sample {
+			sample[i] = xs[rng.Intn(len(xs))]
+		}
+		stats[r] = stat(sample)
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	lo := stats[int(alpha*float64(resamples))]
+	hiIdx := int((1 - alpha) * float64(resamples))
+	if hiIdx >= resamples {
+		hiIdx = resamples - 1
+	}
+	return CI{Point: point, Lo: lo, Hi: stats[hiIdx], Level: level}
+}
+
+// BootstrapDeltaCI estimates a CI for the mean paired difference a−b
+// (sessions paired by trace). It panics if the samples differ in length.
+func BootstrapDeltaCI(a, b []float64, resamples int, level float64, seed int64) CI {
+	if len(a) != len(b) {
+		panic("metrics: BootstrapDeltaCI on unpaired samples")
+	}
+	d := make([]float64, len(a))
+	for i := range a {
+		d[i] = a[i] - b[i]
+	}
+	return BootstrapMeanCI(d, resamples, level, seed)
+}
+
+// SignificantlyDifferent reports whether the paired mean difference a−b
+// excludes zero at the given level.
+func SignificantlyDifferent(a, b []float64, level float64, seed int64) bool {
+	return !BootstrapDeltaCI(a, b, 0, level, seed).Contains(0)
+}

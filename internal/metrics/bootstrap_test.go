@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapMeanCIBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	ci := BootstrapMeanCI(xs, 500, 0.95, 7)
+	if !ci.Contains(ci.Point) {
+		t.Error("interval excludes its own point estimate")
+	}
+	if !ci.Contains(10) {
+		t.Errorf("CI [%.2f, %.2f] excludes the true mean 10", ci.Lo, ci.Hi)
+	}
+	if ci.Hi-ci.Lo > 1 {
+		t.Errorf("CI suspiciously wide for n=200: [%.2f, %.2f]", ci.Lo, ci.Hi)
+	}
+	if ci.Level != 0.95 {
+		t.Errorf("level = %v", ci.Level)
+	}
+}
+
+func TestBootstrapDefaultsAndDegenerate(t *testing.T) {
+	ci := BootstrapMeanCI([]float64{5}, 0, 0, 1)
+	if ci.Point != 5 || ci.Lo != 5 || ci.Hi != 5 {
+		t.Errorf("single-sample CI = %+v", ci)
+	}
+	if ci.Level != 0.95 {
+		t.Errorf("default level = %v", ci.Level)
+	}
+	ci = BootstrapMeanCI(nil, 10, 0.9, 1)
+	if ci.Point != 0 {
+		t.Errorf("empty-sample point = %v", ci.Point)
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	ci := BootstrapMedianCI(xs, 400, 0.95, 3)
+	if ci.Point != Median(xs) {
+		t.Error("median point estimate wrong")
+	}
+	// The outlier must not drag the median CI to 100.
+	if ci.Hi > 50 {
+		t.Errorf("median CI hi = %v", ci.Hi)
+	}
+}
+
+func TestBootstrapDeterministicPerSeed(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	a := BootstrapMeanCI(xs, 200, 0.95, 42)
+	b := BootstrapMeanCI(xs, 200, 0.95, 42)
+	if a != b {
+		t.Error("same-seed bootstrap differs")
+	}
+}
+
+func TestBootstrapDeltaCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float64, 150)
+	b := make([]float64, 150)
+	for i := range a {
+		base := rng.NormFloat64() * 5
+		a[i] = base + 2 + rng.NormFloat64()*0.5
+		b[i] = base + rng.NormFloat64()*0.5
+	}
+	ci := BootstrapDeltaCI(a, b, 500, 0.95, 9)
+	if !ci.Contains(2) {
+		t.Errorf("delta CI [%.2f, %.2f] excludes the true shift 2", ci.Lo, ci.Hi)
+	}
+	if ci.Contains(0) {
+		t.Error("clear 2-point shift not significant")
+	}
+	if !SignificantlyDifferent(a, b, 0.95, 9) {
+		t.Error("SignificantlyDifferent disagrees with the CI")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("unpaired samples did not panic")
+		}
+	}()
+	BootstrapDeltaCI(a, b[:10], 10, 0.95, 1)
+}
+
+func TestBootstrapNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := make([]float64, 120)
+	b := make([]float64, 120)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	if SignificantlyDifferent(a, b, 0.99, 5) {
+		t.Error("two identical distributions flagged significant at 99%")
+	}
+}

@@ -1,0 +1,231 @@
+// Package metrics computes the paper's five performance metrics (§6.1) from
+// simulated sessions, all with respect to the delivered video:
+//
+//  1. quality of Q4 chunks — perceptual quality of the most complex scenes
+//     (higher is better);
+//  2. low-quality chunk percentage — share of chunks below VMAF 40;
+//  3. rebuffering duration — total mid-playback stall time;
+//  4. average quality change per chunk — Σ|q_{i+1}−q_i|/n;
+//  5. data usage — total bytes downloaded.
+//
+// It also provides CDFs and scheme-vs-scheme delta helpers used by the
+// figure and table reproductions.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/scene"
+)
+
+// Summary is the per-session metric set.
+type Summary struct {
+	// Scheme, VideoID and TraceID identify the session.
+	Scheme, VideoID, TraceID string
+	// Q4Quality is the mean quality of delivered Q4 (complex) chunks.
+	Q4Quality float64
+	// Q4MedianQuality is the median quality of Q4 chunks.
+	Q4MedianQuality float64
+	// Q13Quality is the mean quality of Q1–Q3 chunks.
+	Q13Quality float64
+	// AvgQuality is the mean quality over all chunks.
+	AvgQuality float64
+	// LowQualityPct is the percentage of chunks below LowQualityVMAF.
+	LowQualityPct float64
+	// GoodQ4Pct is the percentage of Q4 chunks above GoodQualityVMAF.
+	GoodQ4Pct float64
+	// RebufferSec is the total stall time in seconds.
+	RebufferSec float64
+	// QualityChange is the average absolute quality difference between
+	// consecutive delivered chunks.
+	QualityChange float64
+	// DataMB is the total downloaded data in megabytes.
+	DataMB float64
+	// StartupDelay is the time to first frame in seconds.
+	StartupDelay float64
+	// ChunkQualities are the per-chunk delivered qualities, kept for CDF
+	// plots (Fig. 8–9); indexed by playback order.
+	ChunkQualities []float64
+	// Categories are the per-chunk complexity classes.
+	Categories []scene.Category
+}
+
+// Summarize computes the metric set of one session given the video's
+// quality table and chunk classification.
+func Summarize(res *player.Result, qt *quality.Table, cats []scene.Category) Summary {
+	s := Summary{Scheme: res.Scheme, VideoID: res.VideoID, TraceID: res.TraceID}
+	n := len(res.Chunks)
+	if n == 0 {
+		return s
+	}
+	qs := make([]float64, n)
+	var q4 []float64
+	var sumAll, sumQ4, sumQ13 float64
+	var nQ4, nQ13, nLow, nGoodQ4 int
+	for i, c := range res.Chunks {
+		q := qt.At(c.Level, c.Index)
+		qs[i] = q
+		sumAll += q
+		if q < quality.LowQualityVMAF {
+			nLow++
+		}
+		if scene.IsComplex(cats[c.Index]) {
+			q4 = append(q4, q)
+			sumQ4 += q
+			nQ4++
+			if q > quality.GoodQualityVMAF {
+				nGoodQ4++
+			}
+		} else {
+			sumQ13 += q
+			nQ13++
+		}
+	}
+	s.AvgQuality = sumAll / float64(n)
+	if nQ4 > 0 {
+		s.Q4Quality = sumQ4 / float64(nQ4)
+		s.Q4MedianQuality = median(q4)
+		s.GoodQ4Pct = 100 * float64(nGoodQ4) / float64(nQ4)
+	}
+	if nQ13 > 0 {
+		s.Q13Quality = sumQ13 / float64(nQ13)
+	}
+	s.LowQualityPct = 100 * float64(nLow) / float64(n)
+
+	change := 0.0
+	for i := 1; i < n; i++ {
+		change += math.Abs(qs[i] - qs[i-1])
+	}
+	s.QualityChange = change / float64(n)
+	s.RebufferSec = res.TotalRebufferSec
+	s.DataMB = res.TotalBits / 8 / 1e6
+	s.StartupDelay = res.StartupDelay
+	s.ChunkQualities = qs
+	s.Categories = cats
+	return s
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// Median exposes the median of a sample (used by experiments).
+func Median(xs []float64) float64 { return median(xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0–100) by nearest-rank on the
+// sorted sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// CDF returns the empirical CDF of a sample as sorted values and their
+// cumulative probabilities.
+type CDF struct {
+	X []float64
+	P []float64
+}
+
+// NewCDF builds the empirical CDF of xs.
+func NewCDF(xs []float64) CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	p := make([]float64, len(s))
+	for i := range s {
+		p[i] = float64(i+1) / float64(len(s))
+	}
+	return CDF{X: s, P: p}
+}
+
+// At returns the CDF value at x: P(X ≤ x).
+func (c CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.X, x)
+	// i counts values < x; include equal values.
+	for i < len(c.X) && c.X[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.X))
+}
+
+// Quantile returns the value below which fraction p of the sample lies.
+func (c CDF) Quantile(p float64) float64 {
+	if len(c.X) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(c.X)))
+	if i >= len(c.X) {
+		i = len(c.X) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return c.X[i]
+}
+
+// DeltaPct returns (a−b)/b as a percentage, or 0 when b is 0. It is the
+// table-1 convention: the change by CAVA relative to a baseline.
+func DeltaPct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+// Field selects one scalar metric from a Summary, for generic aggregation.
+type Field func(Summary) float64
+
+// Convenience field selectors.
+var (
+	FieldQ4Quality     Field = func(s Summary) float64 { return s.Q4Quality }
+	FieldLowQualityPct Field = func(s Summary) float64 { return s.LowQualityPct }
+	FieldRebuffer      Field = func(s Summary) float64 { return s.RebufferSec }
+	FieldQualityChange Field = func(s Summary) float64 { return s.QualityChange }
+	FieldDataMB        Field = func(s Summary) float64 { return s.DataMB }
+)
+
+// Collect maps a field over summaries.
+func Collect(ss []Summary, f Field) []float64 {
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		out[i] = f(s)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package player
+
+import (
+	"fmt"
+
+	"cava/internal/abr"
+	"cava/internal/bandwidth"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// Live streaming simulation (the paper's §8 future-work setting). In live
+// ABR the encoder produces chunks in real time: chunk i only becomes
+// available at its encode time, the client can never buffer past the live
+// edge, and every stall permanently increases the end-to-end latency. The
+// scheme sees chunk sizes only up to the live edge (pair with
+// core.Live(k) to bound the algorithm's lookahead accordingly).
+
+// LiveConfig extends Config with the live-edge parameters.
+type LiveConfig struct {
+	// EncoderDelaySec is the encode+packaging delay: chunk i becomes
+	// downloadable at i·Δ + EncoderDelaySec (one chunk duration when
+	// negative; 0 means the chunk is ready the instant its content ends).
+	EncoderDelaySec float64
+}
+
+// LiveResult augments Result with latency accounting.
+type LiveResult struct {
+	Result
+	// AvgLatencySec and MaxLatencySec track the playhead's lag behind the
+	// live edge while playing (startup excluded).
+	AvgLatencySec, MaxLatencySec float64
+	// AvailabilityWaitSec is total time spent waiting for chunks that the
+	// encoder had not produced yet (the client caught up to the edge).
+	AvailabilityWaitSec float64
+}
+
+// SimulateLive runs one live streaming session. Wall time 0 is the moment
+// chunk 0 becomes available; the client joins then.
+func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config, lcfg LiveConfig) (*LiveResult, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StartupSec <= 0 {
+		cfg.StartupSec = 10
+	}
+	if cfg.MaxBufferSec <= 0 {
+		cfg.MaxBufferSec = 100
+	}
+	if lcfg.EncoderDelaySec < 0 {
+		lcfg.EncoderDelaySec = v.ChunkDur
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = bandwidth.NewHarmonicMean(bandwidth.DefaultWindow)
+	}
+	pred.Reset()
+
+	res := &LiveResult{}
+	res.VideoID, res.TraceID, res.Scheme = v.ID(), tr.ID, algo.Name()
+	delayer, canDelay := algo.(abr.Delayer)
+
+	now := 0.0
+	buffer := 0.0
+	playing := false
+	playStart := 0.0
+	stalls := 0.0
+	prevLevel := -1
+	lastThroughput := 0.0
+	n := v.NumChunks()
+
+	// avail is when chunk i becomes downloadable: its content ends at
+	// (i+1)Δ relative to chunk 0's content end at 0, plus encode delay.
+	avail := func(i int) float64 {
+		return float64(i)*v.ChunkDur + lcfg.EncoderDelaySec
+	}
+	drain := func(dt float64) float64 {
+		now += dt
+		if !playing {
+			return 0
+		}
+		if buffer >= dt {
+			buffer -= dt
+			return 0
+		}
+		stall := dt - buffer
+		buffer = 0
+		return stall
+	}
+	// latency is the playhead's lag behind the live edge: the content time
+	// produced so far minus the content time played out.
+	var latSum, latN, latMax float64
+	observeLatency := func() {
+		if !playing {
+			return
+		}
+		played := now - playStart - stalls
+		edge := now + lcfg.EncoderDelaySec // content exists up to "now" at the encoder
+		lat := edge - played
+		latSum += lat
+		latN++
+		if lat > latMax {
+			latMax = lat
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		rec := ChunkRecord{Index: i, BufferBefore: buffer}
+
+		// Wait for the encoder when the client has caught up to the edge.
+		if a := avail(i); now < a {
+			wait := a - now
+			rec.WaitSec += wait
+			res.AvailabilityWaitSec += wait
+			st := drain(wait)
+			res.TotalRebufferSec += st
+			stalls += st
+			rec.RebufferSec += st
+		}
+
+		st := abr.State{
+			ChunkIndex:     i,
+			Now:            now,
+			Buffer:         buffer,
+			Playing:        playing,
+			PrevLevel:      prevLevel,
+			Est:            pred.Predict(now),
+			LastThroughput: lastThroughput,
+		}
+		if canDelay {
+			if d := delayer.Delay(st); d > 0 {
+				rec.WaitSec += d
+				s := drain(d)
+				res.TotalRebufferSec += s
+				stalls += s
+				rec.RebufferSec += s
+			}
+		}
+		if playing && buffer+v.ChunkDur > cfg.MaxBufferSec {
+			wait := buffer + v.ChunkDur - cfg.MaxBufferSec
+			rec.WaitSec += wait
+			drain(wait)
+		}
+
+		st.Now, st.Buffer, st.Est = now, buffer, pred.Predict(now)
+		level := st2level(algo, st, v.NumTracks())
+		size := v.ChunkSize(level, i)
+		dl := tr.DownloadTime(now, size)
+
+		rec.Level = level
+		rec.SizeBits = size
+		rec.StartTime = now
+		rec.DownloadSec = dl
+		if dl > 0 {
+			rec.Throughput = size / dl
+		}
+		s := drain(dl)
+		res.TotalRebufferSec += s
+		stalls += s
+		rec.RebufferSec += s
+		buffer += v.ChunkDur
+		rec.BufferAfter = buffer
+
+		pred.ObserveDownload(size, dl)
+		lastThroughput = rec.Throughput
+		prevLevel = level
+		res.Chunks = append(res.Chunks, rec)
+		res.TotalBits += size
+
+		if !playing && (buffer >= cfg.StartupSec || i == n-1) {
+			playing = true
+			playStart = now
+			res.StartupDelay = now
+		}
+		observeLatency()
+	}
+	res.SessionSec = now
+	if latN > 0 {
+		res.AvgLatencySec = latSum / latN
+	}
+	res.MaxLatencySec = latMax
+	return res, nil
+}
+
+// MustSimulateLive is SimulateLive that panics on error.
+func MustSimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config, lcfg LiveConfig) *LiveResult {
+	r, err := SimulateLive(v, tr, algo, cfg, lcfg)
+	if err != nil {
+		panic(fmt.Sprintf("player: %v", err))
+	}
+	return r
+}

@@ -1,0 +1,220 @@
+// Package player simulates ABR streaming playback: a client that downloads
+// chunks over a bandwidth trace under an adaptation algorithm, tracking
+// buffer dynamics, startup latency, rebuffering, pauses and data usage.
+//
+// The simulation follows the paper's trace-driven replay methodology
+// (§6.1): the application-level view of the network is the per-interval
+// throughput series, and lower-layer effects (loss, RTT, signal strength)
+// manifest only through that series.
+package player
+
+import (
+	"fmt"
+
+	"cava/internal/abr"
+	"cava/internal/bandwidth"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// Config holds session parameters shared by all schemes for apples-to-apples
+// comparison (§6.1).
+type Config struct {
+	// StartupSec is the playback startup latency: seconds of video that
+	// must be buffered before playback begins (10 in the paper).
+	StartupSec float64
+	// MaxBufferSec is the client buffer cap; the client does not request
+	// the next chunk while the buffer is full (100 in the paper).
+	MaxBufferSec float64
+	// Predictor estimates bandwidth for the ABR logic; nil selects the
+	// paper's default, the harmonic mean of the past 5 chunks.
+	Predictor bandwidth.Predictor
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{StartupSec: 10, MaxBufferSec: 100}
+}
+
+// ChunkRecord logs one chunk download.
+type ChunkRecord struct {
+	// Index is the chunk position in playback order.
+	Index int
+	// Level is the selected track.
+	Level int
+	// SizeBits is the downloaded size in bits.
+	SizeBits float64
+	// StartTime is when the download began (seconds since session start).
+	StartTime float64
+	// DownloadSec is how long the download took.
+	DownloadSec float64
+	// Throughput is SizeBits/DownloadSec in bits/sec.
+	Throughput float64
+	// BufferBefore and BufferAfter bracket the download (video seconds).
+	BufferBefore, BufferAfter float64
+	// RebufferSec is the stall time incurred while this chunk downloaded.
+	RebufferSec float64
+	// WaitSec is idle time before the download (full buffer or an
+	// algorithm-requested pause).
+	WaitSec float64
+}
+
+// Result is a complete simulated session.
+type Result struct {
+	// VideoID, TraceID and Scheme identify the run.
+	VideoID, TraceID, Scheme string
+	// Chunks has one record per downloaded chunk, in playback order.
+	Chunks []ChunkRecord
+	// StartupDelay is when playback began (seconds since session start).
+	StartupDelay float64
+	// TotalRebufferSec is the total mid-playback stall time.
+	TotalRebufferSec float64
+	// TotalBits is the total data downloaded.
+	TotalBits float64
+	// SessionSec is the wall-clock time until the last chunk finished.
+	SessionSec float64
+}
+
+// Levels returns the per-chunk selected levels.
+func (r *Result) Levels() []int {
+	out := make([]int, len(r.Chunks))
+	for i, c := range r.Chunks {
+		out[i] = c.Level
+	}
+	return out
+}
+
+// Simulate runs one streaming session of video v over trace tr with the
+// given adaptation algorithm. The algorithm instance must be fresh (it may
+// carry per-session state).
+func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (*Result, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.StartupSec <= 0 {
+		cfg.StartupSec = 10
+	}
+	if cfg.MaxBufferSec <= 0 {
+		cfg.MaxBufferSec = 100
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = bandwidth.NewHarmonicMean(bandwidth.DefaultWindow)
+	}
+	pred.Reset()
+
+	res := &Result{VideoID: v.ID(), TraceID: tr.ID, Scheme: algo.Name()}
+	delayer, canDelay := algo.(abr.Delayer)
+
+	now := 0.0
+	buffer := 0.0
+	playing := false
+	prevLevel := -1
+	lastThroughput := 0.0
+	n := v.NumChunks()
+
+	// drain advances time by dt, draining the buffer when playing and
+	// accounting any stall. Returns stall seconds incurred.
+	drain := func(dt float64) float64 {
+		now += dt
+		if !playing {
+			return 0
+		}
+		if buffer >= dt {
+			buffer -= dt
+			return 0
+		}
+		stall := dt - buffer
+		buffer = 0
+		return stall
+	}
+
+	for i := 0; i < n; i++ {
+		rec := ChunkRecord{Index: i, BufferBefore: buffer}
+
+		st := abr.State{
+			ChunkIndex:     i,
+			Now:            now,
+			Buffer:         buffer,
+			Playing:        playing,
+			PrevLevel:      prevLevel,
+			Est:            pred.Predict(now),
+			LastThroughput: lastThroughput,
+		}
+
+		// Algorithm-requested pause (e.g. BOLA above its buffer ceiling).
+		if canDelay {
+			if d := delayer.Delay(st); d > 0 {
+				rec.WaitSec += d
+				stall := drain(d)
+				res.TotalRebufferSec += stall
+				rec.RebufferSec += stall
+			}
+		}
+
+		// Full buffer: wait until the next chunk fits.
+		if playing && buffer+v.ChunkDur > cfg.MaxBufferSec {
+			wait := buffer + v.ChunkDur - cfg.MaxBufferSec
+			rec.WaitSec += wait
+			drain(wait) // cannot stall: buffer is at its maximum
+		}
+
+		// Refresh the state after any waiting.
+		st.Now, st.Buffer, st.Est = now, buffer, pred.Predict(now)
+		level := st2level(algo, st, v.NumTracks())
+		size := v.ChunkSize(level, i)
+
+		dl := tr.DownloadTime(now, size)
+		rec.Level = level
+		rec.SizeBits = size
+		rec.StartTime = now
+		rec.DownloadSec = dl
+		if dl > 0 {
+			rec.Throughput = size / dl
+		}
+
+		stall := drain(dl)
+		res.TotalRebufferSec += stall
+		rec.RebufferSec += stall
+		buffer += v.ChunkDur
+		rec.BufferAfter = buffer
+
+		pred.ObserveDownload(size, dl)
+		lastThroughput = rec.Throughput
+		prevLevel = level
+		res.Chunks = append(res.Chunks, rec)
+		res.TotalBits += size
+
+		if !playing && (buffer >= cfg.StartupSec || i == n-1) {
+			playing = true
+			res.StartupDelay = now
+		}
+	}
+	res.SessionSec = now
+	return res, nil
+}
+
+// st2level queries the algorithm and clamps the result defensively.
+func st2level(algo abr.Algorithm, st abr.State, numTracks int) int {
+	l := algo.Select(st)
+	if l < 0 {
+		return 0
+	}
+	if l >= numTracks {
+		return numTracks - 1
+	}
+	return l
+}
+
+// MustSimulate is Simulate that panics on error, for examples and benches
+// operating on known-good generated inputs.
+func MustSimulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) *Result {
+	r, err := Simulate(v, tr, algo, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("player: %v", err))
+	}
+	return r
+}

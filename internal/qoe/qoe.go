@@ -1,0 +1,124 @@
+// Package qoe computes composite session Quality-of-Experience scores from
+// simulated sessions. The paper reports five metrics separately (§6.1);
+// much of the ABR literature additionally collapses them into one linear
+// score. Two standard shapes are provided:
+//
+//   - Linear bitrate QoE (MPC, SIGCOMM'15): Σ r_k − λΣ|r_k − r_{k−1}| −
+//     μ·rebuffer − μs·startup, with r in Mbps.
+//   - Perceptual QoE (Pensieve-style with VMAF): the same shape over
+//     per-chunk quality values instead of bitrates.
+//
+// Collapsing to one number hides the multi-dimensional tradeoffs the paper
+// argues matter — the package exists so that comparisons with
+// single-score literature remain possible, not as a replacement for the
+// five-metric view.
+package qoe
+
+import (
+	"math"
+
+	"cava/internal/player"
+	"cava/internal/quality"
+)
+
+// Weights parametrizes the linear QoE shape.
+type Weights struct {
+	// LambdaSwitch scales the smoothness penalty.
+	LambdaSwitch float64
+	// MuRebuffer scales the rebuffering penalty (per second of stall).
+	MuRebuffer float64
+	// MuStartup scales the startup-delay penalty (per second).
+	MuStartup float64
+}
+
+// MPCWeights are the linear-QoE constants of the MPC paper (bitrate in
+// Mbps; rebuffering weighted at 4.3 Mbps-equivalents per second).
+func MPCWeights() Weights {
+	return Weights{LambdaSwitch: 1, MuRebuffer: 4.3, MuStartup: 4.3}
+}
+
+// VMAFWeights follow the common perceptual instantiation: one VMAF point
+// per point of switching, a heavy stall penalty (a stalled second costs
+// the session as much as a full-quality chunk), and a mild startup term.
+func VMAFWeights() Weights {
+	return Weights{LambdaSwitch: 1, MuRebuffer: 100.0 / 4, MuStartup: 1}
+}
+
+// Score is a decomposed QoE value.
+type Score struct {
+	// Total is Quality − Switching − Rebuffer − Startup.
+	Total float64
+	// Quality is the summed per-chunk value term.
+	Quality float64
+	// Switching is the summed smoothness penalty.
+	Switching float64
+	// Rebuffer and Startup are the weighted stall terms.
+	Rebuffer, Startup float64
+}
+
+// LinearBitrate computes the MPC-style bitrate QoE of a session.
+func LinearBitrate(res *player.Result, w Weights) Score {
+	var s Score
+	prev := math.NaN()
+	for _, c := range res.Chunks {
+		mbps := 0.0
+		if c.DownloadSec >= 0 && c.SizeBits > 0 {
+			// Chunk bitrate: size over playback duration.
+			mbps = c.SizeBits / 1e6 / chunkDur(res)
+		}
+		s.Quality += mbps
+		if !math.IsNaN(prev) {
+			s.Switching += w.LambdaSwitch * math.Abs(mbps-prev)
+		}
+		prev = mbps
+	}
+	s.Rebuffer = w.MuRebuffer * res.TotalRebufferSec
+	s.Startup = w.MuStartup * res.StartupDelay
+	s.Total = s.Quality - s.Switching - s.Rebuffer - s.Startup
+	return s
+}
+
+// chunkDur recovers the chunk playback duration from the session record
+// (BufferAfter − BufferBefore of a stall-free, wait-free chunk equals
+// Δ − downloadTime; the robust estimate is the modal buffer gain plus
+// download time). The player stores no explicit duration, so derive it
+// from the first chunk: buffer gain during startup equals Δ exactly.
+func chunkDur(res *player.Result) float64 {
+	if len(res.Chunks) == 0 {
+		return 1
+	}
+	c := res.Chunks[0]
+	d := c.BufferAfter - c.BufferBefore
+	if d <= 0 {
+		return 1
+	}
+	return d
+}
+
+// Perceptual computes the VMAF-based QoE of a session against a quality
+// table.
+func Perceptual(res *player.Result, qt *quality.Table, w Weights) Score {
+	var s Score
+	prev := math.NaN()
+	for _, c := range res.Chunks {
+		q := qt.At(c.Level, c.Index)
+		s.Quality += q
+		if !math.IsNaN(prev) {
+			s.Switching += w.LambdaSwitch * math.Abs(q-prev)
+		}
+		prev = q
+	}
+	s.Rebuffer = w.MuRebuffer * res.TotalRebufferSec
+	s.Startup = w.MuStartup * res.StartupDelay
+	s.Total = s.Quality - s.Switching - s.Rebuffer - s.Startup
+	return s
+}
+
+// PerChunk returns the session-length-normalized total (QoE per chunk),
+// which makes sessions of different chunk counts comparable.
+func (s Score) PerChunk(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return s.Total / float64(n)
+}

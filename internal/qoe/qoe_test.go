@@ -1,0 +1,106 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/core"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func session(level int) (*player.Result, *quality.Table) {
+	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	tr := trace.Constant("c", 50e6, 1200, 1)
+	res := player.MustSimulate(v, tr, abr.Fixed(level)(v), player.DefaultConfig())
+	return res, quality.NewTable(v, quality.VMAFPhone)
+}
+
+func TestPerceptualDecomposition(t *testing.T) {
+	res, qt := session(3)
+	s := Perceptual(res, qt, VMAFWeights())
+	if math.Abs(s.Total-(s.Quality-s.Switching-s.Rebuffer-s.Startup)) > 1e-9 {
+		t.Error("decomposition does not sum")
+	}
+	if s.Quality <= 0 || s.Switching < 0 {
+		t.Errorf("terms implausible: %+v", s)
+	}
+	if s.Rebuffer != 0 {
+		t.Error("no-stall session has rebuffer penalty")
+	}
+}
+
+func TestPerceptualOrdersLevels(t *testing.T) {
+	lo, qt := session(1)
+	hi, _ := session(4)
+	w := VMAFWeights()
+	if Perceptual(hi, qt, w).Total <= Perceptual(lo, qt, w).Total {
+		t.Error("higher track not scored higher on an ample link")
+	}
+}
+
+func TestLinearBitrateOrdersLevels(t *testing.T) {
+	lo, _ := session(1)
+	hi, _ := session(5)
+	w := MPCWeights()
+	if LinearBitrate(hi, w).Total <= LinearBitrate(lo, w).Total {
+		t.Error("higher bitrate not scored higher")
+	}
+}
+
+func TestRebufferPenalized(t *testing.T) {
+	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	qt := quality.NewTable(v, quality.VMAFPhone)
+	good := player.MustSimulate(v, trace.Constant("f", 50e6, 1200, 1), abr.Fixed(3)(v), player.DefaultConfig())
+	// Starved link at the same fixed level: heavy stalls.
+	bad := player.MustSimulate(v, trace.Constant("s", 5e5, 5000, 1), abr.Fixed(3)(v), player.DefaultConfig())
+	w := VMAFWeights()
+	if Perceptual(bad, qt, w).Total >= Perceptual(good, qt, w).Total {
+		t.Error("stalling session not penalized")
+	}
+	if Perceptual(bad, qt, w).Rebuffer <= 0 {
+		t.Error("rebuffer term missing")
+	}
+}
+
+func TestPerChunk(t *testing.T) {
+	s := Score{Total: 100}
+	if s.PerChunk(50) != 2 {
+		t.Error("per-chunk normalization wrong")
+	}
+	if s.PerChunk(0) != 0 {
+		t.Error("zero chunks should yield 0")
+	}
+}
+
+func TestCAVAQoECompetitive(t *testing.T) {
+	// Composite QoE sanity: over a few LTE traces CAVA's perceptual QoE
+	// must beat the myopic RBA.
+	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	qt := quality.NewTable(v, quality.VMAFPhone)
+	w := VMAFWeights()
+	var cava, rba float64
+	for i := 0; i < 10; i++ {
+		tr := trace.GenLTE(i)
+		cres := player.MustSimulate(v, tr, core.New(v), player.DefaultConfig())
+		rres := player.MustSimulate(v, tr, abr.NewRBA(v, 4), player.DefaultConfig())
+		cava += Perceptual(cres, qt, w).Total
+		rba += Perceptual(rres, qt, w).Total
+	}
+	if cava <= rba {
+		t.Errorf("CAVA QoE %.0f not above RBA %.0f", cava, rba)
+	}
+}
+
+func TestChunkDurRecovery(t *testing.T) {
+	res, _ := session(0)
+	if d := chunkDur(res); math.Abs(d-5) > 0.5 {
+		t.Errorf("recovered chunk duration %v, want ~5", d)
+	}
+	if chunkDur(&player.Result{}) != 1 {
+		t.Error("empty session fallback wrong")
+	}
+}

@@ -1,0 +1,121 @@
+package scene
+
+import (
+	"math"
+
+	"cava/internal/video"
+)
+
+// Deeper scene analysis built on the size-based classification: scene-cut
+// detection, Q4 run-length statistics (the burst structure the proactive
+// principle reacts to), and classification stability checks.
+
+// DetectSceneCuts returns chunk indices where a new scene likely begins,
+// inferred from jumps in the reference track's chunk sizes: a cut is a
+// relative size change exceeding threshold (e.g. 0.35 = 35%) between
+// consecutive chunks. Index 0 always starts a scene.
+func DetectSceneCuts(v *video.Video, refLevel int, threshold float64) []int {
+	if threshold <= 0 {
+		threshold = 0.35
+	}
+	sizes := v.Tracks[refLevel].ChunkSizes
+	cuts := []int{0}
+	for i := 1; i < len(sizes); i++ {
+		prev := sizes[i-1]
+		if prev <= 0 {
+			continue
+		}
+		if math.Abs(sizes[i]-prev)/prev > threshold {
+			cuts = append(cuts, i)
+		}
+	}
+	return cuts
+}
+
+// Run is a maximal stretch of consecutive chunks in the same complexity
+// class (Q4 vs non-Q4).
+type Run struct {
+	// Start is the first chunk index of the run.
+	Start int
+	// Length is the run length in chunks.
+	Length int
+	// Complex reports whether the run is Q4.
+	Complex bool
+}
+
+// ComplexRuns returns the Q4/non-Q4 run decomposition of a category
+// sequence. The Q4 runs are exactly the "clusters of large chunks" the
+// outer controller pre-charges the buffer for (§5.4).
+func ComplexRuns(cats []Category) []Run {
+	var runs []Run
+	for i := 0; i < len(cats); {
+		c := IsComplex(cats[i])
+		j := i + 1
+		for j < len(cats) && IsComplex(cats[j]) == c {
+			j++
+		}
+		runs = append(runs, Run{Start: i, Length: j - i, Complex: c})
+		i = j
+	}
+	return runs
+}
+
+// RunStats summarizes the Q4 run structure.
+type RunStats struct {
+	// NumRuns is the number of Q4 runs.
+	NumRuns int
+	// MeanLength and MaxLength are in chunks.
+	MeanLength, MaxLength float64
+	// TotalChunks is the number of Q4 chunks.
+	TotalChunks int
+	// BurstBits is the largest total size (bits) of any single Q4 run on
+	// the given track — the worst-case burst the buffer must absorb.
+	BurstBits float64
+}
+
+// ComplexRunStats computes Q4 burst statistics for a video on a track.
+func ComplexRunStats(v *video.Video, cats []Category, level int) RunStats {
+	var st RunStats
+	var sum float64
+	for _, r := range ComplexRuns(cats) {
+		if !r.Complex {
+			continue
+		}
+		st.NumRuns++
+		st.TotalChunks += r.Length
+		sum += float64(r.Length)
+		if float64(r.Length) > st.MaxLength {
+			st.MaxLength = float64(r.Length)
+		}
+		bits := 0.0
+		for k := r.Start; k < r.Start+r.Length; k++ {
+			bits += v.ChunkSize(level, k)
+		}
+		if bits > st.BurstBits {
+			st.BurstBits = bits
+		}
+	}
+	if st.NumRuns > 0 {
+		st.MeanLength = sum / float64(st.NumRuns)
+	}
+	return st
+}
+
+// ClassificationStability measures how robust the reference-track
+// classification is to using a different reference: the fraction of chunk
+// positions whose Q4/non-Q4 label agrees between the two references. The
+// paper's Property 2 (§3.1.1) predicts values near 1.
+func ClassificationStability(v *video.Video, refA, refB, nClasses int) float64 {
+	a := Classify(v, refA, nClasses)
+	b := Classify(v, refB, nClasses)
+	if len(a) == 0 {
+		return 0
+	}
+	agree := 0
+	for i := range a {
+		if IsComplex(a[i]) == IsComplex(b[i]) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(a))
+}

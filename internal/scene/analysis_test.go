@@ -1,0 +1,88 @@
+package scene
+
+import (
+	"testing"
+
+	"cava/internal/video"
+)
+
+func TestDetectSceneCuts(t *testing.T) {
+	v := edVideo()
+	cuts := DetectSceneCuts(v, 3, 0.35)
+	if len(cuts) == 0 || cuts[0] != 0 {
+		t.Fatal("cut list must start at chunk 0")
+	}
+	// A 10-minute multi-scene video must have a sensible number of cuts:
+	// more than a handful, fewer than every chunk.
+	if len(cuts) < 5 || len(cuts) > v.NumChunks()/2 {
+		t.Errorf("%d cuts detected for %d chunks", len(cuts), v.NumChunks())
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatal("cuts not strictly increasing")
+		}
+	}
+	// Default threshold applies when non-positive.
+	if len(DetectSceneCuts(v, 3, 0)) == 0 {
+		t.Error("default threshold produced no cuts")
+	}
+}
+
+func TestComplexRunsPartition(t *testing.T) {
+	v := edVideo()
+	cats := ClassifyDefault(v)
+	runs := ComplexRuns(cats)
+	total := 0
+	for i, r := range runs {
+		total += r.Length
+		if r.Length <= 0 {
+			t.Fatal("empty run")
+		}
+		if i > 0 && runs[i-1].Complex == r.Complex {
+			t.Fatal("adjacent runs share a class; not maximal")
+		}
+	}
+	if total != v.NumChunks() {
+		t.Fatalf("runs cover %d chunks, want %d", total, v.NumChunks())
+	}
+	if ComplexRuns(nil) != nil {
+		t.Error("empty input should produce no runs")
+	}
+}
+
+func TestComplexRunStats(t *testing.T) {
+	v := edVideo()
+	cats := ClassifyDefault(v)
+	st := ComplexRunStats(v, cats, 3)
+	if st.NumRuns == 0 {
+		t.Fatal("no Q4 runs in a VBR video")
+	}
+	// Quartile classification: Q4 chunks are ~n/4.
+	if st.TotalChunks < v.NumChunks()/5 || st.TotalChunks > v.NumChunks()/3 {
+		t.Errorf("Q4 total %d of %d chunks", st.TotalChunks, v.NumChunks())
+	}
+	if st.MaxLength < st.MeanLength {
+		t.Error("max run below mean")
+	}
+	// The worst burst must exceed MaxLength x the track's average chunk:
+	// Q4 chunks are the big ones.
+	avgChunk := v.AvgBitrate(3) * v.ChunkDur
+	if st.BurstBits <= st.MaxLength*avgChunk {
+		t.Errorf("burst %.0f bits not above %0.f (max-run x avg chunk)", st.BurstBits, st.MaxLength*avgChunk)
+	}
+}
+
+func TestClassificationStability(t *testing.T) {
+	v := edVideo()
+	for a := 0; a < v.NumTracks(); a++ {
+		s := ClassificationStability(v, 3, a, 4)
+		if a == 3 && s != 1 {
+			t.Errorf("self stability = %v", s)
+		}
+		if s < 0.85 {
+			t.Errorf("stability(3,%d) = %.3f, want > 0.85 (Property 2)", a, s)
+		}
+	}
+	empty := &video.Video{}
+	_ = empty // stability of an empty video is undefined; guarded by caller
+}

@@ -1,0 +1,221 @@
+package scene
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cava/internal/video"
+)
+
+func edVideo() *video.Video {
+	return video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+}
+
+func TestClassifySizesQuartiles(t *testing.T) {
+	sizes := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	cats := ClassifySizes(sizes, 4)
+	want := []Category{Q1, Q1, Q2, Q2, Q3, Q3, Q4, Q4}
+	for i := range want {
+		if cats[i] != want[i] {
+			t.Errorf("chunk %d category %d, want %d", i, cats[i], want[i])
+		}
+	}
+}
+
+func TestClassifySizesBalanced(t *testing.T) {
+	v := edVideo()
+	cats := ClassifyDefault(v)
+	counts := map[Category]int{}
+	for _, c := range cats {
+		counts[c]++
+	}
+	n := v.NumChunks()
+	for c := Q1; c <= Q4; c++ {
+		if counts[c] < n/4-n/10 || counts[c] > n/4+n/10 {
+			t.Errorf("category %d has %d chunks of %d; want near n/4", c, counts[c], n)
+		}
+	}
+}
+
+func TestClassifySizesEdgeCases(t *testing.T) {
+	if got := ClassifySizes(nil, 4); len(got) != 0 {
+		t.Error("empty input should classify to empty output")
+	}
+	// Constant sizes: everything lands in the lowest class (all ties).
+	cats := ClassifySizes([]float64{5, 5, 5, 5}, 4)
+	for _, c := range cats {
+		if c != Q1 {
+			t.Errorf("constant sizes classified as %d, want Q1", c)
+		}
+	}
+	// nClasses below 2 is coerced to 2.
+	cats = ClassifySizes([]float64{1, 2, 3, 4}, 1)
+	if cats[0] != 1 || cats[3] != 2 {
+		t.Errorf("binary classification wrong: %v", cats)
+	}
+}
+
+func TestClassifyScaleInvariant(t *testing.T) {
+	// Quantile classification must be invariant to positive scaling — it
+	// is what lets one reference track classify all tracks.
+	v := edVideo()
+	sizes := v.Tracks[3].ChunkSizes
+	f := func(scaleMilli uint16) bool {
+		scale := 0.001 * (float64(scaleMilli) + 1)
+		scaled := make([]float64, len(sizes))
+		for i, s := range sizes {
+			scaled[i] = s * scale
+		}
+		a := ClassifySizes(sizes, 4)
+		b := ClassifySizes(scaled, 4)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoryCorrelationAcrossTracks(t *testing.T) {
+	// §3.1.1 Property 2: category sequences from any two tracks correlate
+	// near 1.
+	for _, v := range []*video.Video{edVideo(), video.FFmpegVideo(video.OpenTitles[1], video.H264)} {
+		ref := DefaultReferenceTrack(v.NumTracks())
+		for l := 0; l < v.NumTracks(); l++ {
+			if corr := CategoryCorrelation(v, ref, l, 4); corr < 0.85 {
+				t.Errorf("%s: corr(track %d, track %d) = %.3f, want > 0.85", v.ID(), ref, l, corr)
+			}
+		}
+	}
+}
+
+func TestCategoryCorrelationIdentity(t *testing.T) {
+	v := edVideo()
+	if corr := CategoryCorrelation(v, 3, 3, 4); corr < 0.9999 {
+		t.Errorf("self correlation = %v, want 1", corr)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if got := pearsonCategories(nil, nil); got != 0 {
+		t.Errorf("empty correlation = %v", got)
+	}
+	a := []Category{Q1, Q1, Q1}
+	if got := pearsonCategories(a, a); got != 1 {
+		t.Errorf("constant-sequence correlation = %v, want 1", got)
+	}
+	if got := pearsonCategories(a, []Category{Q1, Q2}); got != 0 {
+		t.Errorf("length-mismatch correlation = %v, want 0", got)
+	}
+}
+
+func TestSITIMonotoneWithComplexity(t *testing.T) {
+	v := edVideo()
+	siti := ComputeSITI(v)
+	if len(siti) != v.NumChunks() {
+		t.Fatalf("SITI length %d, want %d", len(siti), v.NumChunks())
+	}
+	// Mean SI/TI of the top complexity quartile must exceed that of the
+	// bottom quartile.
+	cats := ClassifyDefault(v)
+	var loSI, hiSI, loTI, hiTI float64
+	var nLo, nHi int
+	for i, c := range cats {
+		switch c {
+		case Q1:
+			loSI += siti[i].SI
+			loTI += siti[i].TI
+			nLo++
+		case Q4:
+			hiSI += siti[i].SI
+			hiTI += siti[i].TI
+			nHi++
+		}
+	}
+	if hiSI/float64(nHi) <= loSI/float64(nLo) {
+		t.Error("Q4 mean SI not above Q1")
+	}
+	if hiTI/float64(nHi) <= loTI/float64(nLo) {
+		t.Error("Q4 mean TI not above Q1")
+	}
+}
+
+func TestSITIRanges(t *testing.T) {
+	for _, s := range ComputeSITI(edVideo()) {
+		if s.SI < 0 || s.SI > 100 || s.TI < 0 || s.TI > 60 {
+			t.Fatalf("SITI out of range: %+v", s)
+		}
+	}
+}
+
+func TestSITIDeterministic(t *testing.T) {
+	a := ComputeSITI(edVideo())
+	b := ComputeSITI(edVideo())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SITI differs at %d across runs", i)
+		}
+	}
+}
+
+// TestFractionAboveMatchesFig2 verifies the paper's Fig. 2 shape: most Q4
+// chunks sit above the SI>25, TI>7 thresholds while only small tails of Q1
+// and Q2 do.
+func TestFractionAboveMatchesFig2(t *testing.T) {
+	v := edVideo()
+	cats := ClassifyDefault(v)
+	fr := FractionAbove(cats, ComputeSITI(v), 25, 7, 4)
+	if fr[Q4] < 0.55 {
+		t.Errorf("Q4 fraction above thresholds %.2f, want > 0.55", fr[Q4])
+	}
+	if fr[Q1] > 0.30 {
+		t.Errorf("Q1 fraction %.2f, want < 0.30", fr[Q1])
+	}
+	if fr[Q2] > 0.60 {
+		t.Errorf("Q2 fraction %.2f, want < 0.60", fr[Q2])
+	}
+	if !(fr[Q1] <= fr[Q2] && fr[Q2] <= fr[Q3]+0.05 && fr[Q3] <= fr[Q4]+0.05) {
+		t.Errorf("fractions not increasing: %v %v %v %v", fr[Q1], fr[Q2], fr[Q3], fr[Q4])
+	}
+}
+
+func TestIsComplex(t *testing.T) {
+	if IsComplex(Q1) || IsComplex(Q2) || IsComplex(Q3) {
+		t.Error("non-Q4 categories flagged complex")
+	}
+	if !IsComplex(Q4) {
+		t.Error("Q4 not flagged complex")
+	}
+}
+
+func TestFiveClassClassification(t *testing.T) {
+	// §3.1.1 notes other class counts work too; verify 5 classes cover
+	// 1..5 and roughly balance.
+	v := edVideo()
+	cats := Classify(v, 3, 5)
+	counts := map[Category]int{}
+	for _, c := range cats {
+		if c < 1 || c > 5 {
+			t.Fatalf("category %d out of range for 5 classes", c)
+		}
+		counts[c]++
+	}
+	for c := Category(1); c <= 5; c++ {
+		if counts[c] == 0 {
+			t.Errorf("class %d empty", c)
+		}
+	}
+}
+
+func TestDefaultReferenceTrack(t *testing.T) {
+	if DefaultReferenceTrack(6) != 3 {
+		t.Errorf("middle of 6 tracks = %d, want 3", DefaultReferenceTrack(6))
+	}
+	if DefaultReferenceTrack(1) != 0 {
+		t.Error("single track reference should be 0")
+	}
+}

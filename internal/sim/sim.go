@@ -1,0 +1,156 @@
+// Package sim runs scheme × video × trace evaluation sweeps in parallel and
+// aggregates per-session metric summaries, the machinery behind every table
+// and figure reproduction.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"cava/internal/abr"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/scene"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// Request describes one sweep.
+type Request struct {
+	// Videos to stream.
+	Videos []*video.Video
+	// Traces to replay.
+	Traces []*trace.Trace
+	// Schemes to compare.
+	Schemes []abr.Scheme
+	// Config is the shared player configuration.
+	Config player.Config
+	// Metric is the perceptual metric for QoE accounting (VMAF phone for
+	// LTE, VMAF TV for FCC per §6.1).
+	Metric quality.Metric
+	// Workers bounds parallelism; non-positive uses GOMAXPROCS.
+	Workers int
+	// PredictorFor optionally supplies a per-session bandwidth predictor
+	// (e.g. the §6.7 noisy oracle); nil uses Config.Predictor semantics.
+	PredictorFor func(v *video.Video, tr *trace.Trace) player.Config
+}
+
+// CellKey identifies one (scheme, video) aggregation cell.
+type CellKey struct {
+	Scheme string
+	Video  string
+}
+
+// Results holds all per-session summaries of a sweep, grouped by cell. The
+// summaries within a cell are ordered by trace for determinism.
+type Results struct {
+	// Cells maps (scheme, video) to its per-trace summaries.
+	Cells map[CellKey][]metrics.Summary
+}
+
+// Summaries returns the cell for a scheme/video pair (nil when absent).
+func (r *Results) Summaries(scheme, videoID string) []metrics.Summary {
+	return r.Cells[CellKey{Scheme: scheme, Video: videoID}]
+}
+
+// SchemeAll concatenates a scheme's summaries across all videos.
+func (r *Results) SchemeAll(scheme string) []metrics.Summary {
+	var out []metrics.Summary
+	for k, ss := range r.Cells {
+		if k.Scheme == scheme {
+			out = append(out, ss...)
+		}
+	}
+	return out
+}
+
+// Run executes the sweep. Every (video, trace, scheme) triple is one
+// independent streaming session with a fresh algorithm instance.
+func Run(req Request) *Results {
+	type job struct {
+		v      *video.Video
+		tr     *trace.Trace
+		scheme abr.Scheme
+		ti     int
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Precompute per-video quality tables and classifications once.
+	qts := make(map[string]*quality.Table, len(req.Videos))
+	cats := make(map[string][]scene.Category, len(req.Videos))
+	for _, v := range req.Videos {
+		qts[v.ID()] = quality.NewTable(v, req.Metric)
+		cats[v.ID()] = scene.ClassifyDefault(v)
+	}
+
+	jobs := make(chan job)
+	type keyed struct {
+		key CellKey
+		ti  int
+		s   metrics.Summary
+	}
+	out := make(chan keyed)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := req.Config
+				if req.PredictorFor != nil {
+					cfg = req.PredictorFor(j.v, j.tr)
+				}
+				algo := j.scheme.New(j.v)
+				res, err := player.Simulate(j.v, j.tr, algo, cfg)
+				if err != nil {
+					// Generated inputs are validated; a failure here is a
+					// programming error surfaced loudly.
+					panic(err)
+				}
+				s := metrics.Summarize(res, qts[j.v.ID()], cats[j.v.ID()])
+				out <- keyed{key: CellKey{Scheme: algo.Name(), Video: j.v.ID()}, ti: j.ti, s: s}
+			}
+		}()
+	}
+	go func() {
+		for _, v := range req.Videos {
+			for ti, tr := range req.Traces {
+				for _, sc := range req.Schemes {
+					jobs <- job{v: v, tr: tr, scheme: sc, ti: ti}
+				}
+			}
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+
+	tmp := make(map[CellKey][]keyed)
+	for k := range out {
+		tmp[k.key] = append(tmp[k.key], k)
+	}
+	res := &Results{Cells: make(map[CellKey][]metrics.Summary, len(tmp))}
+	for key, ks := range tmp {
+		// Restore trace order for determinism.
+		ordered := make([]metrics.Summary, len(ks))
+		used := make([]bool, len(req.Traces))
+		for _, k := range ks {
+			if k.ti < len(ordered) && !used[k.ti] {
+				ordered[k.ti] = k.s
+				used[k.ti] = true
+			}
+		}
+		res.Cells[key] = ordered
+	}
+	return res
+}
+
+// MeanOf aggregates one metric field across a cell's summaries.
+func MeanOf(ss []metrics.Summary, f metrics.Field) float64 {
+	return metrics.Mean(metrics.Collect(ss, f))
+}

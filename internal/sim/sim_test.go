@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/bandwidth"
+	"cava/internal/core"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func smallRequest(workers int) Request {
+	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	return Request{
+		Videos: []*video.Video{v},
+		Traces: trace.GenLTESet(4),
+		Schemes: []abr.Scheme{
+			{Name: "CAVA", New: core.Factory()},
+			{Name: "RBA", New: func(v *video.Video) abr.Algorithm { return abr.NewRBA(v, 4) }},
+		},
+		Config:  player.DefaultConfig(),
+		Metric:  quality.VMAFPhone,
+		Workers: workers,
+	}
+}
+
+func TestRunCompleteness(t *testing.T) {
+	req := smallRequest(4)
+	res := Run(req)
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(res.Cells))
+	}
+	vid := req.Videos[0].ID()
+	for _, scheme := range []string{"CAVA", "RBA"} {
+		ss := res.Summaries(scheme, vid)
+		if len(ss) != len(req.Traces) {
+			t.Fatalf("%s: %d summaries, want %d", scheme, len(ss), len(req.Traces))
+		}
+		for ti, s := range ss {
+			if s.TraceID != req.Traces[ti].ID {
+				t.Fatalf("%s summary %d is for trace %s, want %s", scheme, ti, s.TraceID, req.Traces[ti].ID)
+			}
+			if s.Scheme != scheme || s.VideoID != vid {
+				t.Fatalf("misfiled summary: %+v", s)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := Run(smallRequest(1))
+	b := Run(smallRequest(8))
+	vid := smallRequest(1).Videos[0].ID()
+	for _, scheme := range []string{"CAVA", "RBA"} {
+		sa, sb := a.Summaries(scheme, vid), b.Summaries(scheme, vid)
+		for i := range sa {
+			if sa[i].Q4Quality != sb[i].Q4Quality || sa[i].RebufferSec != sb[i].RebufferSec ||
+				sa[i].DataMB != sb[i].DataMB {
+				t.Fatalf("%s trace %d: serial and parallel runs differ", scheme, i)
+			}
+		}
+	}
+}
+
+func TestSchemeAll(t *testing.T) {
+	res := Run(smallRequest(2))
+	all := res.SchemeAll("CAVA")
+	if len(all) != 4 {
+		t.Fatalf("SchemeAll returned %d summaries, want 4", len(all))
+	}
+	if res.SchemeAll("nope") != nil {
+		t.Error("unknown scheme should return nil")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	res := Run(smallRequest(2))
+	ss := res.SchemeAll("CAVA")
+	m := MeanOf(ss, metrics.FieldDataMB)
+	if m <= 0 {
+		t.Errorf("MeanOf DataMB = %v", m)
+	}
+}
+
+func TestPredictorForHook(t *testing.T) {
+	req := smallRequest(2)
+	base := player.DefaultConfig()
+	req.PredictorFor = func(v *video.Video, tr *trace.Trace) player.Config {
+		cfg := base
+		cfg.Predictor = bandwidth.NewNoisyOracle(tr, 0, 1)
+		return cfg
+	}
+	res := Run(req)
+	// With a perfect oracle the schemes see bandwidth from chunk 0; the
+	// sweep must still be complete and deterministic.
+	if len(res.SchemeAll("CAVA")) != 4 {
+		t.Error("PredictorFor sweep incomplete")
+	}
+	res2 := Run(req)
+	a, b := res.SchemeAll("CAVA"), res2.SchemeAll("CAVA")
+	for i := range a {
+		if a[i].DataMB != b[i].DataMB {
+			t.Fatal("oracle-predictor sweep not deterministic")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the trace in the simple two-column format
+// "time_s,bandwidth_bps" with one row per sample, preceded by a header row.
+func WriteCSV(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s interval %g\n", t.ID, t.Interval); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "time_s,bandwidth_bps"); err != nil {
+		return err
+	}
+	for i, s := range t.Samples {
+		if _, err := fmt.Fprintf(bw, "%.3f,%.0f\n", float64(i)*t.Interval, s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV. The interval is inferred from
+// the first two rows (or defaults to 1 second for a single-row trace); the
+// ID is taken from the header comment when present.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	t := &Trace{ID: "csv", Interval: 1}
+	var times []float64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(strings.TrimPrefix(line, "#"))
+			for i := 0; i+1 < len(fields); i++ {
+				switch fields[i] {
+				case "trace":
+					t.ID = fields[i+1]
+				case "interval":
+					if v, err := strconv.ParseFloat(fields[i+1], 64); err == nil && v > 0 {
+						t.Interval = v
+					}
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "time_s") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace csv: malformed row %q", line)
+		}
+		tm, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: bad time %q: %v", parts[0], err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: bad bandwidth %q: %v", parts[1], err)
+		}
+		times = append(times, tm)
+		t.Samples = append(t.Samples, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(times) >= 2 {
+		if dt := times[1] - times[0]; dt > 0 {
+			t.Interval = dt
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := GenLTE(5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if got.ID != orig.ID {
+		t.Errorf("ID = %q, want %q", got.ID, orig.ID)
+	}
+	if got.Interval != orig.Interval {
+		t.Errorf("Interval = %v, want %v", got.Interval, orig.Interval)
+	}
+	if len(got.Samples) != len(orig.Samples) {
+		t.Fatalf("sample count = %d, want %d", len(got.Samples), len(orig.Samples))
+	}
+	for i := range got.Samples {
+		// WriteCSV rounds to whole bits/sec.
+		if math.Abs(got.Samples[i]-orig.Samples[i]) > 0.5 {
+			t.Fatalf("sample %d = %v, want %v", i, got.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestReadCSVInfersInterval(t *testing.T) {
+	in := "time_s,bandwidth_bps\n0.000,100\n5.000,200\n10.000,300\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tr.Interval != 5 {
+		t.Errorf("inferred interval = %v, want 5", tr.Interval)
+	}
+	if len(tr.Samples) != 3 || tr.Samples[2] != 300 {
+		t.Errorf("samples = %v", tr.Samples)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed row": "time_s,bandwidth_bps\n1,2,3\n",
+		"bad time":      "time_s,bandwidth_bps\nx,2\n",
+		"bad bandwidth": "time_s,bandwidth_bps\n1,y\n",
+		"negative":      "time_s,bandwidth_bps\n0,-5\n",
+		"empty":         "",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "# trace abc interval 2\ntime_s,bandwidth_bps\n\n0,10\n\n2,20\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tr.ID != "abc" || tr.Interval != 2 || len(tr.Samples) != 2 {
+		t.Errorf("parsed trace = %+v", tr)
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Mahimahi trace support. Mahimahi's mm-link format — one integer
+// millisecond timestamp per line, each representing the delivery
+// opportunity of one MTU-sized (1500-byte) packet — is the lingua franca
+// of ABR research datasets (the FCC and Norway/HSDPA sets ship in it, and
+// Pensieve/Oboe/MPC artifacts consume it). ReadMahimahi converts such a
+// log into this package's sampled bandwidth Trace, so published trace
+// collections can drive every experiment in this repository.
+
+// MahimahiMTUBytes is the payload each timestamp line represents.
+const MahimahiMTUBytes = 1500
+
+// maxMahimahiMs bounds accepted log duration (48 hours): longer inputs are
+// almost certainly corrupt and would allocate absurd sample arrays.
+const maxMahimahiMs = 48 * 3600 * 1000
+
+// ReadMahimahi parses an mm-link packet-delivery log into a Trace sampled
+// at the given interval (seconds; 1.0 when non-positive). Short logs are
+// looped by Trace replay semantics, matching mm-link's own behaviour.
+func ReadMahimahi(r io.Reader, id string, interval float64) (*Trace, error) {
+	if interval <= 0 {
+		interval = 1.0
+	}
+	if interval < 0.05 {
+		interval = 0.05 // finer bins than 50ms are measurement noise
+	}
+	sc := bufio.NewScanner(r)
+	buf := make([]byte, 0, 1<<16)
+	sc.Buffer(buf, 1<<22)
+
+	var lastMs int64 = -1
+	bytesPerBin := map[int64]float64{}
+	var maxBin int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ms, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: mahimahi line %d: %q is not a millisecond timestamp", lineNo, line)
+		}
+		if ms < lastMs {
+			return nil, fmt.Errorf("trace: mahimahi line %d: timestamps must be non-decreasing", lineNo)
+		}
+		if ms > maxMahimahiMs {
+			return nil, fmt.Errorf("trace: mahimahi line %d: timestamp %dms exceeds the %dh bound", lineNo, ms, maxMahimahiMs/3600000)
+		}
+		lastMs = ms
+		bin := int64(float64(ms) / 1000 / interval)
+		bytesPerBin[bin] += MahimahiMTUBytes
+		if bin > maxBin {
+			maxBin = bin
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lastMs < 0 {
+		return nil, fmt.Errorf("trace: mahimahi log %q has no delivery opportunities", id)
+	}
+	samples := make([]float64, maxBin+1)
+	for bin, b := range bytesPerBin {
+		samples[bin] = b * 8 / interval // bits per second
+	}
+	t := &Trace{ID: id, Interval: interval, Samples: samples}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteMahimahi renders a trace as an mm-link packet-delivery log: within
+// each sample window, delivery opportunities are spaced evenly at the
+// window's rate. Bandwidth below one MTU per window floors to zero
+// opportunities, matching mm-link's packetized granularity.
+func WriteMahimahi(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	for i, bps := range t.Samples {
+		windowStartMs := float64(i) * t.Interval * 1000
+		bytes := bps * t.Interval / 8
+		packets := int(bytes / MahimahiMTUBytes)
+		for p := 0; p < packets; p++ {
+			ms := windowStartMs + float64(p)*t.Interval*1000/float64(packets)
+			if _, err := fmt.Fprintf(bw, "%d\n", int64(ms)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadMahimahiBasic(t *testing.T) {
+	// 8 packets in the first second, 4 in the second: 96 kbps then 48 kbps.
+	var sb strings.Builder
+	for i := 0; i < 8; i++ {
+		sb.WriteString(strings.TrimSpace(itoa(i*125)) + "\n")
+	}
+	for i := 0; i < 4; i++ {
+		sb.WriteString(itoa(1000+i*250) + "\n")
+	}
+	tr, err := ReadMahimahi(strings.NewReader(sb.String()), "mm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 2 {
+		t.Fatalf("%d samples, want 2", len(tr.Samples))
+	}
+	if want := 8.0 * 1500 * 8; tr.Samples[0] != want {
+		t.Errorf("first second %v bps, want %v", tr.Samples[0], want)
+	}
+	if want := 4.0 * 1500 * 8; tr.Samples[1] != want {
+		t.Errorf("second second %v bps, want %v", tr.Samples[1], want)
+	}
+}
+
+func itoa(v int) string {
+	b := [12]byte{}
+	i := len(b)
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestReadMahimahiErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "abc\n",
+		"decreasing":    "100\n50\n",
+		"empty":         "",
+		"comments only": "# header\n\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMahimahi(strings.NewReader(in), "x", 1); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadMahimahiSkipsCommentsAndGaps(t *testing.T) {
+	in := "# mm-link log\n0\n500\n\n2500\n"
+	tr, err := ReadMahimahi(strings.NewReader(in), "x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 3 {
+		t.Fatalf("%d samples, want 3 (gap second included)", len(tr.Samples))
+	}
+	if tr.Samples[1] != 0 {
+		t.Errorf("gap second bandwidth %v, want 0", tr.Samples[1])
+	}
+}
+
+func TestMahimahiRoundTrip(t *testing.T) {
+	orig := GenLTE(3)
+	var buf bytes.Buffer
+	if err := WriteMahimahi(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMahimahi(&buf, orig.ID, orig.Interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packetization floors each window to whole MTUs: per-sample error is
+	// bounded by one packet per window plus boundary effects.
+	n := len(got.Samples)
+	if n > len(orig.Samples) {
+		n = len(orig.Samples)
+	}
+	okCount := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(got.Samples[i]-orig.Samples[i]) <= 2*MahimahiMTUBytes*8+1 {
+			okCount++
+		}
+	}
+	if float64(okCount) < 0.95*float64(n) {
+		t.Errorf("only %d/%d samples within packetization error", okCount, n)
+	}
+	// Mean bandwidth must survive the round trip closely.
+	if rel := math.Abs(got.Mean()-orig.Mean()) / orig.Mean(); rel > 0.02 {
+		t.Errorf("mean drifted %.2f%%", rel*100)
+	}
+}
+
+func TestWriteMahimahiRejectsBadTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMahimahi(&buf, &Trace{Interval: 0}); err == nil {
+		t.Error("bad trace accepted")
+	}
+}
+
+func TestMahimahiIntervalCoerced(t *testing.T) {
+	tr, err := ReadMahimahi(strings.NewReader("0\n100\n"), "x", -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Interval != 1 {
+		t.Errorf("interval = %v, want coerced 1", tr.Interval)
+	}
+}

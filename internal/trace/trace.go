@@ -1,0 +1,178 @@
+// Package trace models time-varying network bandwidth as a sampled series
+// and provides seeded generators for the two trace families the CAVA paper
+// evaluates on: drive-test LTE traces (per-second samples, bursty, with
+// outages) and FCC fixed-broadband traces (per-5-second samples, smooth).
+//
+// All bandwidth values are in bits per second; all times are in seconds.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Trace is a bandwidth time series sampled at a fixed interval. Sample i
+// covers the half-open time window [i*Interval, (i+1)*Interval). When the
+// simulation runs past the end of the series the trace wraps around, so a
+// Trace behaves as an infinite bandwidth process; the generated traces are
+// at least 18 minutes long (longer than any 10-minute video session), so
+// wrap-around only matters for pathological sessions.
+type Trace struct {
+	// ID identifies the trace within its set (e.g. "lte-017").
+	ID string
+	// Interval is the sampling interval in seconds (1 for LTE, 5 for FCC).
+	Interval float64
+	// Samples holds the per-interval average bandwidth in bits/second.
+	Samples []float64
+}
+
+// Duration returns the total covered time in seconds.
+func (t *Trace) Duration() float64 {
+	return float64(len(t.Samples)) * t.Interval
+}
+
+// BandwidthAt returns the bandwidth in effect at absolute time tm (seconds).
+// Negative times are treated as 0; times past the end wrap around.
+func (t *Trace) BandwidthAt(tm float64) float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	if tm < 0 {
+		tm = 0
+	}
+	i := int(tm/t.Interval) % len(t.Samples)
+	return t.Samples[i]
+}
+
+// DownloadTime returns the time needed to transfer the given number of bits
+// starting at absolute time `start`, integrating the piecewise-constant
+// bandwidth process (wrapping past the end). Outage samples (zero bandwidth)
+// simply contribute elapsed time with no progress.
+//
+// A zero- or negative-size transfer completes instantly.
+func (t *Trace) DownloadTime(start, bits float64) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	if len(t.Samples) == 0 {
+		return math.Inf(1)
+	}
+	// Guard against an all-zero trace, which would never complete.
+	total := 0.0
+	for _, s := range t.Samples {
+		total += s
+	}
+	if total <= 0 {
+		return math.Inf(1)
+	}
+
+	elapsed := 0.0
+	remaining := bits
+	now := start
+	for remaining > 0 {
+		idx := int(now/t.Interval) % len(t.Samples)
+		if idx < 0 {
+			idx += len(t.Samples)
+		}
+		bw := t.Samples[idx]
+		// Time left inside the current sample window.
+		windowEnd := (math.Floor(now/t.Interval) + 1) * t.Interval
+		slot := windowEnd - now
+		if slot <= 0 {
+			slot = t.Interval
+		}
+		if bw > 0 {
+			need := remaining / bw
+			if need <= slot {
+				return elapsed + need
+			}
+			remaining -= bw * slot
+		}
+		elapsed += slot
+		now = windowEnd
+	}
+	return elapsed
+}
+
+// Mean returns the average bandwidth over the whole trace.
+func (t *Trace) Mean() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range t.Samples {
+		sum += s
+	}
+	return sum / float64(len(t.Samples))
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of the samples.
+// It returns 0 for an empty or zero-mean trace.
+func (t *Trace) CoV() float64 {
+	m := t.Mean()
+	if m == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, s := range t.Samples {
+		d := s - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(t.Samples))) / m
+}
+
+// Min returns the smallest sample, or 0 for an empty trace.
+func (t *Trace) Min() float64 {
+	if len(t.Samples) == 0 {
+		return 0
+	}
+	m := t.Samples[0]
+	for _, s := range t.Samples[1:] {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or 0 for an empty trace.
+func (t *Trace) Max() float64 {
+	m := 0.0
+	for _, s := range t.Samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Scale returns a copy of the trace with every sample multiplied by f.
+// It is used to derive easier/harder variants of a trace set.
+func (t *Trace) Scale(f float64) *Trace {
+	out := &Trace{ID: t.ID, Interval: t.Interval, Samples: make([]float64, len(t.Samples))}
+	for i, s := range t.Samples {
+		out.Samples[i] = s * f
+	}
+	return out
+}
+
+// Validate reports whether the trace is usable for replay: a positive
+// interval, at least one sample, and no negative samples.
+func (t *Trace) Validate() error {
+	if t.Interval <= 0 {
+		return fmt.Errorf("trace %s: non-positive interval %v", t.ID, t.Interval)
+	}
+	if len(t.Samples) == 0 {
+		return errors.New("trace " + t.ID + ": no samples")
+	}
+	for i, s := range t.Samples {
+		if s < 0 {
+			return fmt.Errorf("trace %s: negative sample %v at index %d", t.ID, s, i)
+		}
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("trace %s: non-finite sample at index %d", t.ID, i)
+		}
+	}
+	return nil
+}

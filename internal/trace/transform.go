@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transformations for composing and reshaping traces: resampling to a
+// different interval, slicing windows, concatenation, and simple additive
+// shift — the toolbox for deriving controlled variants of real or
+// generated traces in experiments and tests.
+
+// Resample returns the trace re-sampled at a new interval, preserving the
+// byte volume of every span (each output sample is the time-weighted mean
+// of the inputs it covers).
+func (t *Trace) Resample(newInterval float64) (*Trace, error) {
+	if newInterval <= 0 {
+		return nil, fmt.Errorf("trace %s: non-positive resample interval", t.ID)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	dur := t.Duration()
+	n := int(math.Ceil(dur / newInterval))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		start := float64(i) * newInterval
+		end := start + newInterval
+		if end > dur {
+			end = dur
+		}
+		// Integrate bits over [start, end).
+		bits := 0.0
+		pos := start
+		for pos < end-1e-12 {
+			idx := int(pos / t.Interval)
+			if idx >= len(t.Samples) {
+				break
+			}
+			sliceEnd := math.Min(end, float64(idx+1)*t.Interval)
+			bits += t.Samples[idx] * (sliceEnd - pos)
+			pos = sliceEnd
+		}
+		span := end - start
+		if span > 0 {
+			out[i] = bits / span
+		}
+	}
+	return &Trace{ID: t.ID + "-rs", Interval: newInterval, Samples: out}, nil
+}
+
+// Slice returns the sub-trace covering [from, to) seconds, clamped to the
+// trace bounds.
+func (t *Trace) Slice(from, to float64) (*Trace, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if from < 0 {
+		from = 0
+	}
+	if to > t.Duration() {
+		to = t.Duration()
+	}
+	if to <= from {
+		return nil, fmt.Errorf("trace %s: empty slice [%g, %g)", t.ID, from, to)
+	}
+	lo := int(from / t.Interval)
+	hi := int(math.Ceil(to / t.Interval))
+	if hi > len(t.Samples) {
+		hi = len(t.Samples)
+	}
+	return &Trace{
+		ID:       fmt.Sprintf("%s[%g:%g]", t.ID, from, to),
+		Interval: t.Interval,
+		Samples:  append([]float64(nil), t.Samples[lo:hi]...),
+	}, nil
+}
+
+// Concat joins traces sampled at the same interval into one.
+func Concat(id string, traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: Concat of nothing")
+	}
+	interval := traces[0].Interval
+	var samples []float64
+	for _, t := range traces {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if t.Interval != interval {
+			return nil, fmt.Errorf("trace: Concat interval mismatch (%g vs %g)", t.Interval, interval)
+		}
+		samples = append(samples, t.Samples...)
+	}
+	return &Trace{ID: id, Interval: interval, Samples: samples}, nil
+}
+
+// Shift returns a copy with every sample offset by delta bits/sec, floored
+// at zero.
+func (t *Trace) Shift(delta float64) *Trace {
+	out := &Trace{ID: t.ID + "-sh", Interval: t.Interval, Samples: make([]float64, len(t.Samples))}
+	for i, s := range t.Samples {
+		v := s + delta
+		if v < 0 {
+			v = 0
+		}
+		out.Samples[i] = v
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResamplePreservesVolume(t *testing.T) {
+	orig := GenLTE(2)
+	for _, newIv := range []float64{0.5, 2, 5} {
+		rs, err := orig.Resample(newIv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Interval != newIv {
+			t.Errorf("interval = %v", rs.Interval)
+		}
+		// Total bits must be preserved (last partial window included).
+		origBits := orig.Mean() * orig.Duration()
+		var rsBits float64
+		for i, s := range rs.Samples {
+			span := newIv
+			if end := float64(i+1) * newIv; end > orig.Duration() {
+				span = orig.Duration() - float64(i)*newIv
+			}
+			rsBits += s * span
+		}
+		if rel := math.Abs(rsBits-origBits) / origBits; rel > 1e-9 {
+			t.Errorf("resample to %gs lost %.6f%% of volume", newIv, rel*100)
+		}
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	orig := Constant("c", 3e6, 10, 1)
+	rs, err := orig.Resample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs.Samples {
+		if math.Abs(rs.Samples[i]-3e6) > 1e-6 {
+			t.Fatalf("identity resample changed sample %d", i)
+		}
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	tr := Constant("c", 1e6, 10, 1)
+	if _, err := tr.Resample(0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := (&Trace{Interval: 1}).Resample(2); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := &Trace{ID: "t", Interval: 1, Samples: []float64{1, 2, 3, 4, 5}}
+	s, err := tr.Slice(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Samples) != 3 || s.Samples[0] != 2 || s.Samples[2] != 4 {
+		t.Errorf("slice = %v", s.Samples)
+	}
+	// Clamping.
+	s, err = tr.Slice(-5, 100)
+	if err != nil || len(s.Samples) != 5 {
+		t.Errorf("clamped slice = %v, %v", s, err)
+	}
+	if _, err := tr.Slice(4, 4); err == nil {
+		t.Error("empty slice accepted")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Constant("a", 1e6, 5, 1)
+	b := Constant("b", 2e6, 5, 1)
+	c, err := Concat("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Duration() != 10 {
+		t.Errorf("duration = %v", c.Duration())
+	}
+	if c.Samples[0] != 1e6 || c.Samples[9] != 2e6 {
+		t.Error("ordering lost")
+	}
+	if _, err := Concat("x"); err == nil {
+		t.Error("empty concat accepted")
+	}
+	d := Constant("d", 1e6, 5, 5)
+	if _, err := Concat("ad", a, d); err == nil {
+		t.Error("interval mismatch accepted")
+	}
+}
+
+func TestShift(t *testing.T) {
+	tr := &Trace{ID: "t", Interval: 1, Samples: []float64{1e6, 2e6}}
+	up := tr.Shift(5e5)
+	if up.Samples[0] != 1.5e6 {
+		t.Error("shift up wrong")
+	}
+	down := tr.Shift(-1.5e6)
+	if down.Samples[0] != 0 {
+		t.Error("shift floor broken")
+	}
+	if down.Samples[1] != 5e5 {
+		t.Error("shift down wrong")
+	}
+}
+
+func TestResampleDownloadEquivalence(t *testing.T) {
+	// Downloading through a resampled trace should take approximately the
+	// same time as the original for multi-window transfers.
+	orig := GenFCC(1)
+	rs, err := orig.Resample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sizeU uint16) bool {
+		bits := 1e6 + float64(sizeU)*1e4
+		a := orig.DownloadTime(10, bits)
+		b := rs.DownloadTime(10, bits)
+		// Allow one original sampling interval of divergence.
+		return math.Abs(a-b) <= orig.Interval+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

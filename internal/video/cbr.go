@@ -1,0 +1,94 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CBR support: the paper's introduction contrasts VBR against constant-
+// bitrate encoding, which gives every scene the same bit budget and
+// therefore constant bandwidth but *variable quality* — complex scenes
+// starve. GenerateCBR builds the CBR counterpart of a VBR encode from the
+// same latent complexity process, so the two can be compared head to head
+// (the "cbrvbr" experiment reproduces the §1 motivation: VBR achieves
+// better quality at the same average bitrate, especially for complex
+// scenes).
+
+// GenerateCBR synthesizes a CBR encode of the given config: identical
+// ladder and scene content, but per-chunk sizes held at the track target
+// with only small encoder jitter (real CBR still breathes a little within
+// the VBV window).
+func GenerateCBR(cfg GenConfig) *Video {
+	if cfg.ChunkDur <= 0 {
+		cfg.ChunkDur = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 600
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 24
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = seedFor(cfg.Name, cfg.Codec.String(), cfg.Source.String(), "cbr")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	n := int(math.Round(cfg.Duration / cfg.ChunkDur))
+	if n < 1 {
+		n = 1
+	}
+	complexity := ComplexityFor(cfg.Name, cfg.Genre, n, cfg.ChunkDur)
+
+	v := &Video{
+		Name:       cfg.Name + "-cbr",
+		Genre:      cfg.Genre,
+		Codec:      cfg.Codec,
+		Source:     cfg.Source,
+		ChunkDur:   cfg.ChunkDur,
+		Cap:        1.0,
+		FPS:        cfg.FPS,
+		Complexity: complexity,
+	}
+	codecF := 1.0
+	if cfg.Codec == H265 {
+		codecF = h265Efficiency
+	}
+	for li, res := range Ladder {
+		target := h264LadderBitrate[li] * codecF
+		sizes := make([]float64, n)
+		avg, peak := 0.0, 0.0
+		for i := range sizes {
+			// ±4% VBV breathing.
+			jitter := 1 + 0.04*(2*rng.Float64()-1)
+			sizes[i] = target * cfg.ChunkDur * jitter
+			avg += sizes[i]
+			if br := sizes[i] / cfg.ChunkDur; br > peak {
+				peak = br
+			}
+		}
+		avg /= float64(n) * cfg.ChunkDur
+		v.Tracks = append(v.Tracks, Track{
+			ID:              li,
+			Res:             res,
+			AvgBitrate:      avg,
+			PeakBitrate:     peak,
+			DeclaredBitrate: target,
+			ChunkSizes:      sizes,
+		})
+	}
+	return v
+}
+
+// CBRCounterpart returns the CBR encode matching a generated VBR video.
+func CBRCounterpart(v *Video) *Video {
+	return GenerateCBR(GenConfig{
+		Name:     v.Name,
+		Genre:    v.Genre,
+		Codec:    v.Codec,
+		Source:   v.Source,
+		ChunkDur: v.ChunkDur,
+		Duration: v.Duration(),
+		FPS:      v.FPS,
+	})
+}

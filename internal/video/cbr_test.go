@@ -1,0 +1,77 @@
+package video
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateCBRValid(t *testing.T) {
+	v := GenerateCBR(GenConfig{Name: "ED", Genre: SciFi, Codec: H264, Source: FFmpeg})
+	if err := v.Validate(); err != nil {
+		t.Fatalf("CBR video invalid: %v", err)
+	}
+	if v.Name != "ED-cbr" {
+		t.Errorf("name = %q", v.Name)
+	}
+}
+
+func TestCBRNearConstantBitrate(t *testing.T) {
+	v := GenerateCBR(GenConfig{Name: "ED", Genre: SciFi, Codec: H264, Source: FFmpeg})
+	for li, tr := range v.Tracks {
+		if cov := tr.CoV(); cov > 0.05 {
+			t.Errorf("CBR track %d CoV %.3f; should be nearly constant", li, cov)
+		}
+		if p2a := tr.PeakToAvg(); p2a > 1.1 {
+			t.Errorf("CBR track %d peak/avg %.3f", li, p2a)
+		}
+	}
+}
+
+func TestCBRSharesComplexityWithVBR(t *testing.T) {
+	cfg := GenConfig{Name: "ED", Genre: SciFi, Codec: H264, Source: FFmpeg, ChunkDur: 2}
+	vbr := Generate(cfg)
+	cbr := GenerateCBR(cfg)
+	if len(vbr.Complexity) != len(cbr.Complexity) {
+		t.Fatal("chunk counts differ")
+	}
+	for i := range vbr.Complexity {
+		if vbr.Complexity[i] != cbr.Complexity[i] {
+			t.Fatalf("complexity differs at chunk %d: same title must share scene content", i)
+		}
+	}
+}
+
+func TestComplexitySharedAcrossCodecsAndCaps(t *testing.T) {
+	// The same raw footage underlies every encode of a title: H.264,
+	// H.265 and the 4x-capped variant must share the complexity series.
+	h4 := FFmpegVideo(Title{"ED", SciFi}, H264)
+	h5 := FFmpegVideo(Title{"ED", SciFi}, H265)
+	c4 := Cap4xED()
+	for i := range h4.Complexity {
+		if h4.Complexity[i] != h5.Complexity[i] {
+			t.Fatal("H.264 and H.265 encodes diverge in content")
+		}
+		if h4.Complexity[i] != c4.Complexity[i] {
+			t.Fatal("2x and 4x encodes diverge in content")
+		}
+	}
+}
+
+func TestCBRCounterpartMatchesLadder(t *testing.T) {
+	vbr := FFmpegVideo(Title{"BBB", Animation}, H264)
+	cbr := CBRCounterpart(vbr)
+	if cbr.NumChunks() != vbr.NumChunks() || cbr.NumTracks() != vbr.NumTracks() {
+		t.Fatal("CBR counterpart dimensions differ")
+	}
+	for li := range vbr.Tracks {
+		rel := math.Abs(cbr.AvgBitrate(li)-vbr.AvgBitrate(li)) / vbr.AvgBitrate(li)
+		if rel > 0.03 {
+			t.Errorf("track %d average bitrate differs by %.1f%%", li, rel*100)
+		}
+	}
+	for i := range vbr.Complexity {
+		if vbr.Complexity[i] != cbr.Complexity[i] {
+			t.Fatal("counterpart content differs")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package video
+
+// The paper's 16-video dataset (§2):
+//
+//   - 8 FFmpeg encodes: the four Xiph open titles (Elephant Dream, Big Buck
+//     Bunny, Tears of Steel, Sintel), each encoded in H.264 and H.265 with
+//     2-second chunks and a 2× cap following Netflix's per-title recipe.
+//   - 8 YouTube encodes: the same four titles plus four downloaded videos
+//     (sports, animal, nature, action), all H.264 with ~5-second chunks.
+//
+// This file reconstructs that dataset deterministically.
+
+// Title describes one source title.
+type Title struct {
+	Name  string
+	Genre Genre
+}
+
+// OpenTitles are the four publicly available raw sources.
+var OpenTitles = []Title{
+	{"ED", SciFi},      // Elephant Dream
+	{"BBB", Animation}, // Big Buck Bunny
+	{"ToS", SciFi},     // Tears of Steel
+	{"Sintel", Animation},
+}
+
+// YouTubeOnlyTitles are the four additional YouTube-downloaded titles.
+var YouTubeOnlyTitles = []Title{
+	{"Sports", Sports},
+	{"Animal", Animal},
+	{"Nature", Nature},
+	{"Action", Action},
+}
+
+// FFmpegVideo generates one FFmpeg-pipeline encode (2-second chunks, 2× cap,
+// 24 fps film content).
+func FFmpegVideo(t Title, codec Codec) *Video {
+	return Generate(GenConfig{
+		Name:     t.Name,
+		Genre:    t.Genre,
+		Codec:    codec,
+		Source:   FFmpeg,
+		ChunkDur: 2,
+		Cap:      2.0,
+		Duration: 600,
+		FPS:      24,
+	})
+}
+
+// YouTubeVideo generates one YouTube-pipeline encode (5-second chunks,
+// H.264, 30 fps).
+func YouTubeVideo(t Title) *Video {
+	return Generate(GenConfig{
+		Name:     t.Name,
+		Genre:    t.Genre,
+		Codec:    H264,
+		Source:   YouTube,
+		ChunkDur: 5,
+		Cap:      2.0,
+		Duration: 600,
+		FPS:      30,
+	})
+}
+
+// Cap4xED generates the 4×-capped Elephant Dream encode used in the higher
+// bitrate-variability study (§3.3, §6.6).
+func Cap4xED() *Video {
+	return Generate(GenConfig{
+		Name:     "ED",
+		Genre:    SciFi,
+		Codec:    H264,
+		Source:   FFmpeg,
+		ChunkDur: 2,
+		Cap:      4.0,
+		Duration: 600,
+		FPS:      24,
+	})
+}
+
+// Dataset returns the full 16-video dataset in a stable order:
+// 8 FFmpeg encodes (4 titles × {H.264, H.265}) then 8 YouTube encodes.
+func Dataset() []*Video {
+	var out []*Video
+	for _, t := range OpenTitles {
+		out = append(out, FFmpegVideo(t, H264))
+	}
+	for _, t := range OpenTitles {
+		out = append(out, FFmpegVideo(t, H265))
+	}
+	for _, t := range OpenTitles {
+		out = append(out, YouTubeVideo(t))
+	}
+	for _, t := range YouTubeOnlyTitles {
+		out = append(out, YouTubeVideo(t))
+	}
+	return out
+}
+
+// YouTubeSet returns the 8 YouTube-encoded videos (Table 1's rows).
+func YouTubeSet() []*Video {
+	var out []*Video
+	for _, t := range OpenTitles {
+		out = append(out, YouTubeVideo(t))
+	}
+	for _, t := range YouTubeOnlyTitles {
+		out = append(out, YouTubeVideo(t))
+	}
+	return out
+}
+
+// FFmpegSet returns the 8 FFmpeg-encoded videos for the given codec order:
+// H.264 first, then H.265.
+func FFmpegSet() []*Video {
+	var out []*Video
+	for _, t := range OpenTitles {
+		out = append(out, FFmpegVideo(t, H264))
+	}
+	for _, t := range OpenTitles {
+		out = append(out, FFmpegVideo(t, H265))
+	}
+	return out
+}
+
+// ByID finds a video in the dataset by its ID string (e.g.
+// "ED-ffmpeg-h264"); it returns nil when absent.
+func ByID(id string) *Video {
+	for _, v := range Dataset() {
+		if v.ID() == id {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package video
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenConfig controls synthetic VBR encoding of one title.
+type GenConfig struct {
+	// Name is the title identifier ("ED", "BBB", ...).
+	Name string
+	// Genre shapes the scene-complexity process.
+	Genre Genre
+	// Codec selects the ladder bitrates (H.265 gets the efficiency factor).
+	Codec Codec
+	// Source selects the encoding pipeline defaults.
+	Source Source
+	// ChunkDur is the chunk duration in seconds (2 for FFmpeg, ~5 for YouTube).
+	ChunkDur float64
+	// Cap is the peak/average bitrate cap (2.0 per current HLS guidance;
+	// 4.0 for the §6.6 high-variability study).
+	Cap float64
+	// Duration is the content length in seconds (~600 in the paper).
+	Duration float64
+	// FPS is the frame rate (24 for film content, 30 for YouTube captures).
+	FPS float64
+	// Seed overrides the derived deterministic seed when non-zero.
+	Seed int64
+}
+
+// genreProfile shapes the scene process per content category.
+type genreProfile struct {
+	meanSceneSec float64 // average scene length
+	cxMean       float64 // average scene complexity
+	cxSpread     float64 // scene-to-scene complexity spread
+	jitter       float64 // within-scene complexity jitter
+}
+
+var genreProfiles = map[Genre]genreProfile{
+	Animation: {18, 0.42, 0.26, 0.05},
+	SciFi:     {14, 0.48, 0.27, 0.06},
+	Sports:    {10, 0.58, 0.24, 0.08},
+	Animal:    {16, 0.45, 0.22, 0.05},
+	Nature:    {22, 0.40, 0.24, 0.04},
+	Action:    {8, 0.60, 0.25, 0.09},
+}
+
+// demandShape maps latent complexity in [0,1] to a relative bit demand.
+// VBR encoding gives simple scenes fewer bits and complex scenes more bits
+// (§3.1.1); the convex shape below, after normalization and capping, yields
+// per-track CoV in the paper's reported 0.3–0.6 band, and its tail exceeds
+// 2× the mean for the most complex scenes so a 2× cap genuinely binds
+// (which is why the 4×-capped encode of §3.3 gives complex scenes more
+// bits and higher quality).
+func demandShape(c float64) float64 { return 0.25 + 0.60*c + 2.2*c*c }
+
+// variabilityShrink returns the deviation-shrink factor for a track: the two
+// lowest tracks exhibit the least bitrate variability because the low bitrate
+// bounds how much variability VBR can introduce (§2).
+func variabilityShrink(level, numTracks int) float64 {
+	switch level {
+	case 0:
+		return 0.50
+	case 1:
+		return 0.70
+	default:
+		return 1.0
+	}
+}
+
+// Generate synthesizes one VBR video from the config. The result is fully
+// deterministic for a given config.
+func Generate(cfg GenConfig) *Video {
+	if cfg.ChunkDur <= 0 {
+		cfg.ChunkDur = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 600
+	}
+	if cfg.Cap <= 0 {
+		cfg.Cap = 2.0
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 24
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = seedFor(cfg.Name, cfg.Codec.String(), cfg.Source.String(),
+			fmt.Sprintf("%g/%g", cfg.ChunkDur, cfg.Cap))
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	n := int(math.Round(cfg.Duration / cfg.ChunkDur))
+	if n < 1 {
+		n = 1
+	}
+	// The latent scene content belongs to the title, not the encode: the
+	// same raw footage yields the same complexity series regardless of
+	// codec or cap (chunk duration changes the sampling granularity, so it
+	// stays part of the content key).
+	complexity := ComplexityFor(cfg.Name, cfg.Genre, n, cfg.ChunkDur)
+
+	v := &Video{
+		Name:       cfg.Name,
+		Genre:      cfg.Genre,
+		Codec:      cfg.Codec,
+		Source:     cfg.Source,
+		ChunkDur:   cfg.ChunkDur,
+		Cap:        cfg.Cap,
+		FPS:        cfg.FPS,
+		Complexity: complexity,
+	}
+
+	codecF := 1.0
+	if cfg.Codec == H265 {
+		codecF = h265Efficiency
+	}
+	for li, res := range Ladder {
+		target := h264LadderBitrate[li] * codecF
+		sizes := allocate(rng, complexity, target, cfg.ChunkDur, cfg.Cap,
+			variabilityShrink(li, len(Ladder)))
+		avg, peak := 0.0, 0.0
+		for _, s := range sizes {
+			avg += s
+			if br := s / cfg.ChunkDur; br > peak {
+				peak = br
+			}
+		}
+		avg /= float64(len(sizes)) * cfg.ChunkDur
+		v.Tracks = append(v.Tracks, Track{
+			ID:              li,
+			Res:             res,
+			AvgBitrate:      avg,
+			PeakBitrate:     peak,
+			DeclaredBitrate: target,
+			ChunkSizes:      sizes,
+		})
+	}
+	return v
+}
+
+// ComplexityFor deterministically produces the latent per-chunk scene
+// complexity of a title: the content ground truth shared by every encode
+// of that title (H.264/H.265, any cap, CBR or VBR).
+func ComplexityFor(name string, g Genre, n int, chunkDur float64) []float64 {
+	seed := seedFor("complexity", name, g.String(), fmt.Sprintf("%g", chunkDur))
+	return genComplexity(rand.New(rand.NewSource(seed)), g, n, chunkDur)
+}
+
+// genComplexity produces the latent per-chunk scene complexity series:
+// scenes of geometric length with per-scene complexity drawn around the
+// genre mean, plus small within-scene AR(1) jitter.
+func genComplexity(rng *rand.Rand, g Genre, n int, chunkDur float64) []float64 {
+	p, ok := genreProfiles[g]
+	if !ok {
+		p = genreProfiles[Animation]
+	}
+	out := make([]float64, n)
+	i := 0
+	jit := 0.0
+	for i < n {
+		// Scene length in chunks (at least one chunk).
+		meanChunks := p.meanSceneSec / chunkDur
+		length := 1 + int(rng.ExpFloat64()*meanChunks)
+		if length < 1 {
+			length = 1
+		}
+		// Scene base complexity: genre mean plus spread, clamped to [0.03, 0.97].
+		base := p.cxMean + p.cxSpread*rng.NormFloat64()
+		// Occasional hero scenes: very complex action set pieces.
+		if rng.Float64() < 0.08 {
+			base = 0.78 + 0.15*rng.Float64()
+		}
+		base = clamp(base, 0.03, 0.97)
+		for k := 0; k < length && i < n; k++ {
+			jit = 0.7*jit + p.jitter*rng.NormFloat64()
+			out[i] = clamp(base+jit, 0, 1)
+			i++
+		}
+	}
+	return out
+}
+
+// allocate turns the complexity series into per-chunk sizes (bits) for one
+// track with the given target average bitrate, applying the cap and the
+// low-track variability shrink. Mirrors a two-pass capped-VBR encoder: the
+// first pass normalizes total bits to the target average; capping then
+// trims peaks and a renormalization pass redistributes the trimmed bits,
+// which lets a few chunks exceed the nominal cap slightly, exactly as the
+// paper observes for FFmpeg's -maxrate/-bufsize output.
+func allocate(rng *rand.Rand, complexity []float64, targetAvg, chunkDur, cap, shrink float64) []float64 {
+	n := len(complexity)
+	d := make([]float64, n)
+	sum := 0.0
+	for i, c := range complexity {
+		// Per-chunk encoder noise: scene cuts, reference-frame luck.
+		noise := math.Exp(0.05 * rng.NormFloat64())
+		d[i] = demandShape(c) * noise
+		sum += d[i]
+	}
+	mean := sum / float64(n)
+	// Normalize to mean 1, shrink deviations for low tracks.
+	for i := range d {
+		d[i] = 1 + shrink*(d[i]/mean-1)
+		if d[i] < 0.1 {
+			d[i] = 0.1
+		}
+	}
+	// Cap pass: VBV-style limit at cap× the average.
+	capped := 0.0
+	sum = 0
+	for i := range d {
+		if d[i] > cap {
+			capped += d[i] - cap
+			d[i] = cap
+		}
+		sum += d[i]
+	}
+	// Redistribute trimmed bits proportionally (renormalize to mean 1).
+	// This can push a few chunks slightly above the cap, matching reality.
+	scale := float64(n) / sum
+	for i := range d {
+		d[i] *= scale
+	}
+	out := make([]float64, n)
+	for i := range d {
+		out[i] = targetAvg * chunkDur * d[i]
+	}
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+# check is the one-command tier-1 gate every PR must pass.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

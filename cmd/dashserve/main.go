@@ -8,6 +8,10 @@
 // Serve and stream one session (the §6.8 experiment in one process):
 //
 //	dashserve -video BBB-youtube-h264 -trace lte:0 -scheme cava -run -scale 60
+//
+// Serve through a seeded fault profile and stream resiliently through it:
+//
+//	dashserve -video BBB-youtube-h264 -trace lte:0 -faults lossy -fault-seed 7 -run
 package main
 
 import (
@@ -36,6 +40,9 @@ func main() {
 		run       = flag.Bool("run", false, "also run a client session and print its metrics")
 		scheme    = flag.String("scheme", "cava", "client scheme: cava, bolae-peak, bolae-avg, bolae-seg")
 		chunksN   = flag.Int("chunks", 0, "client: stop after N chunks (0 = all)")
+		faults    = flag.String("faults", "none", "fault profile: none, transient, lossy, outage")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
+		resilient = flag.Bool("resilient", true, "client: retry/abandon/skip through faults instead of aborting")
 	)
 	flag.Parse()
 
@@ -60,7 +67,16 @@ func main() {
 		listener = dash.NewShapedListener(ln, dash.NewShaper(tr, *scale))
 		fmt.Printf("shaping with %s at %gx time scale\n", tr.ID, *scale)
 	}
-	srv := &http.Server{Handler: dash.NewServer(v).Handler()}
+	faultCfg, err := dash.FaultProfile(*faults, *faultSeed, *scale)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+		os.Exit(2)
+	}
+	injector := dash.NewFaultInjector(faultCfg, dash.NewServer(v).Handler())
+	if faultCfg.Active() {
+		fmt.Printf("injecting faults: profile %s, seed %d\n", *faults, *faultSeed)
+	}
+	srv := &http.Server{Handler: injector}
 	fmt.Printf("serving %s on http://%s\n", v.ID(), ln.Addr())
 
 	if !*run {
@@ -79,11 +95,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
 		os.Exit(2)
 	}
+	var rcfg *dash.ResilienceConfig
+	if *resilient {
+		rcfg = dash.DefaultResilience()
+		rcfg.JitterSeed = *faultSeed
+	}
 	client, err := dash.NewClient(dash.ClientConfig{
 		BaseURL:      "http://" + ln.Addr().String(),
 		NewAlgorithm: factory,
 		TimeScale:    *scale,
 		MaxChunks:    *chunksN,
+		Resilience:   rcfg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
@@ -101,4 +123,11 @@ func main() {
 		res.Scheme, len(res.Chunks), time.Since(start).Seconds(), res.SessionSec)
 	fmt.Printf("  Q4 quality %.1f | low-quality %.1f%% | rebuffer %.1fs | quality change %.2f | data %.1f MB\n",
 		s.Q4Quality, s.LowQualityPct, s.RebufferSec, s.QualityChange, s.DataMB)
+	if faultCfg.Active() {
+		fs := injector.Stats()
+		fmt.Printf("  faults injected: %d errors, %d resets, %d truncations, %d outage rejections (of %d requests)\n",
+			fs.Errors, fs.Resets, fs.Truncations, fs.OutageRejections, fs.Requests)
+		fmt.Printf("  client resilience: %d retries, %d truncations detected, %d abandonments, %d skipped chunks, %.2f MB wasted\n",
+			res.TotalRetries, res.TotalTruncations, res.TotalAbandonments, res.SkippedChunks, res.WastedBits/8/1e6)
+	}
 }

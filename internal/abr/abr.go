@@ -63,8 +63,11 @@ type Scheme struct {
 	New  Factory
 }
 
-// clampLevel bounds a level into the video's valid track range.
-func clampLevel(l, numTracks int) int {
+// ClampLevel bounds a level into the video's valid track range. It is the
+// single clamping rule shared by the simulator and the live DASH client, so
+// the two execution paths cannot drift in how they defend against an
+// out-of-range Select result.
+func ClampLevel(l, numTracks int) int {
 	if l < 0 {
 		return 0
 	}
@@ -73,6 +76,9 @@ func clampLevel(l, numTracks int) int {
 	}
 	return l
 }
+
+// clampLevel is the historical package-private spelling.
+func clampLevel(l, numTracks int) int { return ClampLevel(l, numTracks) }
 
 // Fixed returns an Algorithm that always selects the same track level,
 // useful as a floor/ceiling reference and in tests.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"time"
 
@@ -16,7 +17,9 @@ import (
 type ClientConfig struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTPClient performs the requests; nil uses http.DefaultClient.
+	// HTTPClient performs the requests; nil uses a client with sane
+	// connect/header/overall timeouts (http.DefaultClient never times out,
+	// so a hung server would block Run until the caller's context fires).
 	HTTPClient *http.Client
 	// NewAlgorithm builds the adaptation logic from the client-side video
 	// view reconstructed from the manifest.
@@ -34,6 +37,25 @@ type ClientConfig struct {
 	// MaxChunks truncates the session after this many segments (0 = all),
 	// keeping integration tests fast.
 	MaxChunks int
+	// Resilience, when non-nil, enables the fault-tolerant fetch pipeline
+	// (retries, truncation detection, abandonment, skip accounting); see
+	// ResilienceConfig. Nil keeps the legacy fail-fast behaviour.
+	Resilience *ResilienceConfig
+}
+
+// newDefaultHTTPClient builds the default transport: bounded connect and
+// response-header waits plus a generous overall backstop, so a dead or
+// hung server surfaces as an error instead of a silent hang.
+func newDefaultHTTPClient() *http.Client {
+	return &http.Client{
+		Timeout: 5 * time.Minute,
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 30 * time.Second,
+			TLSHandshakeTimeout:   10 * time.Second,
+			MaxIdleConnsPerHost:   4,
+		},
+	}
 }
 
 // Client streams a video over HTTP under an ABR algorithm, reporting the
@@ -61,7 +83,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cfg.MaxBufferSec = 100
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = http.DefaultClient
+		cfg.HTTPClient = newDefaultHTTPClient()
 	}
 	if cfg.Predictor == nil {
 		cfg.Predictor = bandwidth.NewHarmonicMean(bandwidth.DefaultWindow)
@@ -104,10 +126,45 @@ func (c *Client) fetchManifestAs(ctx context.Context, path string,
 }
 
 // Run streams the video and returns the session result in virtual time.
+// With cfg.Resilience set, transient faults (5xx, resets, truncation, slow
+// segments) are absorbed per the policy and surface as resilience counters
+// on the Result instead of aborting the session.
 func (c *Client) Run(ctx context.Context) (*player.Result, error) {
-	m, err := c.FetchManifest(ctx)
+	scale := c.cfg.TimeScale
+	start := time.Now()
+	vnow := func() float64 { return time.Since(start).Seconds() * scale }
+	// sleepVirtual idles for d virtual seconds.
+	sleepVirtual := func(d float64) error {
+		if d <= 0 {
+			return nil
+		}
+		t := time.NewTimer(time.Duration(d / scale * float64(time.Second)))
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	}
+
+	var fx *fetcher
+	if c.cfg.Resilience != nil {
+		fx = newFetcher(c, nil, *c.cfg.Resilience, vnow, sleepVirtual)
+	}
+
+	var m *Manifest
+	var err error
+	if fx != nil {
+		m, err = fx.fetchManifestResilient(ctx)
+	} else {
+		m, err = c.FetchManifest(ctx)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if fx != nil {
+		fx.m = m
 	}
 	view := m.ToVideo()
 	algo := c.cfg.NewAlgorithm(view)
@@ -121,15 +178,13 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 	}
 
 	res := &player.Result{VideoID: m.VideoID, TraceID: "live", Scheme: algo.Name()}
-	scale := c.cfg.TimeScale
-	start := time.Now()
-	vnow := func() float64 { return time.Since(start).Seconds() * scale }
 
 	buffer := 0.0
 	lastV := 0.0
 	playing := false
 	prevLevel := -1
 	lastThroughput := 0.0
+	consecSkips := 0
 
 	// advance moves the virtual clock to v, draining the buffer while
 	// playing and returning stall seconds.
@@ -147,21 +202,6 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 		buffer = 0
 		return stall
 	}
-	// sleepVirtual idles for d virtual seconds.
-	sleepVirtual := func(d float64) error {
-		if d <= 0 {
-			return nil
-		}
-		t := time.NewTimer(time.Duration(d / scale * float64(time.Second)))
-		defer t.Stop()
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-t.C:
-			return nil
-		}
-	}
-
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -197,41 +237,79 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 		}
 
 		st.Now, st.Buffer, st.Est = vnow(), buffer, pred.Predict(vnow())
-		level := algo.Select(st)
-		if level < 0 {
-			level = 0
-		}
-		if level >= len(m.Tracks) {
-			level = len(m.Tracks) - 1
-		}
+		level := abr.ClampLevel(algo.Select(st), len(m.Tracks))
 
 		v0 := vnow()
-		bytes, err := c.fetchSegment(ctx, level, i)
-		if err != nil {
-			return nil, err
+		var sf segmentFetch
+		if fx != nil {
+			sf, err = fx.fetch(ctx, level, i, buffer, st.Est, playing)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			bytes, err := c.fetchSegment(ctx, level, i)
+			if err != nil {
+				return nil, err
+			}
+			sf = segmentFetch{Bytes: bytes, Level: level}
 		}
 		v1 := vnow()
 		vdur := v1 - v0
-		bits := float64(bytes) * 8
+		bits := float64(sf.Bytes) * 8
 
-		rec.Level = level
+		rec.Level = sf.Level
 		rec.SizeBits = bits
 		rec.StartTime = v0
 		rec.DownloadSec = vdur
-		if vdur > 0 {
+		rec.Retries = sf.Retries
+		rec.Truncations = sf.Truncations
+		rec.Abandonments = sf.Abandonments
+		rec.WastedBits = sf.WastedBits
+		rec.Skipped = sf.Skipped
+		if vdur > 0 && !sf.Skipped {
 			rec.Throughput = bits / vdur
 		}
 		stall := advance(v1)
 		res.TotalRebufferSec += stall
 		rec.RebufferSec += stall
-		buffer += m.ChunkDur
-		rec.BufferAfter = buffer
+		res.TotalRetries += sf.Retries
+		res.TotalTruncations += sf.Truncations
+		res.TotalAbandonments += sf.Abandonments
+		res.WastedBits += sf.WastedBits
 
-		pred.ObserveDownload(bits, vdur)
-		lastThroughput = rec.Throughput
-		prevLevel = level
-		res.Chunks = append(res.Chunks, rec)
-		res.TotalBits += bits
+		if sf.Skipped {
+			// Graceful degradation: the segment is gone; playback jumps
+			// the gap, which the viewer experiences as a stall of one
+			// segment duration.
+			consecSkips++
+			if fx != nil && consecSkips > fx.rc.MaxConsecutiveSkips {
+				return nil, fmt.Errorf("dash: aborting after %d consecutive skipped segments (segment %d)",
+					consecSkips, i)
+			}
+			res.SkippedChunks++
+			res.TotalRebufferSec += m.ChunkDur
+			rec.RebufferSec += m.ChunkDur
+			rec.BufferAfter = buffer
+			res.Chunks = append(res.Chunks, rec)
+			// The gap is real time: playback freezes for one segment
+			// duration when the playhead reaches the hole. Let it elapse
+			// without draining the buffer (playback is frozen, and the
+			// stall is already accounted above).
+			if err := sleepVirtual(m.ChunkDur); err != nil {
+				return nil, err
+			}
+			lastV = vnow()
+		} else {
+			consecSkips = 0
+			buffer += m.ChunkDur
+			rec.BufferAfter = buffer
+
+			pred.ObserveDownload(bits, vdur)
+			lastThroughput = rec.Throughput
+			prevLevel = sf.Level
+			res.Chunks = append(res.Chunks, rec)
+			res.TotalBits += bits
+		}
 
 		if !playing && (buffer >= c.cfg.StartupSec || i == n-1) {
 			playing = true
@@ -243,7 +321,10 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 	return res, nil
 }
 
-// fetchSegment downloads one segment fully, returning its byte count.
+// fetchSegment downloads one segment fully, returning its byte count. The
+// bytes read are verified against the declared Content-Length: a truncated
+// body must error, not masquerade as a smaller, faster download (which
+// would corrupt the throughput estimate feeding the ABR loop).
 func (c *Client) fetchSegment(ctx context.Context, track, index int) (int64, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+SegmentURL(track, index), nil)
 	if err != nil {
@@ -257,5 +338,10 @@ func (c *Client) fetchSegment(ctx context.Context, track, index int) (int64, err
 	if resp.StatusCode != http.StatusOK {
 		return 0, fmt.Errorf("dash: segment %d/%d status %s", track, index, resp.Status)
 	}
-	return io.Copy(io.Discard, resp.Body)
+	n, err := io.Copy(io.Discard, resp.Body)
+	if declared := resp.ContentLength; declared >= 0 && n != declared {
+		return n, fmt.Errorf("dash: segment %d/%d: %w: read %d of %d bytes",
+			track, index, errTruncated, n, declared)
+	}
+	return n, err
 }

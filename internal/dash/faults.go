@@ -1,0 +1,370 @@
+package dash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultConfig describes the failure behaviour of the testbed link/server,
+// emulating the transient errors real CDN edges and cellular links exhibit
+// (§6.8 runs over emulated LTE, where mid-session failures are the norm).
+//
+// Every decision is a pure function of (Seed, request path, attempt number
+// for that path), so a fault schedule is exactly reproducible across runs
+// and independent of request interleaving: retrying the same segment sees a
+// fresh (but still deterministic) draw, and concurrent clients do not
+// perturb each other's schedules.
+//
+// Probabilities are per-request in [0, 1] and are evaluated in a fixed
+// precedence order: outage window, connection reset, HTTP error, body
+// truncation; latency and mid-body stalls compose with a successful
+// response. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed drives every pseudo-random decision.
+	Seed int64
+	// ErrorProb is the probability of answering 503 Service Unavailable.
+	ErrorProb float64
+	// ResetProb is the probability of dropping the connection without a
+	// response (the client observes EOF / connection reset).
+	ResetProb float64
+	// TruncateProb is the probability of declaring the full Content-Length
+	// but sending only TruncateFrac of the body before closing.
+	TruncateProb float64
+	// TruncateFrac is the delivered fraction of a truncated body
+	// (default 0.5; clamped to (0, 1)).
+	TruncateFrac float64
+	// LatencyProb and LatencySec inject a response-latency spike: the
+	// response is delayed by LatencySec virtual seconds.
+	LatencyProb float64
+	LatencySec  float64
+	// StallProb and StallSec freeze the body mid-transfer once, halfway
+	// through, for StallSec virtual seconds (a slow segment, not an error).
+	StallProb float64
+	StallSec  float64
+	// Outages are virtual-time windows (seconds since the injector's first
+	// request) during which every request is answered 503.
+	Outages []OutageWindow
+	// TimeScale converts wall time to virtual time for Outages, LatencySec
+	// and StallSec; it must match the shaper/client scale (default 1).
+	TimeScale float64
+	// SegmentsOnly restricts injection to segment requests (/seg/...),
+	// leaving manifests and playlists untouched.
+	SegmentsOnly bool
+}
+
+// OutageWindow is a half-open virtual-time interval [StartSec, EndSec).
+type OutageWindow struct {
+	StartSec, EndSec float64
+}
+
+// Validate rejects malformed configurations.
+func (c *FaultConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ErrorProb", c.ErrorProb}, {"ResetProb", c.ResetProb},
+		{"TruncateProb", c.TruncateProb}, {"LatencyProb", c.LatencyProb},
+		{"StallProb", c.StallProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("dash: fault %s = %v out of [0,1]", p.name, p.v)
+		}
+	}
+	for _, w := range c.Outages {
+		if w.EndSec <= w.StartSec || w.StartSec < 0 {
+			return fmt.Errorf("dash: bad outage window [%v,%v)", w.StartSec, w.EndSec)
+		}
+	}
+	return nil
+}
+
+// Active reports whether the config injects any fault at all.
+func (c *FaultConfig) Active() bool {
+	return c.ErrorProb > 0 || c.ResetProb > 0 || c.TruncateProb > 0 ||
+		c.LatencyProb > 0 || c.StallProb > 0 || len(c.Outages) > 0
+}
+
+// FaultStats counts injected events, for reporting and assertions.
+type FaultStats struct {
+	// Requests is the total number of requests seen (faulted or not).
+	Requests int
+	// Errors counts injected 503 responses (outside outage windows).
+	Errors int
+	// Resets counts dropped connections.
+	Resets int
+	// Truncations counts short bodies.
+	Truncations int
+	// Latencies and Stalls count injected delays.
+	Latencies int
+	Stalls    int
+	// OutageRejections counts requests refused inside an outage window.
+	OutageRejections int
+}
+
+// FaultInjector is an http.Handler middleware that applies a FaultConfig in
+// front of an inner handler. It is safe for concurrent use.
+type FaultInjector struct {
+	cfg   FaultConfig
+	inner http.Handler
+
+	mu       sync.Mutex
+	start    time.Time
+	attempts map[string]uint64
+	stats    FaultStats
+}
+
+// NewFaultInjector wraps inner with the fault model. A nil-effect (inactive)
+// config passes everything through untouched.
+func NewFaultInjector(cfg FaultConfig, inner http.Handler) *FaultInjector {
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	if cfg.TruncateFrac <= 0 || cfg.TruncateFrac >= 1 {
+		cfg.TruncateFrac = 0.5
+	}
+	return &FaultInjector{cfg: cfg, inner: inner, attempts: make(map[string]uint64)}
+}
+
+// Stats returns a snapshot of the injected-event counters.
+func (f *FaultInjector) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// decision is the fault plan for one request.
+type decision struct {
+	outage   bool
+	reset    bool
+	httpErr  bool
+	truncate bool
+	latency  bool
+	stall    bool
+}
+
+// draw derives a uniform [0,1) float from (seed, path, attempt, salt) via
+// FNV-1a + a splitmix64 finalizer: cheap, stable across runs, and with no
+// shared-state ordering dependence.
+func draw(seed int64, path string, attempt uint64, salt uint64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", seed, path, attempt, salt)
+	x := h.Sum64()
+	// splitmix64 finalizer to decorrelate the FNV lanes.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// plan computes the request's fault decision and updates counters.
+func (f *FaultInjector) plan(path string) decision {
+	f.mu.Lock()
+	now := time.Now()
+	if f.start.IsZero() {
+		f.start = now
+	}
+	vt := now.Sub(f.start).Seconds() * f.cfg.TimeScale
+	attempt := f.attempts[path]
+	f.attempts[path] = attempt + 1
+	f.stats.Requests++
+	f.mu.Unlock()
+
+	var d decision
+	for _, w := range f.cfg.Outages {
+		if vt >= w.StartSec && vt < w.EndSec {
+			d.outage = true
+		}
+	}
+	seed := f.cfg.Seed
+	switch {
+	case d.outage:
+	case draw(seed, path, attempt, 1) < f.cfg.ResetProb:
+		d.reset = true
+	case draw(seed, path, attempt, 2) < f.cfg.ErrorProb:
+		d.httpErr = true
+	case draw(seed, path, attempt, 3) < f.cfg.TruncateProb:
+		d.truncate = true
+	}
+	if !d.outage && !d.reset && !d.httpErr {
+		d.latency = draw(seed, path, attempt, 4) < f.cfg.LatencyProb
+		d.stall = draw(seed, path, attempt, 5) < f.cfg.StallProb
+	}
+
+	f.mu.Lock()
+	switch {
+	case d.outage:
+		f.stats.OutageRejections++
+	case d.reset:
+		f.stats.Resets++
+	case d.httpErr:
+		f.stats.Errors++
+	case d.truncate:
+		f.stats.Truncations++
+	}
+	if d.latency {
+		f.stats.Latencies++
+	}
+	if d.stall {
+		f.stats.Stalls++
+	}
+	f.mu.Unlock()
+	return d
+}
+
+// ServeHTTP implements http.Handler.
+func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !f.cfg.Active() ||
+		(f.cfg.SegmentsOnly && !strings.HasPrefix(r.URL.Path, "/seg/")) {
+		f.inner.ServeHTTP(w, r)
+		return
+	}
+	d := f.plan(r.URL.Path)
+	switch {
+	case d.outage:
+		http.Error(w, "injected outage", http.StatusServiceUnavailable)
+		return
+	case d.reset:
+		// ErrAbortHandler makes the server drop the connection without a
+		// response and without logging a stack trace.
+		panic(http.ErrAbortHandler)
+	case d.httpErr:
+		http.Error(w, "injected server error", http.StatusServiceUnavailable)
+		return
+	}
+	if d.latency && f.cfg.LatencySec > 0 {
+		time.Sleep(wallDuration(f.cfg.LatencySec, f.cfg.TimeScale))
+	}
+	out := http.ResponseWriter(w)
+	if d.truncate || d.stall {
+		out = &faultWriter{
+			ResponseWriter: w,
+			truncate:       d.truncate,
+			truncFrac:      f.cfg.TruncateFrac,
+			stall:          d.stall,
+			stallWall:      wallDuration(f.cfg.StallSec, f.cfg.TimeScale),
+		}
+	}
+	f.inner.ServeHTTP(out, r)
+}
+
+// wallDuration converts virtual seconds to a wall-clock duration.
+func wallDuration(virtualSec, scale float64) time.Duration {
+	return time.Duration(virtualSec / scale * float64(time.Second))
+}
+
+// faultWriter applies body-level faults: it discovers the declared
+// Content-Length at the first write, silently drops bytes past the
+// truncation point (the server then closes the connection short of the
+// declared length), and freezes once halfway through for the stall case.
+type faultWriter struct {
+	http.ResponseWriter
+	truncate  bool
+	truncFrac float64
+	stall     bool
+	stallWall time.Duration
+
+	declared int64 // from Content-Length; -1 when absent
+	written  int64
+	limit    int64 // bytes allowed through when truncating
+	half     int64 // stall trigger point
+	inited   bool
+	stalled  bool
+}
+
+func (fw *faultWriter) init() {
+	if fw.inited {
+		return
+	}
+	fw.inited = true
+	fw.declared = -1
+	if cl := fw.Header().Get("Content-Length"); cl != "" {
+		var n int64
+		if _, err := fmt.Sscanf(cl, "%d", &n); err == nil {
+			fw.declared = n
+		}
+	}
+	if fw.declared > 0 {
+		fw.limit = int64(float64(fw.declared) * fw.truncFrac)
+		if fw.limit < 1 {
+			fw.limit = 1
+		}
+		fw.half = fw.declared / 2
+	} else {
+		// No declared length: truncation cannot be detected by the client
+		// anyway; pass one write through then cut, and stall immediately.
+		fw.limit = 1
+		fw.half = 0
+	}
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	fw.init()
+	if fw.stall && !fw.stalled && fw.written >= fw.half {
+		fw.stalled = true
+		time.Sleep(fw.stallWall)
+	}
+	if fw.truncate {
+		remain := fw.limit - fw.written
+		if remain <= 0 {
+			// Report success so the inner handler keeps its invariants;
+			// the bytes never reach the wire and the server closes the
+			// connection short.
+			fw.written += int64(len(p))
+			return len(p), nil
+		}
+		if int64(len(p)) > remain {
+			n, err := fw.ResponseWriter.Write(p[:remain])
+			fw.written += int64(len(p))
+			if err != nil {
+				return n, err
+			}
+			return len(p), nil
+		}
+	}
+	n, err := fw.ResponseWriter.Write(p)
+	fw.written += int64(n)
+	return n, err
+}
+
+// FaultProfileNames lists the built-in named fault profiles.
+func FaultProfileNames() []string {
+	return []string{"none", "transient", "lossy", "outage"}
+}
+
+// FaultProfile resolves a named fault profile. Profiles model §6.8-style
+// LTE conditions: "transient" is sporadic 5xx/truncation with latency
+// spikes, "lossy" adds connection resets and mid-body stalls, "outage"
+// is a scheduled 12-second (virtual) dead window on top of light errors.
+func FaultProfile(name string, seed int64, timeScale float64) (FaultConfig, error) {
+	base := FaultConfig{Seed: seed, TimeScale: timeScale, SegmentsOnly: true}
+	switch name {
+	case "none", "":
+		return FaultConfig{TimeScale: timeScale}, nil
+	case "transient":
+		base.ErrorProb = 0.12
+		base.TruncateProb = 0.06
+		base.LatencyProb = 0.10
+		base.LatencySec = 0.3
+		return base, nil
+	case "lossy":
+		base.ErrorProb = 0.08
+		base.ResetProb = 0.08
+		base.TruncateProb = 0.08
+		base.StallProb = 0.05
+		base.StallSec = 1
+		return base, nil
+	case "outage":
+		base.ErrorProb = 0.02
+		base.Outages = []OutageWindow{{StartSec: 30, EndSec: 42}}
+		return base, nil
+	}
+	return FaultConfig{}, fmt.Errorf("dash: unknown fault profile %q (have %v)",
+		name, FaultProfileNames())
+}

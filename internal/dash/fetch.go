@@ -1,0 +1,326 @@
+package dash
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+
+	"cava/internal/abr"
+)
+
+// ResilienceConfig tunes the client's fault-tolerant fetch pipeline.
+// A nil ResilienceConfig on the ClientConfig keeps the legacy fail-fast
+// behaviour (any transport error aborts the session); a non-nil config —
+// DefaultResilience() for the standard policy — makes the client survive
+// transient faults the way production players do: capped-backoff retries,
+// truncation detection, mid-download abandonment with a downshift, and
+// skip-with-stall accounting once retries are exhausted.
+//
+// All durations are virtual seconds (scaled by ClientConfig.TimeScale),
+// so the policy is invariant under time compression.
+type ResilienceConfig struct {
+	// MaxRetries is the number of re-attempts per segment after the first
+	// try fails (default 3).
+	MaxRetries int
+	// BaseBackoffSec and MaxBackoffSec bound the exponential backoff
+	// between attempts (defaults 0.25 and 4 virtual seconds). The actual
+	// wait is the capped exponential scaled by a seeded jitter in
+	// [0.5, 1.0), so retry storms from concurrent clients decorrelate
+	// while staying reproducible.
+	BaseBackoffSec float64
+	MaxBackoffSec  float64
+	// JitterSeed seeds the backoff jitter (sessions with equal seeds
+	// replay identical schedules).
+	JitterSeed int64
+	// DeadlineFactor caps each attempt at DeadlineFactor × the predicted
+	// download time (from the bandwidth estimate), clamped to
+	// [MinDeadlineSec, MaxDeadlineSec]. 0 disables per-attempt deadlines.
+	DeadlineFactor float64
+	// MinDeadlineSec and MaxDeadlineSec clamp the per-attempt deadline
+	// (defaults 4 and 60 virtual seconds).
+	MinDeadlineSec float64
+	MaxDeadlineSec float64
+	// AbandonEnabled turns on mid-download segment abandonment (the
+	// BOLA-E/paper "proactive" rule): when the projected finish time of an
+	// in-flight download would drain the playback buffer, give up and
+	// downshift one track.
+	AbandonEnabled bool
+	// AbandonSafetySec is the buffer headroom (virtual seconds) kept when
+	// projecting: abandon when projected remaining time exceeds
+	// buffer − AbandonSafetySec (default 1).
+	AbandonSafetySec float64
+	// AbandonCheckBytes is the minimum bytes observed before the rate
+	// projection is trusted (default 16 KiB).
+	AbandonCheckBytes int64
+	// MaxConsecutiveSkips bounds graceful degradation: after this many
+	// back-to-back skipped segments the session aborts (the server is
+	// gone, not glitching). Default 20.
+	MaxConsecutiveSkips int
+}
+
+// DefaultResilience returns the standard resilient-fetch policy.
+func DefaultResilience() *ResilienceConfig {
+	return &ResilienceConfig{
+		MaxRetries:          3,
+		BaseBackoffSec:      0.25,
+		MaxBackoffSec:       4,
+		DeadlineFactor:      6,
+		MinDeadlineSec:      4,
+		MaxDeadlineSec:      60,
+		AbandonEnabled:      true,
+		AbandonSafetySec:    1,
+		AbandonCheckBytes:   16 << 10,
+		MaxConsecutiveSkips: 20,
+	}
+}
+
+// withDefaults fills zero fields with the standard policy values.
+func (rc ResilienceConfig) withDefaults() ResilienceConfig {
+	d := DefaultResilience()
+	if rc.MaxRetries <= 0 {
+		rc.MaxRetries = d.MaxRetries
+	}
+	if rc.BaseBackoffSec <= 0 {
+		rc.BaseBackoffSec = d.BaseBackoffSec
+	}
+	if rc.MaxBackoffSec <= 0 {
+		rc.MaxBackoffSec = d.MaxBackoffSec
+	}
+	if rc.MinDeadlineSec <= 0 {
+		rc.MinDeadlineSec = d.MinDeadlineSec
+	}
+	if rc.MaxDeadlineSec <= 0 {
+		rc.MaxDeadlineSec = d.MaxDeadlineSec
+	}
+	if rc.AbandonSafetySec <= 0 {
+		rc.AbandonSafetySec = d.AbandonSafetySec
+	}
+	if rc.AbandonCheckBytes <= 0 {
+		rc.AbandonCheckBytes = d.AbandonCheckBytes
+	}
+	if rc.MaxConsecutiveSkips <= 0 {
+		rc.MaxConsecutiveSkips = d.MaxConsecutiveSkips
+	}
+	return rc
+}
+
+// errTruncated marks a download whose body fell short of Content-Length.
+var errTruncated = errors.New("dash: truncated segment body")
+
+// errAbandoned marks a download given up mid-flight for being too slow.
+var errAbandoned = errors.New("dash: segment download abandoned")
+
+// segmentFetch is the outcome of the resilient pipeline for one segment.
+type segmentFetch struct {
+	// Bytes is the delivered size of the successful attempt (0 if skipped).
+	Bytes int64
+	// Level is the track actually delivered (≤ requested after downshifts).
+	Level int
+	// Retries counts failed attempts that were retried.
+	Retries int
+	// Truncations counts attempts rejected for a short body.
+	Truncations int
+	// Abandonments counts mid-flight downshifts.
+	Abandonments int
+	// WastedBits counts bits of abandoned partial downloads (they crossed
+	// the link but deliver no video).
+	WastedBits float64
+	// Skipped reports that every attempt failed and playback moves on.
+	Skipped bool
+}
+
+// fetcher runs the resilient download pipeline for one session. It is
+// created per Run and is not safe for concurrent use (sessions are
+// sequential by construction).
+type fetcher struct {
+	c     *Client
+	m     *Manifest
+	rc    ResilienceConfig
+	rng   *rand.Rand
+	vnow  func() float64
+	sleep func(float64) error // virtual-seconds sleep, ctx-aware
+	scale float64
+}
+
+func newFetcher(c *Client, m *Manifest, rc ResilienceConfig,
+	vnow func() float64, sleep func(float64) error) *fetcher {
+	return &fetcher{
+		c:     c,
+		m:     m,
+		rc:    rc.withDefaults(),
+		rng:   rand.New(rand.NewSource(rc.JitterSeed)),
+		vnow:  vnow,
+		sleep: sleep,
+		scale: c.cfg.TimeScale,
+	}
+}
+
+// backoff returns the jittered capped-exponential wait before retry r
+// (0-based), in virtual seconds.
+func (f *fetcher) backoff(r int) float64 {
+	d := f.rc.BaseBackoffSec
+	for i := 0; i < r && d < f.rc.MaxBackoffSec; i++ {
+		d *= 2
+	}
+	if d > f.rc.MaxBackoffSec {
+		d = f.rc.MaxBackoffSec
+	}
+	return d * (0.5 + 0.5*f.rng.Float64())
+}
+
+// deadline returns the per-attempt virtual-time budget for a segment of
+// sizeBits under bandwidth estimate est, or 0 for no deadline.
+func (f *fetcher) deadline(sizeBits, est float64) float64 {
+	if f.rc.DeadlineFactor <= 0 {
+		return 0
+	}
+	d := f.rc.MaxDeadlineSec
+	if est > 0 {
+		d = f.rc.DeadlineFactor * sizeBits / est
+	}
+	if d < f.rc.MinDeadlineSec {
+		d = f.rc.MinDeadlineSec
+	}
+	if d > f.rc.MaxDeadlineSec {
+		d = f.rc.MaxDeadlineSec
+	}
+	return d
+}
+
+// fetch downloads segment index at the requested level, absorbing faults
+// per the policy. It returns an error only for fatal conditions (context
+// cancellation or the consecutive-skip bound tripping elsewhere); per-
+// segment failure surfaces as Skipped.
+func (f *fetcher) fetch(ctx context.Context, level, index int,
+	buffer, est float64, playing bool) (segmentFetch, error) {
+	sf := segmentFetch{Level: level}
+	for {
+		if err := ctx.Err(); err != nil {
+			return sf, err
+		}
+		attemptCtx := ctx
+		cancel := context.CancelFunc(func() {})
+		if d := f.deadline(f.m.Tracks[sf.Level].SegmentBits[index], est); d > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, wallDuration(d, f.scale))
+		}
+		n, err := f.fetchOnce(attemptCtx, sf.Level, index, buffer, est, playing)
+		cancel()
+		if err == nil {
+			sf.Bytes = n
+			return sf, nil
+		}
+		if ctx.Err() != nil {
+			// The session, not the attempt, was cancelled.
+			return sf, ctx.Err()
+		}
+		switch {
+		case errors.Is(err, errAbandoned):
+			// Downshift and refetch immediately; the partial bytes are
+			// sunk cost on the link.
+			sf.Abandonments++
+			sf.WastedBits += float64(n) * 8
+			sf.Level = abr.ClampLevel(sf.Level-1, len(f.m.Tracks))
+			continue
+		case errors.Is(err, errTruncated):
+			sf.Truncations++
+		}
+		if sf.Retries >= f.rc.MaxRetries {
+			sf.Skipped = true
+			sf.Bytes = 0
+			return sf, nil
+		}
+		sf.Retries++
+		if err := f.sleep(f.backoff(sf.Retries - 1)); err != nil {
+			return sf, err
+		}
+	}
+}
+
+// fetchOnce performs a single monitored download attempt.
+func (f *fetcher) fetchOnce(ctx context.Context, level, index int,
+	buffer, est float64, playing bool) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.c.cfg.BaseURL+SegmentURL(level, index), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("dash: fetching segment %d/%d: %w", level, index, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("dash: segment %d/%d status %s", level, index, resp.Status)
+	}
+
+	declared := resp.ContentLength
+	startV := f.vnow()
+	var total int64
+	buf := make([]byte, 16<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		total += int64(n)
+
+		// Abandonment check: would finishing this download at the observed
+		// rate stall playback? Only meaningful mid-download, with a rate
+		// sample, a known size, and a lower track to fall back to.
+		if f.rc.AbandonEnabled && playing && level > 0 && declared > 0 &&
+			total >= f.rc.AbandonCheckBytes && total < declared {
+			elapsed := f.vnow() - startV
+			if elapsed > 0 {
+				rate := float64(total) / elapsed // bytes per virtual second
+				remainSec := float64(declared-total) / rate
+				if remainSec > buffer-elapsed-f.rc.AbandonSafetySec {
+					return total, errAbandoned
+				}
+			}
+		}
+
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// Attempt deadline or session cancellation, not a short
+				// body from the server.
+				return total, fmt.Errorf("dash: segment %d/%d: %w", level, index, cerr)
+			}
+			if declared >= 0 && total < declared {
+				return total, fmt.Errorf("dash: segment %d/%d: %w after %d/%d bytes (%v)",
+					level, index, errTruncated, total, declared, rerr)
+			}
+			return total, rerr
+		}
+	}
+	if declared >= 0 && total != declared {
+		return total, fmt.Errorf("dash: segment %d/%d: %w: read %d of %d bytes",
+			level, index, errTruncated, total, declared)
+	}
+	return total, nil
+}
+
+// fetchManifestResilient retries the manifest fetch under the same backoff
+// policy, so a session can start through a transient fault.
+func (f *fetcher) fetchManifestResilient(ctx context.Context) (*Manifest, error) {
+	var lastErr error
+	for attempt := 0; attempt <= f.rc.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := f.sleep(f.backoff(attempt - 1)); err != nil {
+				return nil, err
+			}
+		}
+		m, err := f.c.FetchManifest(ctx)
+		if err == nil {
+			return m, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("dash: manifest unavailable after %d retries: %w",
+		f.rc.MaxRetries, lastErr)
+}

@@ -11,7 +11,7 @@ var tinyOpt = Options{Traces: 3}
 func TestIDsComplete(t *testing.T) {
 	want := []string{"alpha", "autotune", "baselines", "cap4x", "cbrvbr", "chunkdur", "codec", "fig1",
 		"fig10", "fig11", "fig2", "fig3", "fig4", "fig7", "fig7b", "fig8", "fig9",
-		"live", "liveext", "multiclient", "oracle", "prederr", "startup", "table1", "table2"}
+		"live", "liveext", "multiclient", "oracle", "prederr", "robustness", "startup", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs() = %v, want %v", got, want)
@@ -35,10 +35,10 @@ func TestUnknownID(t *testing.T) {
 }
 
 func TestRunAllFastExperiments(t *testing.T) {
-	// "live" opens real sockets and sleeps in wall time; it has its own
-	// test below. Everything else must run at tiny scale.
+	// "live" and "robustness" open real sockets and sleep in wall time;
+	// they have their own tests. Everything else must run at tiny scale.
 	for _, id := range IDs() {
-		if id == "live" {
+		if id == "live" || id == "robustness" {
 			continue
 		}
 		id := id
@@ -119,6 +119,21 @@ func TestLiveExperiment(t *testing.T) {
 	}
 	if !strings.Contains(res.Text, "CAVA") || !strings.Contains(res.Text, "BOLA-E (seg)") {
 		t.Errorf("live output missing schemes:\n%s", res.Text)
+	}
+}
+
+func TestRobustnessExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP experiment")
+	}
+	res, err := Run("robustness", Options{Traces: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CAVA", "BOLA-E (seg)", "transient", "lossy", "outage"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("robustness output missing %q:\n%s", want, res.Text)
+		}
 	}
 }
 

@@ -51,6 +51,12 @@ type Summary struct {
 	ChunkQualities []float64
 	// Categories are the per-chunk complexity classes.
 	Categories []scene.Category
+	// Retries, Truncations, Abandonments and SkippedChunks are the
+	// session's resilience counters (live testbed client under faults;
+	// all zero in pure simulation).
+	Retries, Truncations, Abandonments, SkippedChunks int
+	// WastedMB is abandoned partial-download volume in megabytes.
+	WastedMB float64
 }
 
 // Summarize computes the metric set of one session given the video's
@@ -61,13 +67,20 @@ func Summarize(res *player.Result, qt *quality.Table, cats []scene.Category) Sum
 	if n == 0 {
 		return s
 	}
-	qs := make([]float64, n)
+	qs := make([]float64, 0, n)
 	var q4 []float64
 	var sumAll, sumQ4, sumQ13 float64
-	var nQ4, nQ13, nLow, nGoodQ4 int
-	for i, c := range res.Chunks {
+	var nQ4, nQ13, nLow, nGoodQ4, nDelivered int
+	for _, c := range res.Chunks {
+		if c.Skipped {
+			// A skipped chunk delivered no video; it contributes stall
+			// time (already in RebufferSec) and the SkippedChunks counter,
+			// not quality statistics.
+			continue
+		}
 		q := qt.At(c.Level, c.Index)
-		qs[i] = q
+		qs = append(qs, q)
+		nDelivered++
 		sumAll += q
 		if q < quality.LowQualityVMAF {
 			nLow++
@@ -84,7 +97,12 @@ func Summarize(res *player.Result, qt *quality.Table, cats []scene.Category) Sum
 			nQ13++
 		}
 	}
-	s.AvgQuality = sumAll / float64(n)
+	if nDelivered == 0 {
+		s.SkippedChunks = res.SkippedChunks
+		s.RebufferSec = res.TotalRebufferSec
+		return s
+	}
+	s.AvgQuality = sumAll / float64(nDelivered)
 	if nQ4 > 0 {
 		s.Q4Quality = sumQ4 / float64(nQ4)
 		s.Q4MedianQuality = median(q4)
@@ -93,18 +111,23 @@ func Summarize(res *player.Result, qt *quality.Table, cats []scene.Category) Sum
 	if nQ13 > 0 {
 		s.Q13Quality = sumQ13 / float64(nQ13)
 	}
-	s.LowQualityPct = 100 * float64(nLow) / float64(n)
+	s.LowQualityPct = 100 * float64(nLow) / float64(nDelivered)
 
 	change := 0.0
-	for i := 1; i < n; i++ {
+	for i := 1; i < len(qs); i++ {
 		change += math.Abs(qs[i] - qs[i-1])
 	}
-	s.QualityChange = change / float64(n)
+	s.QualityChange = change / float64(nDelivered)
 	s.RebufferSec = res.TotalRebufferSec
 	s.DataMB = res.TotalBits / 8 / 1e6
 	s.StartupDelay = res.StartupDelay
 	s.ChunkQualities = qs
 	s.Categories = cats
+	s.Retries = res.TotalRetries
+	s.Truncations = res.TotalTruncations
+	s.Abandonments = res.TotalAbandonments
+	s.SkippedChunks = res.SkippedChunks
+	s.WastedMB = res.WastedBits / 8 / 1e6
 	return s
 }
 

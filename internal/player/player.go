@@ -57,6 +57,20 @@ type ChunkRecord struct {
 	// WaitSec is idle time before the download (full buffer or an
 	// algorithm-requested pause).
 	WaitSec float64
+	// Retries counts failed download attempts that were retried for this
+	// chunk (live resilient client; always 0 in pure simulation).
+	Retries int
+	// Truncations counts attempts rejected because the body fell short of
+	// the declared Content-Length.
+	Truncations int
+	// Abandonments counts mid-flight downloads given up for a lower track.
+	Abandonments int
+	// WastedBits is the abandoned partial-download volume (transited the
+	// link, delivered no video).
+	WastedBits float64
+	// Skipped reports the chunk was never delivered: every attempt failed
+	// and playback jumped the gap (accounted as RebufferSec).
+	Skipped bool
 }
 
 // Result is a complete simulated session.
@@ -73,6 +87,14 @@ type Result struct {
 	TotalBits float64
 	// SessionSec is the wall-clock time until the last chunk finished.
 	SessionSec float64
+	// TotalRetries, TotalTruncations, TotalAbandonments, SkippedChunks and
+	// WastedBits aggregate the per-chunk resilience events (live resilient
+	// client; all zero in pure simulation and in fail-fast mode).
+	TotalRetries      int
+	TotalTruncations  int
+	TotalAbandonments int
+	SkippedChunks     int
+	WastedBits        float64
 }
 
 // Levels returns the per-chunk selected levels.
@@ -197,16 +219,10 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 	return res, nil
 }
 
-// st2level queries the algorithm and clamps the result defensively.
+// st2level queries the algorithm and clamps the result defensively, using
+// the same abr.ClampLevel rule as the live DASH client.
 func st2level(algo abr.Algorithm, st abr.State, numTracks int) int {
-	l := algo.Select(st)
-	if l < 0 {
-		return 0
-	}
-	if l >= numTracks {
-		return numTracks - 1
-	}
-	return l
+	return abr.ClampLevel(algo.Select(st), numTracks)
 }
 
 // MustSimulate is Simulate that panics on error, for examples and benches

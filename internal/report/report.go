@@ -28,6 +28,10 @@ type Row struct {
 	QualityChange float64 `json:"quality_change"`
 	DataMB        float64 `json:"data_mb"`
 	StartupDelay  float64 `json:"startup_delay_sec"`
+	Retries       int     `json:"retries"`
+	Truncations   int     `json:"truncations"`
+	Abandonments  int     `json:"abandonments"`
+	SkippedChunks int     `json:"skipped_chunks"`
 }
 
 // Flatten converts sweep results into rows sorted by (scheme, video, trace).
@@ -47,6 +51,10 @@ func Flatten(res *sim.Results) []Row {
 				QualityChange: s.QualityChange,
 				DataMB:        s.DataMB,
 				StartupDelay:  s.StartupDelay,
+				Retries:       s.Retries,
+				Truncations:   s.Truncations,
+				Abandonments:  s.Abandonments,
+				SkippedChunks: s.SkippedChunks,
 			})
 		}
 	}
@@ -67,6 +75,7 @@ func Flatten(res *sim.Results) []Row {
 var csvHeader = []string{
 	"scheme", "video", "trace", "q4_quality", "q13_quality", "avg_quality",
 	"low_quality_pct", "rebuffer_sec", "quality_change", "data_mb", "startup_delay_sec",
+	"retries", "truncations", "abandonments", "skipped_chunks",
 }
 
 // WriteCSV writes rows with a header line.
@@ -76,12 +85,14 @@ func WriteCSV(w io.Writer, rows []Row) error {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+	d := strconv.Itoa
 	for _, r := range rows {
 		rec := []string{
 			r.Scheme, r.Video, r.Trace,
 			f(r.Q4Quality), f(r.Q13Quality), f(r.AvgQuality),
 			f(r.LowQualityPct), f(r.RebufferSec), f(r.QualityChange),
 			f(r.DataMB), f(r.StartupDelay),
+			d(r.Retries), d(r.Truncations), d(r.Abandonments), d(r.SkippedChunks),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -117,9 +128,18 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 			}
 			vals[k] = v
 		}
+		ints := make([]int, 4)
+		for k := 0; k < 4; k++ {
+			v, err := strconv.Atoi(rec[11+k])
+			if err != nil {
+				return nil, fmt.Errorf("report: line %d column %d: %v", li+2, 12+k, err)
+			}
+			ints[k] = v
+		}
 		row.Q4Quality, row.Q13Quality, row.AvgQuality = vals[0], vals[1], vals[2]
 		row.LowQualityPct, row.RebufferSec, row.QualityChange = vals[3], vals[4], vals[5]
 		row.DataMB, row.StartupDelay = vals[6], vals[7]
+		row.Retries, row.Truncations, row.Abandonments, row.SkippedChunks = ints[0], ints[1], ints[2], ints[3]
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -178,6 +198,10 @@ func Summaries(rows []Row) []metrics.Summary {
 			QualityChange: r.QualityChange,
 			DataMB:        r.DataMB,
 			StartupDelay:  r.StartupDelay,
+			Retries:       r.Retries,
+			Truncations:   r.Truncations,
+			Abandonments:  r.Abandonments,
+			SkippedChunks: r.SkippedChunks,
 		}
 	}
 	return out

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-telemetry
 
 # check is the one-command tier-1 gate every PR must pass.
-check: vet build race
+check: vet build race bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Telemetry smoke: the instrumentation benchmarks plus the zero-alloc guards
+# (counter path and the player's disabled-recorder step path).
+bench-telemetry:
+	$(GO) test -bench=Telemetry -benchtime=100x \
+		-run='TestZeroAllocUpdates|TestTelemetryDisabledAllocBound' \
+		./internal/telemetry ./internal/player

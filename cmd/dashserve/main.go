@@ -12,6 +12,11 @@
 // Serve through a seeded fault profile and stream resiliently through it:
 //
 //	dashserve -video BBB-youtube-h264 -trace lte:0 -faults lossy -fault-seed 7 -run
+//
+// Observability: -debug-addr mounts Prometheus metrics (/metrics) and pprof
+// (/debug/pprof/) on a side listener; -trace-out dumps the session's ABR
+// decision trace as JSONL (render it with "abrexport trace -in <file>").
+// In serve-only mode SIGINT/SIGTERM trigger a graceful drain.
 package main
 
 import (
@@ -20,7 +25,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"cava/internal/cliutil"
@@ -28,8 +36,13 @@ import (
 	"cava/internal/metrics"
 	"cava/internal/quality"
 	"cava/internal/scene"
+	"cava/internal/telemetry"
 	"cava/internal/video"
 )
+
+// drainTimeout bounds the serve-only graceful shutdown: in-flight segment
+// downloads past this deadline are cut.
+const drainTimeout = 5 * time.Second
 
 func main() {
 	var (
@@ -43,6 +56,8 @@ func main() {
 		faults    = flag.String("faults", "none", "fault profile: none, transient, lossy, outage")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault schedule")
 		resilient = flag.Bool("resilient", true, "client: retry/abandon/skip through faults instead of aborting")
+		debugAddr = flag.String("debug-addr", "", "listen address for /metrics and /debug/pprof (empty = off)")
+		traceOut  = flag.String("trace-out", "", "write the session's decision trace as JSONL ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -51,6 +66,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dashserve: unknown video %q\n", *videoID)
 		os.Exit(2)
 	}
+
+	reg := telemetry.NewRegistry()
+	var ring *telemetry.Ring
+	if *traceOut != "" {
+		ring = telemetry.NewRing(telemetry.DefaultRingCapacity)
+	}
+	session := telemetry.SessionID(v.ID(), *traceSpec, *scheme)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -64,7 +86,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
 			os.Exit(2)
 		}
-		listener = dash.NewShapedListener(ln, dash.NewShaper(tr, *scale))
+		shaper := dash.NewShaper(tr, *scale)
+		shaper.SetMetrics(reg)
+		listener = dash.NewShapedListener(ln, shaper)
 		fmt.Printf("shaping with %s at %gx time scale\n", tr.ID, *scale)
 	}
 	faultCfg, err := dash.FaultProfile(*faults, *faultSeed, *scale)
@@ -72,18 +96,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
 		os.Exit(2)
 	}
-	injector := dash.NewFaultInjector(faultCfg, dash.NewServer(v).Handler())
+	server := dash.NewServer(v)
+	server.SetMetrics(reg)
+	injector := dash.NewFaultInjector(faultCfg, server.Handler())
+	injector.SetMetrics(reg)
+	if ring != nil {
+		injector.SetRecorder(ring, session)
+	}
 	if faultCfg.Active() {
 		fmt.Printf("injecting faults: profile %s, seed %d\n", *faults, *faultSeed)
 	}
 	srv := &http.Server{Handler: injector}
 	fmt.Printf("serving %s on http://%s\n", v.ID(), ln.Addr())
 
-	if !*run {
-		if err := srv.Serve(listener); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dashserve: debug listener: %v\n", err)
 			os.Exit(1)
 		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Handler: mux}
+		go dbg.Serve(dln)
+		defer dbg.Close()
+		fmt.Printf("debug endpoints on http://%s/metrics and /debug/pprof/\n", dln.Addr())
+	}
+
+	if !*run {
+		// Serve until interrupted, then drain in-flight requests.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(listener) }()
+		select {
+		case err := <-errc:
+			if err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+				os.Exit(1)
+			}
+		case <-ctx.Done():
+			stop()
+			fmt.Println("\nshutting down, draining in-flight requests...")
+			sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				fmt.Fprintf(os.Stderr, "dashserve: shutdown: %v\n", err)
+			}
+		}
+		dumpTrace(*traceOut, ring)
 		return
 	}
 
@@ -106,6 +172,9 @@ func main() {
 		TimeScale:    *scale,
 		MaxChunks:    *chunksN,
 		Resilience:   rcfg,
+		Recorder:     ringOrNil(ring),
+		SessionID:    session,
+		Metrics:      reg,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
@@ -129,5 +198,41 @@ func main() {
 			fs.Errors, fs.Resets, fs.Truncations, fs.OutageRejections, fs.Requests)
 		fmt.Printf("  client resilience: %d retries, %d truncations detected, %d abandonments, %d skipped chunks, %.2f MB wasted\n",
 			res.TotalRetries, res.TotalTruncations, res.TotalAbandonments, res.SkippedChunks, res.WastedBits/8/1e6)
+	}
+	dumpTrace(*traceOut, ring)
+}
+
+// ringOrNil converts a possibly-nil *Ring to the Recorder interface without
+// producing a non-nil interface around a nil pointer.
+func ringOrNil(r *telemetry.Ring) telemetry.Recorder {
+	if r == nil {
+		return nil
+	}
+	return r
+}
+
+// dumpTrace writes the collected decision trace to path as JSONL.
+func dumpTrace(path string, ring *telemetry.Ring) {
+	if path == "" || ring == nil {
+		return
+	}
+	var w *os.File
+	if path == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dashserve: trace-out: %v\n", err)
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ring.WriteJSONL(w); err != nil {
+		fmt.Fprintf(os.Stderr, "dashserve: trace-out: %v\n", err)
+		return
+	}
+	if path != "-" {
+		fmt.Printf("wrote %d trace events to %s (%d evicted)\n", ring.Len(), path, ring.Dropped())
 	}
 }

@@ -47,10 +47,11 @@ func main() {
 		}
 		fmt.Printf("%s set: %d traces, interval %gs, >= %g s each\n",
 			*set, len(traces), traces[0].Interval, traces[0].Duration())
+		sm, sc := metrics.NewSorted(means), metrics.NewSorted(covs)
 		fmt.Printf("per-trace mean (Mbps): median %.2f, p10 %.2f, p90 %.2f\n",
-			metrics.Median(means), metrics.Percentile(means, 10), metrics.Percentile(means, 90))
+			sm.Median(), sm.Percentile(10), sm.Percentile(90))
 		fmt.Printf("per-trace CoV:         median %.2f, p10 %.2f, p90 %.2f\n",
-			metrics.Median(covs), metrics.Percentile(covs, 10), metrics.Percentile(covs, 90))
+			sc.Median(), sc.Percentile(10), sc.Percentile(90))
 		fmt.Printf("per-trace min (Mbps):  median %.2f\n", metrics.Median(mins))
 		return
 	}

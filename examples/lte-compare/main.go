@@ -42,12 +42,16 @@ func main() {
 	}
 
 	fmt.Printf("video %s over %d LTE traces (VMAF phone model)\n\n", v.ID(), *traces)
-	res := sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos:  []*video.Video{v},
 		Traces:  trace.GenLTESet(*traces),
 		Schemes: schemes,
 		Metric:  quality.VMAFPhone,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tQ4 quality\tlow-qual %\trebuffer (s)\tqual change\tdata (MB)")

@@ -28,7 +28,7 @@ func sweep(name string, traces int, values []float64, set func(*core.Params, flo
 	for _, val := range values {
 		p := core.DefaultParams()
 		set(&p, val)
-		res := sim.Run(sim.Request{
+		res, err := sim.Run(sim.Request{
 			Videos: []*video.Video{v},
 			Traces: trace.GenLTESet(traces),
 			Schemes: []abr.Scheme{{Name: "CAVA", New: func(v *video.Video) abr.Algorithm {
@@ -36,6 +36,10 @@ func sweep(name string, traces int, values []float64, set func(*core.Params, flo
 			}}},
 			Metric: quality.VMAFPhone,
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		ss := res.Summaries("CAVA", v.ID())
 		fmt.Fprintf(w, "%.0f\t%.1f\t%.1f\t%.2f\t%.1f\n", val,
 			sim.MeanOf(ss, metrics.FieldQ4Quality),

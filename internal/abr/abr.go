@@ -12,7 +12,10 @@
 // today's ABR protocols; it is included as a strong reference point.
 package abr
 
-import "cava/internal/video"
+import (
+	"cava/internal/telemetry"
+	"cava/internal/video"
+)
 
 // State is the player state visible to an adaptation decision. It contains
 // only client-observable quantities.
@@ -52,6 +55,18 @@ type Delayer interface {
 	// Delay returns how many seconds to wait before downloading chunk
 	// st.ChunkIndex, or 0 to proceed immediately.
 	Delay(st State) float64
+}
+
+// Traced is an optional interface for schemes that emit their own decision
+// trace events with controller internals (CAVA records the PID terms and
+// per-track objective scores behind each choice). The player attaches the
+// session's recorder before the first Select; for algorithms that do not
+// implement Traced the player records a plain decide event itself, so every
+// session yields exactly one decide event per chunk either way.
+type Traced interface {
+	// SetRecorder attaches the recorder and the session identifier used in
+	// emitted events. A nil recorder disables tracing (the default).
+	SetRecorder(rec telemetry.Recorder, session string)
 }
 
 // Factory builds a fresh per-session Algorithm instance for a video.

@@ -27,6 +27,7 @@ import (
 
 	"cava/internal/abr"
 	"cava/internal/scene"
+	"cava/internal/telemetry"
 	"cava/internal/video"
 )
 
@@ -145,6 +146,13 @@ type CAVA struct {
 	integral float64 // PID integral accumulator (seconds²)
 	lastNow  float64
 	primed   bool
+	// lastP and lastI hold the proportional and integral contributions of
+	// the most recent controlSignal call — cheap scalar stores that let the
+	// decision trace expose the PID decomposition without recomputation.
+	lastP, lastI float64
+
+	rec     telemetry.Recorder // nil = tracing disabled
+	session string
 
 	name string
 }
@@ -213,6 +221,14 @@ func Live(lookahead int) abr.Factory {
 
 // Name implements abr.Algorithm.
 func (c *CAVA) Name() string { return c.name }
+
+// SetRecorder implements abr.Traced: subsequent Select calls emit a decide
+// event with the controller internals (target buffer, u_t decomposition,
+// α_t, η_t, and the per-track objective scores).
+func (c *CAVA) SetRecorder(rec telemetry.Recorder, session string) {
+	c.rec = rec
+	c.session = session
+}
 
 // Categories exposes the chunk classification (for experiments and tests).
 func (c *CAVA) Categories() []scene.Category { return c.cats }
@@ -296,7 +312,9 @@ func (c *CAVA) controlSignal(now, buffer, target float64) float64 {
 	}
 	c.lastNow = now
 
-	u := c.p.Kp*e + c.p.Ki*c.integral
+	c.lastP = c.p.Kp * e
+	c.lastI = c.p.Ki * c.integral
+	u := c.lastP + c.lastI
 	if buffer >= c.v.ChunkDur {
 		u += 1 // the linearizing indicator term 1(x_t − Δ)
 	}
@@ -401,6 +419,13 @@ func (c *CAVA) Select(st abr.State) int {
 	i := st.ChunkIndex
 	if st.Est <= 0 {
 		// No throughput observation yet: start from the lowest track.
+		if c.rec != nil {
+			c.rec.Record(telemetry.Event{
+				Session: c.session, TimeSec: st.Now, Kind: telemetry.KindDecide,
+				Chunk: i, Level: 0, PrevLevel: st.PrevLevel,
+				BufferSec: st.Buffer, Detail: "no bandwidth estimate",
+			})
+		}
 		return 0
 	}
 	target := c.TargetBuffer(i)
@@ -415,7 +440,21 @@ func (c *CAVA) Select(st abr.State) int {
 	// there is no stall risk.
 	if c.pr.Differential && !scene.IsComplex(c.cats[i]) &&
 		level <= c.p.NoDeflateMaxLevel && st.Buffer > c.p.NoDeflateBuffer && alpha < 1 {
-		level = c.bestLevel(i, st.PrevLevel, u, st.Est, 1, eta)
+		alpha = 1 // the decision that stands is the no-deflate re-solve
+		level = c.bestLevel(i, st.PrevLevel, u, st.Est, alpha, eta)
+	}
+	if c.rec != nil {
+		scores := make([]float64, c.v.NumTracks())
+		for l := range scores {
+			scores[l] = c.objective(l, i, st.PrevLevel, u, st.Est, alpha, eta)
+		}
+		c.rec.Record(telemetry.Event{
+			Session: c.session, TimeSec: st.Now, Kind: telemetry.KindDecide,
+			Chunk: i, Level: level, PrevLevel: st.PrevLevel,
+			BufferSec: st.Buffer, EstBps: st.Est,
+			TargetSec: target, U: u, PTerm: c.lastP, ITerm: c.lastI,
+			Alpha: alpha, Eta: eta, Scores: scores,
+		})
 	}
 	return level
 }

@@ -11,6 +11,7 @@ import (
 	"cava/internal/abr"
 	"cava/internal/bandwidth"
 	"cava/internal/player"
+	"cava/internal/telemetry"
 )
 
 // ClientConfig configures a streaming client session.
@@ -41,6 +42,16 @@ type ClientConfig struct {
 	// (retries, truncation detection, abandonment, skip accounting); see
 	// ResilienceConfig. Nil keeps the legacy fail-fast behaviour.
 	Resilience *ResilienceConfig
+	// Recorder receives the session's decision-trace events under the same
+	// schema as player.Simulate (nil disables tracing).
+	Recorder telemetry.Recorder
+	// SessionID overrides the trace event session identifier; empty uses
+	// video|live|scheme.
+	SessionID string
+	// Metrics registers the client's fetch-pipeline counters (retries,
+	// abandonments, deadline hits, download latency) on the given registry;
+	// nil disables at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // newDefaultHTTPClient builds the default transport: bounded connect and
@@ -63,6 +74,16 @@ func newDefaultHTTPClient() *http.Client {
 // unchanged.
 type Client struct {
 	cfg ClientConfig
+
+	// Fetch-pipeline telemetry handles (nil-safe, resolved once here so
+	// the download loop never touches the registry map).
+	mRetries   *telemetry.Counter
+	mTruncs    *telemetry.Counter
+	mAbandons  *telemetry.Counter
+	mSkips     *telemetry.Counter
+	mDeadlines *telemetry.Counter
+	mBytes     *telemetry.Counter
+	mFetchSec  *telemetry.Histogram
 }
 
 // NewClient validates the config and returns a client.
@@ -88,7 +109,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Predictor == nil {
 		cfg.Predictor = bandwidth.NewHarmonicMean(bandwidth.DefaultWindow)
 	}
-	return &Client{cfg: cfg}, nil
+	reg := cfg.Metrics
+	return &Client{
+		cfg:        cfg,
+		mRetries:   reg.Counter("dash_client_retries_total", "failed segment attempts that were retried"),
+		mTruncs:    reg.Counter("dash_client_truncations_total", "segment attempts rejected for a short body"),
+		mAbandons:  reg.Counter("dash_client_abandonments_total", "mid-flight downloads abandoned for a lower track"),
+		mSkips:     reg.Counter("dash_client_skips_total", "segments skipped after exhausting retries"),
+		mDeadlines: reg.Counter("dash_client_deadline_hits_total", "segment attempts cancelled by the per-attempt deadline"),
+		mBytes:     reg.Counter("dash_client_bytes_total", "segment payload bytes delivered"),
+		mFetchSec:  reg.Histogram("dash_client_fetch_virtual_seconds", "per-segment fetch time in virtual seconds", nil),
+	}, nil
 }
 
 // FetchManifest retrieves and validates the manifest: the native JSON
@@ -172,6 +203,27 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 	pred := c.cfg.Predictor
 	pred.Reset()
 
+	// Decision tracing, mirroring player.Simulate: one decide per chunk
+	// (from the algorithm itself when it implements abr.Traced), plus
+	// wait/download/skip/startup step events in the shared schema.
+	trc := c.cfg.Recorder
+	session := ""
+	algoTraces := false
+	if trc != nil {
+		session = c.cfg.SessionID
+		if session == "" {
+			session = telemetry.SessionID(m.VideoID, "live", algo.Name())
+		}
+		if t, ok := algo.(abr.Traced); ok {
+			t.SetRecorder(trc, session)
+			algoTraces = true
+		}
+	}
+	if fx != nil {
+		fx.trc = trc
+		fx.session = session
+	}
+
 	n := m.NumSegments()
 	if c.cfg.MaxChunks > 0 && c.cfg.MaxChunks < n {
 		n = c.cfg.MaxChunks
@@ -237,7 +289,21 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 		}
 
 		st.Now, st.Buffer, st.Est = vnow(), buffer, pred.Predict(vnow())
+		if trc != nil && rec.WaitSec > 0 {
+			trc.Record(telemetry.Event{
+				Session: session, TimeSec: st.Now, Kind: telemetry.KindWait,
+				Chunk: i, Level: prevLevel, PrevLevel: prevLevel,
+				BufferSec: buffer, WaitSec: rec.WaitSec,
+			})
+		}
 		level := abr.ClampLevel(algo.Select(st), len(m.Tracks))
+		if trc != nil && !algoTraces {
+			trc.Record(telemetry.Event{
+				Session: session, TimeSec: st.Now, Kind: telemetry.KindDecide,
+				Chunk: i, Level: level, PrevLevel: prevLevel,
+				BufferSec: buffer, EstBps: st.Est,
+			})
+		}
 
 		v0 := vnow()
 		var sf segmentFetch
@@ -277,6 +343,10 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 		res.TotalAbandonments += sf.Abandonments
 		res.WastedBits += sf.WastedBits
 
+		c.mBytes.Add(uint64(sf.Bytes))
+		if !sf.Skipped {
+			c.mFetchSec.Observe(vdur)
+		}
 		if sf.Skipped {
 			// Graceful degradation: the segment is gone; playback jumps
 			// the gap, which the viewer experiences as a stall of one
@@ -291,6 +361,15 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 			rec.RebufferSec += m.ChunkDur
 			rec.BufferAfter = buffer
 			res.Chunks = append(res.Chunks, rec)
+			c.mSkips.Inc()
+			if trc != nil {
+				trc.Record(telemetry.Event{
+					Session: session, TimeSec: v1, Kind: telemetry.KindSkip,
+					Chunk: i, Level: sf.Level, PrevLevel: prevLevel,
+					BufferSec: buffer, RebufferSec: rec.RebufferSec,
+					Attempt: sf.Retries, Detail: "retries exhausted",
+				})
+			}
 			// The gap is real time: playback freezes for one segment
 			// duration when the playhead reaches the hole. Let it elapse
 			// without draining the buffer (playback is frozen, and the
@@ -309,12 +388,27 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 			prevLevel = sf.Level
 			res.Chunks = append(res.Chunks, rec)
 			res.TotalBits += bits
+			if trc != nil {
+				trc.Record(telemetry.Event{
+					Session: session, TimeSec: v1, Kind: telemetry.KindDownload,
+					Chunk: i, Level: sf.Level, PrevLevel: prevLevel,
+					BufferSec: buffer, EstBps: st.Est,
+					SizeBits: bits, DownloadSec: vdur, ThroughputBps: rec.Throughput,
+					RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
+				})
+			}
 		}
 
 		if !playing && (buffer >= c.cfg.StartupSec || i == n-1) {
 			playing = true
 			res.StartupDelay = vnow()
 			lastV = res.StartupDelay
+			if trc != nil {
+				trc.Record(telemetry.Event{
+					Session: session, TimeSec: res.StartupDelay, Kind: telemetry.KindStartup,
+					Chunk: i, Level: rec.Level, PrevLevel: prevLevel, BufferSec: buffer,
+				})
+			}
 		}
 	}
 	res.SessionSec = vnow()

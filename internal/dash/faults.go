@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"cava/internal/telemetry"
 )
 
 // FaultConfig describes the failure behaviour of the testbed link/server,
@@ -116,6 +118,14 @@ type FaultInjector struct {
 	start    time.Time
 	attempts map[string]uint64
 	stats    FaultStats
+
+	// Telemetry (nil-safe). faultsTot is labeled by fault type; rec, when
+	// set, receives a KindFault decision-trace event per injected fault so
+	// server-side causes line up with client-side retries in one timeline.
+	reqsTot   *telemetry.Counter
+	faultsTot map[string]*telemetry.Counter
+	rec       telemetry.Recorder
+	session   string
 }
 
 // NewFaultInjector wraps inner with the fault model. A nil-effect (inactive)
@@ -128,6 +138,24 @@ func NewFaultInjector(cfg FaultConfig, inner http.Handler) *FaultInjector {
 		cfg.TruncateFrac = 0.5
 	}
 	return &FaultInjector{cfg: cfg, inner: inner, attempts: make(map[string]uint64)}
+}
+
+// SetMetrics registers the injector's counters on reg (nil disables).
+func (f *FaultInjector) SetMetrics(reg *telemetry.Registry) {
+	f.reqsTot = reg.Counter("dash_faults_requests_total", "requests seen by the fault injector")
+	f.faultsTot = make(map[string]*telemetry.Counter)
+	for _, typ := range []string{"outage", "reset", "error", "truncate", "latency", "stall"} {
+		f.faultsTot[typ] = reg.Counter("dash_faults_injected_total",
+			"faults injected by type", telemetry.Label{Name: "type", Value: typ})
+	}
+}
+
+// SetRecorder attaches a decision-trace recorder: every injected fault is
+// recorded as a KindFault event stamped with the injector's virtual clock
+// and, for segment requests, the chunk and track concerned.
+func (f *FaultInjector) SetRecorder(rec telemetry.Recorder, session string) {
+	f.rec = rec
+	f.session = session
 }
 
 // Stats returns a snapshot of the injected-event counters.
@@ -215,7 +243,47 @@ func (f *FaultInjector) plan(path string) decision {
 		f.stats.Stalls++
 	}
 	f.mu.Unlock()
+
+	f.reqsTot.Inc()
+	for _, typ := range d.types() {
+		f.faultsTot[typ].Inc()
+		if f.rec != nil {
+			track, index := -1, -1
+			if t, i, err := parseSegmentPath(path); err == nil {
+				track, index = t, i
+			}
+			f.rec.Record(telemetry.Event{
+				Session: f.session, TimeSec: vt, Kind: telemetry.KindFault,
+				Chunk: index, Level: track, PrevLevel: -1,
+				Attempt: int(attempt), Detail: typ,
+			})
+		}
+	}
 	return d
+}
+
+// types lists the fault type names a decision will inject.
+func (d decision) types() []string {
+	var out []string
+	if d.outage {
+		out = append(out, "outage")
+	}
+	if d.reset {
+		out = append(out, "reset")
+	}
+	if d.httpErr {
+		out = append(out, "error")
+	}
+	if d.truncate {
+		out = append(out, "truncate")
+	}
+	if d.latency {
+		out = append(out, "latency")
+	}
+	if d.stall {
+		out = append(out, "stall")
+	}
+	return out
 }
 
 // ServeHTTP implements http.Handler.

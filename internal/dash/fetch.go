@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"cava/internal/abr"
+	"cava/internal/telemetry"
 )
 
 // ResilienceConfig tunes the client's fault-tolerant fetch pipeline.
@@ -143,6 +144,10 @@ type fetcher struct {
 	vnow  func() float64
 	sleep func(float64) error // virtual-seconds sleep, ctx-aware
 	scale float64
+
+	// Decision tracing (set by Client.Run once the session id is known).
+	trc     telemetry.Recorder
+	session string
 }
 
 func newFetcher(c *Client, m *Manifest, rc ResilienceConfig,
@@ -216,16 +221,31 @@ func (f *fetcher) fetch(ctx context.Context, level, index int,
 			// The session, not the attempt, was cancelled.
 			return sf, ctx.Err()
 		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The per-attempt deadline fired (the session context is live).
+			f.c.mDeadlines.Inc()
+		}
 		switch {
 		case errors.Is(err, errAbandoned):
 			// Downshift and refetch immediately; the partial bytes are
 			// sunk cost on the link.
 			sf.Abandonments++
 			sf.WastedBits += float64(n) * 8
+			f.c.mAbandons.Inc()
+			prev := sf.Level
 			sf.Level = abr.ClampLevel(sf.Level-1, len(f.m.Tracks))
+			if f.trc != nil {
+				f.trc.Record(telemetry.Event{
+					Session: f.session, TimeSec: f.vnow(), Kind: telemetry.KindAbandon,
+					Chunk: index, Level: sf.Level, PrevLevel: prev,
+					BufferSec: buffer, EstBps: est,
+					SizeBits: float64(n) * 8, Detail: "projected stall, downshifting",
+				})
+			}
 			continue
 		case errors.Is(err, errTruncated):
 			sf.Truncations++
+			f.c.mTruncs.Inc()
 		}
 		if sf.Retries >= f.rc.MaxRetries {
 			sf.Skipped = true
@@ -233,6 +253,15 @@ func (f *fetcher) fetch(ctx context.Context, level, index int,
 			return sf, nil
 		}
 		sf.Retries++
+		f.c.mRetries.Inc()
+		if f.trc != nil {
+			f.trc.Record(telemetry.Event{
+				Session: f.session, TimeSec: f.vnow(), Kind: telemetry.KindRetry,
+				Chunk: index, Level: sf.Level, PrevLevel: sf.Level,
+				BufferSec: buffer, EstBps: est,
+				Attempt: sf.Retries, Detail: err.Error(),
+			})
+		}
 		if err := f.sleep(f.backoff(sf.Retries - 1)); err != nil {
 			return sf, err
 		}

@@ -1,0 +1,192 @@
+package dash
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"cava/internal/core"
+	"cava/internal/player"
+	"cava/internal/telemetry"
+	"cava/internal/trace"
+)
+
+// traceKinds returns the set of event kinds present.
+func traceKinds(events []telemetry.Event) map[telemetry.Kind]bool {
+	out := map[telemetry.Kind]bool{}
+	for _, ev := range events {
+		out[ev.Kind] = true
+	}
+	return out
+}
+
+// populatedFields returns the sorted union of JSON field names the events of
+// one kind actually carry (omitempty hides zero-valued optionals).
+func populatedFields(t *testing.T, events []telemetry.Event, kind telemetry.Kind) []string {
+	t.Helper()
+	set := map[string]bool{}
+	for _, ev := range events {
+		if ev.Kind != kind {
+			continue
+		}
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		for k := range m {
+			set[k] = true
+		}
+	}
+	fields := make([]string, 0, len(set))
+	for k := range set {
+		fields = append(fields, k)
+	}
+	sort.Strings(fields)
+	return fields
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTraceSchemaParity runs the same video/scheme through the pure
+// simulator and the HTTP testbed, each with a trace recorder, and checks the
+// two decision traces follow one schema: same kinds, same per-kind fields
+// for the ABR-decision events, same session-id shape. This is the guarantee
+// that lets one toolchain (abrexport trace) render either.
+func TestTraceSchemaParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live streaming test")
+	}
+	v := testVideo()
+	const chunks = 40
+
+	// Simulated session (full video; simulation is cheap).
+	simRing := telemetry.NewRing(telemetry.DefaultRingCapacity)
+	cfg := player.DefaultConfig()
+	cfg.Recorder = simRing
+	if _, err := player.Simulate(v, trace.Constant("c", 3e6, 1200, 1), core.Factory()(v), cfg); err != nil {
+		t.Fatal(err)
+	}
+	simEvents := simRing.Events()
+
+	// Testbed session over a real HTTP server (unshaped loopback).
+	liveRing := telemetry.NewRing(telemetry.DefaultRingCapacity)
+	srv := httptest.NewServer(NewServer(v).Handler())
+	defer srv.Close()
+	client, err := NewClient(ClientConfig{
+		BaseURL:      srv.URL,
+		NewAlgorithm: core.Factory(),
+		TimeScale:    120,
+		MaxChunks:    chunks,
+		Recorder:     liveRing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := client.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	liveEvents := liveRing.Events()
+
+	if len(simEvents) == 0 || len(liveEvents) == 0 {
+		t.Fatalf("empty trace: sim %d events, testbed %d events", len(simEvents), len(liveEvents))
+	}
+
+	// Both produce the core ABR kinds.
+	simKinds, liveKinds := traceKinds(simEvents), traceKinds(liveEvents)
+	for _, k := range []telemetry.Kind{telemetry.KindDecide, telemetry.KindDownload, telemetry.KindStartup} {
+		if !simKinds[k] {
+			t.Errorf("simulator trace missing kind %q", k)
+		}
+		if !liveKinds[k] {
+			t.Errorf("testbed trace missing kind %q", k)
+		}
+	}
+
+	// The decision events — the ones CAVA itself records — must carry the
+	// same fields in both worlds, controller internals included.
+	simDecide := populatedFields(t, simEvents, telemetry.KindDecide)
+	liveDecide := populatedFields(t, liveEvents, telemetry.KindDecide)
+	if !equalStrings(simDecide, liveDecide) {
+		t.Errorf("decide schema diverged:\n  sim:     %v\n  testbed: %v", simDecide, liveDecide)
+	}
+	for _, want := range []string{"buffer_sec", "target_sec", "u", "p_term", "i_term", "alpha", "scores"} {
+		found := false
+		for _, f := range simDecide {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("decide events missing %q: %v", want, simDecide)
+		}
+	}
+
+	// Download events in both worlds must carry the transfer accounting.
+	for name, events := range map[string][]telemetry.Event{"sim": simEvents, "testbed": liveEvents} {
+		for _, ev := range events {
+			if ev.Kind != telemetry.KindDownload {
+				continue
+			}
+			if ev.SizeBits <= 0 || ev.DownloadSec < 0 || ev.ThroughputBps <= 0 {
+				t.Fatalf("%s download event lacks accounting: %+v", name, ev)
+			}
+		}
+	}
+
+	// Session IDs follow the shared video|trace|scheme shape, and every
+	// event within a trace carries the same session and ascending seq.
+	for name, events := range map[string][]telemetry.Event{"sim": simEvents, "testbed": liveEvents} {
+		session := events[0].Session
+		if session == "" {
+			t.Fatalf("%s events have no session id", name)
+		}
+		for i, ev := range events {
+			if ev.Session != session {
+				t.Fatalf("%s event %d switched session: %q vs %q", name, i, ev.Session, session)
+			}
+			if i > 0 && ev.Seq <= events[i-1].Seq {
+				t.Fatalf("%s seq not ascending at %d", name, i)
+			}
+		}
+	}
+
+	// A testbed trace must survive the JSONL round trip unchanged, so the
+	// -trace-out file feeds abrexport trace losslessly.
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, liveEvents); err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(liveEvents) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(liveEvents))
+	}
+	for i := range back {
+		if !reflect.DeepEqual(back[i], liveEvents[i]) {
+			t.Fatalf("event %d changed in round trip:\n  %+v\n  %+v", i, liveEvents[i], back[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"cava/internal/telemetry"
 	"cava/internal/video"
 )
 
@@ -24,6 +25,14 @@ type Server struct {
 	v   *video.Video
 	m   *Manifest
 	pad []byte // shared payload source, served in slices
+
+	// Telemetry handles; nil (the default) disables instrumentation at
+	// zero cost — see telemetry.Registry's nil-safety contract.
+	reqs     *telemetry.Counter
+	segReqs  *telemetry.Counter
+	segBytes *telemetry.Counter
+	notFound *telemetry.Counter
+	badReq   *telemetry.Counter
 }
 
 // NewServer builds a server for one video.
@@ -40,6 +49,16 @@ func NewServer(v *video.Video) *Server {
 // Manifest exposes the server's manifest (for tests and tools).
 func (s *Server) Manifest() *Manifest { return s.m }
 
+// SetMetrics registers the server's counters on reg (nil disables). Call
+// before serving; handles are swapped, not synchronized.
+func (s *Server) SetMetrics(reg *telemetry.Registry) {
+	s.reqs = reg.Counter("dash_server_requests_total", "HTTP requests served (all endpoints)")
+	s.segReqs = reg.Counter("dash_server_segment_requests_total", "segment requests served")
+	s.segBytes = reg.Counter("dash_server_segment_bytes_total", "segment payload bytes written")
+	s.notFound = reg.Counter("dash_server_not_found_total", "requests answered 404")
+	s.badReq = reg.Counter("dash_server_bad_request_total", "requests answered 400")
+}
+
 // Handler returns the HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -54,9 +73,13 @@ func (s *Server) Handler() http.Handler {
 			s.handleHLSMedia(w, r)
 			return
 		}
+		s.notFound.Inc()
 		http.NotFound(w, r)
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Inc()
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
@@ -98,6 +121,7 @@ func (s *Server) handleHLSMedia(w http.ResponseWriter, r *http.Request) {
 	name = strings.TrimSuffix(name, ".m3u8")
 	id, err := strconv.Atoi(name)
 	if err != nil || id < 0 || id >= len(s.m.Tracks) {
+		s.notFound.Inc()
 		http.NotFound(w, r)
 		return
 	}
@@ -112,13 +136,16 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	}
 	track, index, err := parseSegmentPath(r.URL.Path)
 	if err != nil {
+		s.badReq.Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if track < 0 || track >= s.v.NumTracks() || index < 0 || index >= s.v.NumChunks() {
+		s.notFound.Inc()
 		http.NotFound(w, r)
 		return
 	}
+	s.segReqs.Inc()
 	bytes := int(s.v.ChunkSize(track, index)+7) / 8
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(bytes))
@@ -127,7 +154,9 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		if n > len(s.pad) {
 			n = len(s.pad)
 		}
-		if _, err := w.Write(s.pad[:n]); err != nil {
+		written, err := w.Write(s.pad[:n])
+		s.segBytes.Add(uint64(written))
+		if err != nil {
 			return // client went away
 		}
 		bytes -= n

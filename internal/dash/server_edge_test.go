@@ -1,0 +1,133 @@
+package dash
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cava/internal/telemetry"
+)
+
+// get issues a GET and returns status and body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestServerSegmentOutOfRange(t *testing.T) {
+	v := testVideo()
+	srv := httptest.NewServer(NewServer(v).Handler())
+	defer srv.Close()
+
+	for _, path := range []string{
+		SegmentURL(v.NumTracks(), 0), // track one past the end
+		SegmentURL(0, v.NumChunks()), // index one past the end
+		SegmentURL(-1, 0),            // negative track
+		SegmentURL(0, -1),            // negative index
+		SegmentURL(1000, 1000),       // far out of range
+	} {
+		if code, _ := get(t, srv.URL+path); code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, code)
+		}
+	}
+	// Boundary values must still work.
+	if code, _ := get(t, srv.URL+SegmentURL(v.NumTracks()-1, v.NumChunks()-1)); code != http.StatusOK {
+		t.Errorf("last segment = %d, want 200", code)
+	}
+}
+
+func TestServerSegmentMalformedPaths(t *testing.T) {
+	srv := httptest.NewServer(NewServer(testVideo()).Handler())
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/seg/",      // no components
+		"/seg/0",     // missing index
+		"/seg/0/1/2", // too many components
+		"/seg/x/0",   // non-numeric track
+		"/seg/0/y",   // non-numeric index
+		"/seg/1.5/0", // float track
+		"/seg//0",    // empty track
+	} {
+		code, _ := get(t, srv.URL+path)
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, code)
+		}
+	}
+}
+
+func TestServerUnknownMediaPlaylist(t *testing.T) {
+	v := testVideo()
+	srv := httptest.NewServer(NewServer(v).Handler())
+	defer srv.Close()
+
+	for _, path := range []string{
+		"/track_99.m3u8", // track out of range
+		"/track_-1.m3u8", // negative track
+		"/track_x.m3u8",  // non-numeric track
+		"/track_.m3u8",   // empty track
+		"/nope.m3u8",     // not a track playlist at all
+		"/other",         // plain unknown path
+	} {
+		if code, _ := get(t, srv.URL+path); code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, code)
+		}
+	}
+	if code, _ := get(t, srv.URL+"/track_0.m3u8"); code != http.StatusOK {
+		t.Errorf("valid media playlist = %d, want 200", code)
+	}
+}
+
+// TestServerMetricsScrape wires a registry into the server, exercises the
+// endpoints, and checks the /metrics exposition reflects the traffic.
+func TestServerMetricsScrape(t *testing.T) {
+	v := testVideo()
+	s := NewServer(v)
+	reg := telemetry.NewRegistry()
+	s.SetMetrics(reg)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	msrv := httptest.NewServer(reg.Handler())
+	defer msrv.Close()
+
+	get(t, srv.URL+"/manifest.json")
+	_, body := get(t, srv.URL+SegmentURL(0, 0))
+	get(t, srv.URL+SegmentURL(0, v.NumChunks())) // 404
+	get(t, srv.URL+"/seg/x/0")                   // 400
+
+	resp, err := http.Get(msrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("scrape Content-Type = %q", ct)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	text := string(raw)
+
+	for _, want := range []string{
+		"# TYPE dash_server_requests_total counter",
+		"dash_server_requests_total 4",
+		"dash_server_segment_requests_total 1",
+		"dash_server_not_found_total 1",
+		"dash_server_bad_request_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	// Payload bytes must match the one delivered segment exactly.
+	if !strings.Contains(text, "dash_server_segment_bytes_total "+strconv.Itoa(len(body))) {
+		t.Errorf("scrape missing dash_server_segment_bytes_total %d:\n%s", len(body), text)
+	}
+}

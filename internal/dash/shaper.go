@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"cava/internal/telemetry"
 	"cava/internal/trace"
 )
 
@@ -25,6 +26,11 @@ type Shaper struct {
 	start      time.Time
 	lastRefill time.Time
 	tokens     float64 // bytes available
+
+	// Telemetry handles (nil-safe; SetMetrics wires them).
+	queueBytes *telemetry.Gauge   // bytes currently waiting for tokens
+	waiters    *telemetry.Gauge   // writes currently blocked in Wait
+	shapedTot  *telemetry.Counter // bytes admitted through the link
 }
 
 // NewShaper creates a shaper over the trace with the given time scale
@@ -39,6 +45,14 @@ func NewShaper(tr *trace.Trace, timeScale float64) *Shaper {
 // TimeScale reports the configured compression factor.
 func (s *Shaper) TimeScale() float64 { return s.scale }
 
+// SetMetrics registers the shaper's queue-depth gauges and throughput
+// counter on reg (nil disables). Call before serving.
+func (s *Shaper) SetMetrics(reg *telemetry.Registry) {
+	s.queueBytes = reg.Gauge("dash_shaper_queue_bytes", "bytes waiting for link tokens")
+	s.waiters = reg.Gauge("dash_shaper_waiters", "writes currently blocked on the shaper")
+	s.shapedTot = reg.Counter("dash_shaper_bytes_total", "bytes admitted through the shaped link")
+}
+
 // VirtualNow returns the current position on the trace in virtual seconds.
 func (s *Shaper) VirtualNow() float64 {
 	s.mu.Lock()
@@ -52,6 +66,9 @@ func (s *Shaper) VirtualNow() float64 {
 // Wait blocks until n bytes may pass the link.
 func (s *Shaper) Wait(n int) {
 	remaining := float64(n)
+	s.waiters.Add(1)
+	s.queueBytes.Add(remaining)
+	defer s.waiters.Add(-1)
 	for remaining > 0 {
 		s.mu.Lock()
 		now := time.Now()
@@ -76,6 +93,10 @@ func (s *Shaper) Wait(n int) {
 		s.tokens -= take
 		remaining -= take
 		s.mu.Unlock()
+		if take > 0 {
+			s.queueBytes.Add(-take)
+			s.shapedTot.Add(uint64(take))
+		}
 		if remaining > 0 {
 			time.Sleep(time.Millisecond)
 		}

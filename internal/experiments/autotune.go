@@ -29,8 +29,8 @@ func runAutoTune(opt Options) (*Result, error) {
 	}
 	header := []string{"traces", "scheme", "Q4 qual", "low-qual %", "rebuf (s)", "qual chg", "data MB"}
 	var rows [][]string
-	run := func(label string, traces []*trace.Trace, metric quality.Metric) {
-		res := sim.Run(sim.Request{
+	run := func(label string, traces []*trace.Trace, metric quality.Metric) error {
+		res, err := sim.Run(sim.Request{
 			Videos:  []*video.Video{v},
 			Traces:  traces,
 			Schemes: schemes,
@@ -38,14 +38,22 @@ func runAutoTune(opt Options) (*Result, error) {
 			Metric:  metric,
 			Workers: opt.Workers,
 		})
+		if err != nil {
+			return err
+		}
 		for _, sc := range schemes {
 			m := meansOf(res.Summaries(sc.Name, v.ID()))
 			rows = append(rows, []string{label, sc.Name,
 				f1(m.q4), f1(m.low), f1(m.reb), f2(m.chg), f1(m.mb)})
 		}
+		return nil
 	}
-	run("LTE", trace.GenLTESet(opt.traces()), quality.VMAFPhone)
-	run("FCC", trace.GenFCCSet(opt.traces()), quality.VMAFTV)
+	if err := run("LTE", trace.GenLTESet(opt.traces()), quality.VMAFPhone); err != nil {
+		return nil, err
+	}
+	if err := run("FCC", trace.GenFCCSet(opt.traces()), quality.VMAFTV); err != nil {
+		return nil, err
+	}
 
 	var sb strings.Builder
 	sb.WriteString(table(header, rows))

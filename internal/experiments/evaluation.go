@@ -113,7 +113,7 @@ func windowSweep(opt Options, values []float64, set func(*core.Params, float64))
 		sc := abr.Scheme{Name: "CAVA", New: func(v *video.Video) abr.Algorithm {
 			return core.NewWith(v, p, core.AllPrinciples, "CAVA")
 		}}
-		res := sim.Run(sim.Request{
+		res, err := sim.Run(sim.Request{
 			Videos:  []*video.Video{v},
 			Traces:  traces,
 			Schemes: []abr.Scheme{sc},
@@ -121,13 +121,16 @@ func windowSweep(opt Options, values []float64, set func(*core.Params, float64))
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
 		})
+		if err != nil {
+			return nil, err
+		}
 		ss := res.Summaries("CAVA", v.ID())
-		q4 := metrics.Collect(ss, metrics.FieldQ4Quality)
-		reb := metrics.Collect(ss, metrics.FieldRebuffer)
+		q4 := metrics.NewSorted(metrics.Collect(ss, metrics.FieldQ4Quality))
+		reb := metrics.NewSorted(metrics.Collect(ss, metrics.FieldRebuffer))
 		rows = append(rows, []string{
 			fmt.Sprintf("%.0f", val),
-			f1(metrics.Mean(q4)), f1(metrics.Percentile(q4, 10)), f1(metrics.Percentile(q4, 90)),
-			f1(metrics.Mean(reb)), f1(metrics.Percentile(reb, 10)), f1(metrics.Percentile(reb, 90)),
+			f1(q4.Mean()), f1(q4.Percentile(10)), f1(q4.Percentile(90)),
+			f1(reb.Mean()), f1(reb.Percentile(10)), f1(reb.Percentile(90)),
 		})
 	}
 	return rows, nil
@@ -160,9 +163,9 @@ func runFig7b(opt Options) (*Result, error) {
 }
 
 // fig8Run executes the Fig. 8 sweep and returns the results handle.
-func fig8Run(opt Options) (*sim.Results, *video.Video) {
+func fig8Run(opt Options) (*sim.Results, *video.Video, error) {
 	v := edFFmpeg()
-	res := sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos:  []*video.Video{v},
 		Traces:  trace.GenLTESet(opt.traces()),
 		Schemes: comparisonSchemes(),
@@ -170,13 +173,16 @@ func fig8Run(opt Options) (*sim.Results, *video.Video) {
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
 	})
-	return res, v
+	return res, v, err
 }
 
 // runFig8 prints the five metric CDFs for CAVA vs the MPC and PANDA
 // baselines, plus the headline statistics quoted in §6.3.
 func runFig8(opt Options) (*Result, error) {
-	res, v := fig8Run(opt)
+	res, v, err := fig8Run(opt)
+	if err != nil {
+		return nil, err
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "video %s, %d LTE traces, VMAF phone model\n\n", v.ID(), opt.traces())
 
@@ -244,7 +250,10 @@ func runFig8(opt Options) (*Result, error) {
 
 // runFig9 prints the Q1–Q3 and all-chunk quality CDFs for the same sweep.
 func runFig9(opt Options) (*Result, error) {
-	res, v := fig8Run(opt)
+	res, v, err := fig8Run(opt)
+	if err != nil {
+		return nil, err
+	}
 	var sb strings.Builder
 	schemes := []string{"CAVA", "MPC", "RobustMPC", "PANDA/CQ max-sum", "PANDA/CQ max-min"}
 	for _, which := range []string{"Q1-Q3 chunks", "all chunks"} {
@@ -273,7 +282,7 @@ func runFig9(opt Options) (*Result, error) {
 // either variant stalls.
 func runFig10(opt Options) (*Result, error) {
 	v := edFFmpeg()
-	res := sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos: []*video.Video{v},
 		Traces: trace.GenLTESet(opt.traces()),
 		Schemes: []abr.Scheme{
@@ -285,6 +294,9 @@ func runFig10(opt Options) (*Result, error) {
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
 	})
+	if err != nil {
+		return nil, err
+	}
 	p1 := res.Summaries("CAVA-p1", v.ID())
 	p12 := res.Summaries("CAVA-p12", v.ID())
 	p123 := res.Summaries("CAVA-p123", v.ID())
@@ -323,7 +335,7 @@ func runFig10(opt Options) (*Result, error) {
 	for _, tr := range trace.GenLTESet(opt.traces()) {
 		harsher = append(harsher, tr.Scale(0.85))
 	}
-	res2 := sim.Run(sim.Request{
+	res2, err := sim.Run(sim.Request{
 		Videos: []*video.Video{v},
 		Traces: harsher,
 		Schemes: []abr.Scheme{
@@ -334,6 +346,9 @@ func runFig10(opt Options) (*Result, error) {
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
 	})
+	if err != nil {
+		return nil, err
+	}
 	reportStallDeltas(&sb, res2.Summaries("CAVA-p12", v.ID()), res2.Summaries("CAVA-p123", v.ID()))
 	return &Result{ID: "fig10", Title: Title("fig10"), Text: sb.String()}, nil
 }

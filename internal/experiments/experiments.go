@@ -172,9 +172,10 @@ func comparisonSchemes() []abr.Scheme {
 
 // cdfDeciles formats a sample's CDF at the 10th..90th percentiles.
 func cdfDeciles(xs []float64) string {
+	sorted := metrics.NewSorted(xs)
 	parts := make([]string, 0, 9)
 	for p := 10.0; p <= 90; p += 10 {
-		parts = append(parts, fmt.Sprintf("p%02.0f=%s", p, f1(metrics.Percentile(xs, p))))
+		parts = append(parts, fmt.Sprintf("p%02.0f=%s", p, f1(sorted.Percentile(p))))
 	}
 	return strings.Join(parts, " ")
 }

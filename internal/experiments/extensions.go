@@ -41,7 +41,7 @@ func runAlpha(opt Options) (*Result, error) {
 		p := core.DefaultParams()
 		p.AlphaComplex, p.AlphaSimple = pr.complex, pr.simple
 		name := fmt.Sprintf("CAVA α=%.1f/%.1f", pr.complex, pr.simple)
-		res := sim.Run(sim.Request{
+		res, err := sim.Run(sim.Request{
 			Videos: []*video.Video{v},
 			Traces: traces,
 			Schemes: []abr.Scheme{{Name: name, New: func(v *video.Video) abr.Algorithm {
@@ -51,6 +51,9 @@ func runAlpha(opt Options) (*Result, error) {
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
 		})
+		if err != nil {
+			return nil, err
+		}
 		ss := res.Summaries(name, v.ID())
 		var q13 []float64
 		for _, s := range ss {

@@ -88,7 +88,7 @@ func runStartup(opt Options) (*Result, error) {
 	for _, startup := range []float64{5, 10, 20, 30} {
 		cfg := defaultConfig()
 		cfg.StartupSec = startup
-		res := sim.Run(sim.Request{
+		res, err := sim.Run(sim.Request{
 			Videos:  []*video.Video{v},
 			Traces:  traces,
 			Schemes: []abr.Scheme{cavaScheme(), mpcScheme(true)},
@@ -96,6 +96,9 @@ func runStartup(opt Options) (*Result, error) {
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
 		})
+		if err != nil {
+			return nil, err
+		}
 		for _, s := range []string{"CAVA", "RobustMPC"} {
 			ss := res.Summaries(s, v.ID())
 			var delay []float64
@@ -122,7 +125,7 @@ func runChunkDur(opt Options) (*Result, error) {
 		edYouTube(), // 5s
 	}
 	traces := trace.GenLTESet(opt.traces())
-	res := sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos:  vids,
 		Traces:  traces,
 		Schemes: []abr.Scheme{cavaScheme(), mpcScheme(true), pandaScheme(abr.MaxMin)},
@@ -130,6 +133,9 @@ func runChunkDur(opt Options) (*Result, error) {
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
 	})
+	if err != nil {
+		return nil, err
+	}
 	header := []string{"chunk dur", "scheme", "Q4 qual", "low-qual %", "rebuf (s)", "qual chg", "data MB"}
 	var rows [][]string
 	for _, v := range vids {
@@ -162,7 +168,7 @@ func runBaselines(opt Options) (*Result, error) {
 		bbaScheme(),
 		rbaScheme(),
 	}
-	res := sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos:  []*video.Video{v},
 		Traces:  trace.GenLTESet(opt.traces()),
 		Schemes: schemes,
@@ -170,6 +176,9 @@ func runBaselines(opt Options) (*Result, error) {
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
 	})
+	if err != nil {
+		return nil, err
+	}
 	header := []string{"scheme", "Q4 qual", "low-qual %", "rebuf (s)", "qual chg", "data MB"}
 	var rows [][]string
 	for _, sc := range schemes {

@@ -39,8 +39,8 @@ func runTable1(opt Options) (*Result, error) {
 	header := []string{"set", "video", "Q4 qual", "low-qual %", "stall %", "qual chg %", "data %"}
 	var rows [][]string
 
-	run := func(set string, videos []*video.Video, traces []*trace.Trace, metric quality.Metric) {
-		res := sim.Run(sim.Request{
+	run := func(set string, videos []*video.Video, traces []*trace.Trace, metric quality.Metric) error {
+		res, err := sim.Run(sim.Request{
 			Videos:  videos,
 			Traces:  traces,
 			Schemes: comparisonSchemes(),
@@ -48,6 +48,9 @@ func runTable1(opt Options) (*Result, error) {
 			Metric:  metric,
 			Workers: opt.Workers,
 		})
+		if err != nil {
+			return err
+		}
 		for _, v := range videos {
 			cava := meansOf(res.Summaries("CAVA", v.ID()))
 			robust := meansOf(res.Summaries("RobustMPC", v.ID()))
@@ -60,9 +63,14 @@ func runTable1(opt Options) (*Result, error) {
 			}
 			rows = append(rows, row)
 		}
+		return nil
 	}
-	run("LTE", lteVideos, trace.GenLTESet(opt.traces()), quality.VMAFPhone)
-	run("FCC", fccVideos, trace.GenFCCSet(opt.traces()), quality.VMAFTV)
+	if err := run("LTE", lteVideos, trace.GenLTESet(opt.traces()), quality.VMAFPhone); err != nil {
+		return nil, err
+	}
+	if err := run("FCC", fccVideos, trace.GenFCCSet(opt.traces()), quality.VMAFTV); err != nil {
+		return nil, err
+	}
 
 	sb.WriteString(table(header, rows))
 	sb.WriteString("\neach cell: change by CAVA relative to RobustMPC, PANDA/CQ max-min\n")
@@ -82,7 +90,7 @@ func runCodec(opt Options) (*Result, error) {
 		for _, t := range video.OpenTitles {
 			videos = append(videos, video.FFmpegVideo(t, codec))
 		}
-		res := sim.Run(sim.Request{
+		res, err := sim.Run(sim.Request{
 			Videos:  videos,
 			Traces:  traces,
 			Schemes: comparisonSchemes(),
@@ -90,6 +98,9 @@ func runCodec(opt Options) (*Result, error) {
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
 		})
+		if err != nil {
+			return nil, err
+		}
 		for _, v := range videos {
 			cava := meansOf(res.Summaries("CAVA", v.ID()))
 			robust := meansOf(res.Summaries("RobustMPC", v.ID()))
@@ -119,7 +130,7 @@ func runCap4x(opt Options) (*Result, error) {
 	header := []string{"cap", "scheme", "Q4 qual", "low-qual %", "rebuf (s)", "qual chg", "data MB"}
 	var rows [][]string
 	for _, v := range []*video.Video{v2, v4} {
-		res := sim.Run(sim.Request{
+		res, err := sim.Run(sim.Request{
 			Videos:  []*video.Video{v},
 			Traces:  traces,
 			Schemes: comparisonSchemes(),
@@ -127,6 +138,9 @@ func runCap4x(opt Options) (*Result, error) {
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
 		})
+		if err != nil {
+			return nil, err
+		}
 		for _, s := range []string{"CAVA", "RobustMPC", "PANDA/CQ max-min"} {
 			m := meansOf(res.Summaries(s, v.ID()))
 			rows = append(rows, []string{
@@ -153,7 +167,7 @@ func runPredErr(opt Options) (*Result, error) {
 	var rows [][]string
 	for _, errLevel := range []float64{0, 0.25, 0.5} {
 		errLevel := errLevel
-		res := sim.Run(sim.Request{
+		res, err := sim.Run(sim.Request{
 			Videos:  []*video.Video{v},
 			Traces:  traces,
 			Schemes: comparisonSchemes(),
@@ -166,6 +180,9 @@ func runPredErr(opt Options) (*Result, error) {
 				return cfg
 			},
 		})
+		if err != nil {
+			return nil, err
+		}
 		for _, s := range schemes {
 			m := meansOf(res.Summaries(s, v.ID()))
 			rows = append(rows, []string{

@@ -44,7 +44,7 @@ func bolaComparisonSchemes() []abr.Scheme {
 // testbed.
 func runFig11(opt Options) (*Result, error) {
 	v := video.YouTubeVideo(video.Title{Name: "BBB", Genre: video.Animation})
-	res := sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos:  []*video.Video{v},
 		Traces:  trace.GenLTESet(opt.traces()),
 		Schemes: bolaComparisonSchemes(),
@@ -52,6 +52,9 @@ func runFig11(opt Options) (*Result, error) {
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
 	})
+	if err != nil {
+		return nil, err
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "video %s, %d LTE traces\n\n", v.ID(), opt.traces())
 	schemes := []string{"CAVA", "BOLA-E (peak)", "BOLA-E (avg)", "BOLA-E (seg)"}
@@ -91,7 +94,7 @@ func runTable2(opt Options) (*Result, error) {
 	for _, t := range titles {
 		videos = append(videos, video.YouTubeVideo(t))
 	}
-	res := sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos:  videos,
 		Traces:  trace.GenLTESet(opt.traces()),
 		Schemes: []abr.Scheme{cavaScheme(), bolaScheme(abr.BOLASeg, true)},
@@ -99,6 +102,9 @@ func runTable2(opt Options) (*Result, error) {
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
 	})
+	if err != nil {
+		return nil, err
+	}
 	header := []string{"video", "Q4 qual", "low-qual %", "stall %", "qual chg %", "data %"}
 	var rows [][]string
 	for _, v := range videos {

@@ -105,7 +105,7 @@ func Summarize(res *player.Result, qt *quality.Table, cats []scene.Category) Sum
 	s.AvgQuality = sumAll / float64(nDelivered)
 	if nQ4 > 0 {
 		s.Q4Quality = sumQ4 / float64(nQ4)
-		s.Q4MedianQuality = median(q4)
+		s.Q4MedianQuality = Median(q4)
 		s.GoodQ4Pct = 100 * float64(nGoodQ4) / float64(nQ4)
 	}
 	if nQ13 > 0 {
@@ -131,21 +131,69 @@ func Summarize(res *player.Result, qt *quality.Table, cats []scene.Category) Sum
 	return s
 }
 
-func median(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+// Sorted is a sample sorted once for repeated order-statistic queries. The
+// package-level Percentile, Median and NewCDF each copy and sort their input
+// on every call; when several statistics of the same sample are needed,
+// build a Sorted once and query it.
+type Sorted struct {
+	xs []float64
+}
+
+// NewSorted copies and sorts the sample. The input slice is not retained.
+func NewSorted(xs []float64) Sorted {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	m := len(s) / 2
-	if len(s)%2 == 1 {
-		return s[m]
+	return Sorted{xs: s}
+}
+
+// Len returns the sample size.
+func (s Sorted) Len() int { return len(s.xs) }
+
+// Percentile returns the p-th percentile (0–100) by nearest-rank.
+func (s Sorted) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
 	}
-	return (s[m-1] + s[m]) / 2
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.xs[rank]
+}
+
+// Median returns the sample median (mean of the two central values for even
+// sizes).
+func (s Sorted) Median() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := len(s.xs) / 2
+	if len(s.xs)%2 == 1 {
+		return s.xs[m]
+	}
+	return (s.xs[m-1] + s.xs[m]) / 2
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s Sorted) Mean() float64 { return Mean(s.xs) }
+
+// CDF returns the empirical CDF without re-sorting.
+func (s Sorted) CDF() CDF {
+	p := make([]float64, len(s.xs))
+	for i := range s.xs {
+		p[i] = float64(i+1) / float64(len(s.xs))
+	}
+	return CDF{X: s.xs, P: p}
 }
 
 // Median exposes the median of a sample (used by experiments).
-func Median(xs []float64) float64 { return median(xs) }
+func Median(xs []float64) float64 { return NewSorted(xs).Median() }
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func Mean(xs []float64) float64 {
@@ -162,22 +210,7 @@ func Mean(xs []float64) float64 {
 // Percentile returns the p-th percentile (0–100) by nearest-rank on the
 // sorted sample.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	if p <= 0 {
-		return s[0]
-	}
-	if p >= 100 {
-		return s[len(s)-1]
-	}
-	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	return s[rank]
+	return NewSorted(xs).Percentile(p)
 }
 
 // CDF returns the empirical CDF of a sample as sorted values and their
@@ -189,13 +222,7 @@ type CDF struct {
 
 // NewCDF builds the empirical CDF of xs.
 func NewCDF(xs []float64) CDF {
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	p := make([]float64, len(s))
-	for i := range s {
-		p[i] = float64(i+1) / float64(len(s))
-	}
-	return CDF{X: s, P: p}
+	return NewSorted(xs).CDF()
 }
 
 // At returns the CDF value at x: P(X ≤ x).

@@ -129,6 +129,44 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestSortedMatchesPackageFunctions(t *testing.T) {
+	xs := []float64{9, 3, 7, 1, 5, 8, 2, 6, 4, 10}
+	s := NewSorted(xs)
+	if s.Len() != len(xs) {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for p := 0.0; p <= 100; p += 5 {
+		if got, want := s.Percentile(p), Percentile(xs, p); got != want {
+			t.Errorf("Percentile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if s.Median() != Median(xs) {
+		t.Errorf("Median = %v, want %v", s.Median(), Median(xs))
+	}
+	if s.Mean() != Mean(xs) {
+		t.Errorf("Mean = %v, want %v", s.Mean(), Mean(xs))
+	}
+	c, c2 := s.CDF(), NewCDF(xs)
+	for i := range c.X {
+		if c.X[i] != c2.X[i] || c.P[i] != c2.P[i] {
+			t.Fatalf("CDF differs at %d", i)
+		}
+	}
+}
+
+func TestSortedDoesNotAliasInput(t *testing.T) {
+	xs := []float64{2, 1, 3}
+	s := NewSorted(xs)
+	xs[0] = 99
+	if s.Percentile(0) != 1 || s.Percentile(100) != 3 {
+		t.Error("Sorted retained the caller's slice")
+	}
+	var empty Sorted
+	if empty.Percentile(50) != 0 || empty.Median() != 0 || empty.Mean() != 0 {
+		t.Error("zero-value Sorted not safe")
+	}
+}
+
 func TestCDF(t *testing.T) {
 	c := NewCDF([]float64{3, 1, 2, 2})
 	if !sort.Float64sAreSorted(c.X) {

@@ -13,6 +13,7 @@ import (
 
 	"cava/internal/abr"
 	"cava/internal/bandwidth"
+	"cava/internal/telemetry"
 	"cava/internal/trace"
 	"cava/internal/video"
 )
@@ -29,6 +30,13 @@ type Config struct {
 	// Predictor estimates bandwidth for the ABR logic; nil selects the
 	// paper's default, the harmonic mean of the past 5 chunks.
 	Predictor bandwidth.Predictor
+	// Recorder receives the session's decision-trace events (decide,
+	// download, wait, startup) when non-nil. The nil default disables
+	// tracing and adds no allocations to the chunk loop.
+	Recorder telemetry.Recorder
+	// SessionID overrides the trace event session identifier; empty uses
+	// video|trace|scheme.
+	SessionID string
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -131,6 +139,24 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 	res := &Result{VideoID: v.ID(), TraceID: tr.ID, Scheme: algo.Name()}
 	delayer, canDelay := algo.(abr.Delayer)
 
+	// Decision tracing. When the algorithm records its own decide events
+	// (abr.Traced, e.g. CAVA with controller internals), the player emits
+	// only the step events around them; otherwise it records a plain decide
+	// per chunk, so every session produces the same schema.
+	trc := cfg.Recorder
+	session := ""
+	algoTraces := false
+	if trc != nil {
+		session = cfg.SessionID
+		if session == "" {
+			session = telemetry.SessionID(v.ID(), tr.ID, algo.Name())
+		}
+		if t, ok := algo.(abr.Traced); ok {
+			t.SetRecorder(trc, session)
+			algoTraces = true
+		}
+	}
+
 	now := 0.0
 	buffer := 0.0
 	playing := false
@@ -186,7 +212,21 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 
 		// Refresh the state after any waiting.
 		st.Now, st.Buffer, st.Est = now, buffer, pred.Predict(now)
+		if trc != nil && rec.WaitSec > 0 {
+			trc.Record(telemetry.Event{
+				Session: session, TimeSec: now, Kind: telemetry.KindWait,
+				Chunk: i, Level: prevLevel, PrevLevel: prevLevel,
+				BufferSec: buffer, WaitSec: rec.WaitSec,
+			})
+		}
 		level := st2level(algo, st, v.NumTracks())
+		if trc != nil && !algoTraces {
+			trc.Record(telemetry.Event{
+				Session: session, TimeSec: now, Kind: telemetry.KindDecide,
+				Chunk: i, Level: level, PrevLevel: prevLevel,
+				BufferSec: buffer, EstBps: st.Est,
+			})
+		}
 		size := v.ChunkSize(level, i)
 
 		dl := tr.DownloadTime(now, size)
@@ -209,10 +249,25 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 		prevLevel = level
 		res.Chunks = append(res.Chunks, rec)
 		res.TotalBits += size
+		if trc != nil {
+			trc.Record(telemetry.Event{
+				Session: session, TimeSec: now, Kind: telemetry.KindDownload,
+				Chunk: i, Level: level, PrevLevel: prevLevel,
+				BufferSec: buffer, EstBps: st.Est,
+				SizeBits: size, DownloadSec: dl, ThroughputBps: rec.Throughput,
+				RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
+			})
+		}
 
 		if !playing && (buffer >= cfg.StartupSec || i == n-1) {
 			playing = true
 			res.StartupDelay = now
+			if trc != nil {
+				trc.Record(telemetry.Event{
+					Session: session, TimeSec: now, Kind: telemetry.KindStartup,
+					Chunk: i, Level: level, PrevLevel: prevLevel, BufferSec: buffer,
+				})
+			}
 		}
 	}
 	res.SessionSec = now

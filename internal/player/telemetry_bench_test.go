@@ -1,0 +1,71 @@
+package player
+
+import (
+	"sync"
+	"testing"
+
+	"cava/internal/core"
+	"cava/internal/telemetry"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// Shared session fixtures, built once so alloc measurements see the chunk
+// loop (plus the unavoidable fresh algorithm per session), not video and
+// trace generation.
+var benchFixture struct {
+	once sync.Once
+	v    *video.Video
+	tr   *trace.Trace
+}
+
+// benchSession runs one full CAVA session, optionally traced.
+func benchSession(rec telemetry.Recorder) {
+	benchFixture.once.Do(func() {
+		benchFixture.v = testVideo()
+		benchFixture.tr = trace.GenLTE(0)
+	})
+	cfg := DefaultConfig()
+	cfg.Recorder = rec
+	MustSimulate(benchFixture.v, benchFixture.tr, core.New(benchFixture.v), cfg)
+}
+
+// BenchmarkTelemetryDisabled is the player step path with a nil recorder —
+// the cost every plain simulation pays for the instrumentation hooks.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		benchSession(nil)
+	}
+}
+
+// BenchmarkTelemetryEnabled is the same session recording into a ring.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	b.ReportAllocs()
+	ring := telemetry.NewRing(telemetry.DefaultRingCapacity)
+	for i := 0; i < b.N; i++ {
+		benchSession(ring)
+	}
+}
+
+// TestTelemetryDisabledAllocBound pins the zero-alloc contract: with a nil
+// recorder the chunk loop must not build events, so a session's allocations
+// stay far below one per chunk (what remains is amortized slice growth plus
+// per-session setup). The enabled path allocates at least the per-decision
+// score vectors, which the same measurement must show.
+func TestTelemetryDisabledAllocBound(t *testing.T) {
+	chunks := float64(testVideo().NumChunks())
+
+	disabled := testing.AllocsPerRun(5, func() { benchSession(nil) })
+	if perChunk := disabled / chunks; perChunk > 0.5 {
+		t.Errorf("nil recorder allocates %.2f/chunk (%.0f over %0.f chunks); the disabled path must not build events",
+			perChunk, disabled, chunks)
+	}
+
+	ring := telemetry.NewRing(telemetry.DefaultRingCapacity)
+	enabled := testing.AllocsPerRun(5, func() { benchSession(ring) })
+	if enabled <= disabled {
+		t.Errorf("enabled tracing allocates %.0f <= disabled %.0f; the measurement is not sensing the trace path",
+			enabled, disabled)
+	}
+}

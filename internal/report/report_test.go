@@ -17,7 +17,7 @@ import (
 func sweep(t *testing.T) *sim.Results {
 	t.Helper()
 	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
-	return sim.Run(sim.Request{
+	res, err := sim.Run(sim.Request{
 		Videos: []*video.Video{v},
 		Traces: trace.GenLTESet(3),
 		Schemes: []abr.Scheme{
@@ -27,6 +27,10 @@ func sweep(t *testing.T) *sim.Results {
 		Config: player.DefaultConfig(),
 		Metric: quality.VMAFPhone,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestFlattenSorted(t *testing.T) {

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -12,6 +13,7 @@ import (
 	"cava/internal/player"
 	"cava/internal/quality"
 	"cava/internal/scene"
+	"cava/internal/telemetry"
 	"cava/internal/trace"
 	"cava/internal/video"
 )
@@ -34,6 +36,11 @@ type Request struct {
 	// PredictorFor optionally supplies a per-session bandwidth predictor
 	// (e.g. the §6.7 noisy oracle); nil uses Config.Predictor semantics.
 	PredictorFor func(v *video.Video, tr *trace.Trace) player.Config
+	// Metrics, when non-nil, receives sweep progress instrumentation:
+	// sim_sessions_total, sim_session_errors_total and the
+	// sim_jobs_pending gauge, so a long sweep is observable live on
+	// /metrics instead of only through its final summary.
+	Metrics *telemetry.Registry
 }
 
 // CellKey identifies one (scheme, video) aggregation cell.
@@ -66,8 +73,10 @@ func (r *Results) SchemeAll(scheme string) []metrics.Summary {
 }
 
 // Run executes the sweep. Every (video, trace, scheme) triple is one
-// independent streaming session with a fresh algorithm instance.
-func Run(req Request) *Results {
+// independent streaming session with a fresh algorithm instance. A session
+// failure (invalid video or trace) aborts the sweep and is returned after
+// the in-flight sessions drain.
+func Run(req Request) (*Results, error) {
 	type job struct {
 		v      *video.Video
 		tr     *trace.Trace
@@ -78,6 +87,11 @@ func Run(req Request) *Results {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	sessionsTot := req.Metrics.Counter("sim_sessions_total", "sweep sessions completed")
+	errorsTot := req.Metrics.Counter("sim_session_errors_total", "sweep sessions that failed")
+	pending := req.Metrics.Gauge("sim_jobs_pending", "sweep sessions not yet finished")
+	pending.Set(float64(len(req.Videos) * len(req.Traces) * len(req.Schemes)))
 
 	// Precompute per-video quality tables and classifications once.
 	qts := make(map[string]*quality.Table, len(req.Videos))
@@ -95,12 +109,34 @@ func Run(req Request) *Results {
 	}
 	out := make(chan keyed)
 
+	// The first session error wins; later failures of the same sweep add
+	// nothing actionable. Workers keep draining the job channel after a
+	// failure (skipping the work) so the producer goroutine never blocks.
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if failed() {
+					pending.Add(-1)
+					continue
+				}
 				cfg := req.Config
 				if req.PredictorFor != nil {
 					cfg = req.PredictorFor(j.v, j.tr)
@@ -108,11 +144,15 @@ func Run(req Request) *Results {
 				algo := j.scheme.New(j.v)
 				res, err := player.Simulate(j.v, j.tr, algo, cfg)
 				if err != nil {
-					// Generated inputs are validated; a failure here is a
-					// programming error surfaced loudly.
-					panic(err)
+					errorsTot.Inc()
+					pending.Add(-1)
+					fail(fmt.Errorf("sim: session (%s, %s, %s): %w",
+						j.v.ID(), j.tr.ID, j.scheme.Name, err))
+					continue
 				}
 				s := metrics.Summarize(res, qts[j.v.ID()], cats[j.v.ID()])
+				sessionsTot.Inc()
+				pending.Add(-1)
 				out <- keyed{key: CellKey{Scheme: algo.Name(), Video: j.v.ID()}, ti: j.ti, s: s}
 			}
 		}()
@@ -134,6 +174,11 @@ func Run(req Request) *Results {
 	for k := range out {
 		tmp[k.key] = append(tmp[k.key], k)
 	}
+	if failed() {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return nil, firstErr
+	}
 	res := &Results{Cells: make(map[CellKey][]metrics.Summary, len(tmp))}
 	for key, ks := range tmp {
 		// Restore trace order for determinism.
@@ -147,7 +192,7 @@ func Run(req Request) *Results {
 		}
 		res.Cells[key] = ordered
 	}
-	return res
+	return res, nil
 }
 
 // MeanOf aggregates one metric field across a cell's summaries.

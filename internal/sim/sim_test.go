@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"strconv"
+	"strings"
 	"testing"
 
 	"cava/internal/abr"
@@ -9,6 +11,7 @@ import (
 	"cava/internal/metrics"
 	"cava/internal/player"
 	"cava/internal/quality"
+	"cava/internal/telemetry"
 	"cava/internal/trace"
 	"cava/internal/video"
 )
@@ -28,9 +31,18 @@ func smallRequest(workers int) Request {
 	}
 }
 
+func mustRun(t *testing.T, req Request) *Results {
+	t.Helper()
+	res, err := Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestRunCompleteness(t *testing.T) {
 	req := smallRequest(4)
-	res := Run(req)
+	res := mustRun(t, req)
 	if len(res.Cells) != 2 {
 		t.Fatalf("%d cells, want 2", len(res.Cells))
 	}
@@ -52,8 +64,8 @@ func TestRunCompleteness(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
-	a := Run(smallRequest(1))
-	b := Run(smallRequest(8))
+	a := mustRun(t, smallRequest(1))
+	b := mustRun(t, smallRequest(8))
 	vid := smallRequest(1).Videos[0].ID()
 	for _, scheme := range []string{"CAVA", "RBA"} {
 		sa, sb := a.Summaries(scheme, vid), b.Summaries(scheme, vid)
@@ -67,7 +79,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestSchemeAll(t *testing.T) {
-	res := Run(smallRequest(2))
+	res := mustRun(t, smallRequest(2))
 	all := res.SchemeAll("CAVA")
 	if len(all) != 4 {
 		t.Fatalf("SchemeAll returned %d summaries, want 4", len(all))
@@ -78,7 +90,7 @@ func TestSchemeAll(t *testing.T) {
 }
 
 func TestMeanOf(t *testing.T) {
-	res := Run(smallRequest(2))
+	res := mustRun(t, smallRequest(2))
 	ss := res.SchemeAll("CAVA")
 	m := MeanOf(ss, metrics.FieldDataMB)
 	if m <= 0 {
@@ -94,17 +106,53 @@ func TestPredictorForHook(t *testing.T) {
 		cfg.Predictor = bandwidth.NewNoisyOracle(tr, 0, 1)
 		return cfg
 	}
-	res := Run(req)
+	res := mustRun(t, req)
 	// With a perfect oracle the schemes see bandwidth from chunk 0; the
 	// sweep must still be complete and deterministic.
 	if len(res.SchemeAll("CAVA")) != 4 {
 		t.Error("PredictorFor sweep incomplete")
 	}
-	res2 := Run(req)
+	res2 := mustRun(t, req)
 	a, b := res.SchemeAll("CAVA"), res2.SchemeAll("CAVA")
 	for i := range a {
 		if a[i].DataMB != b[i].DataMB {
 			t.Fatal("oracle-predictor sweep not deterministic")
 		}
+	}
+}
+
+func TestRunPropagatesSessionError(t *testing.T) {
+	req := smallRequest(4)
+	// An empty trace fails player validation; the sweep must surface that
+	// instead of panicking or returning partial results.
+	req.Traces = append(req.Traces, &trace.Trace{ID: "broken"})
+	res, err := Run(req)
+	if err == nil {
+		t.Fatal("sweep with an invalid trace returned no error")
+	}
+	if res != nil {
+		t.Fatal("failed sweep returned non-nil results")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error %q does not identify the failing session", err)
+	}
+}
+
+func TestRunSweepMetrics(t *testing.T) {
+	req := smallRequest(2)
+	reg := telemetry.NewRegistry()
+	req.Metrics = reg
+	mustRun(t, req)
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	want := len(req.Videos) * len(req.Traces) * len(req.Schemes)
+	if !strings.Contains(text, "sim_sessions_total "+strconv.Itoa(want)) {
+		t.Errorf("sim_sessions_total != %d in exposition:\n%s", want, text)
+	}
+	if !strings.Contains(text, "sim_jobs_pending 0") {
+		t.Errorf("sim_jobs_pending not drained to 0:\n%s", text)
 	}
 }

@@ -1,0 +1,307 @@
+// Package telemetry is the repository's dependency-free instrumentation
+// substrate: a concurrent registry of counters, gauges and fixed-bucket
+// histograms with Prometheus text-format exposition, plus a structured
+// per-session ABR decision trace shared by the simulator and the HTTP
+// testbed (see trace.go).
+//
+// Design constraints, in priority order:
+//
+//  1. The increment path is atomic and allocation-free: metric handles are
+//     resolved once (at wiring time) and then updated with plain atomic
+//     operations, so instrumentation is safe on the hot paths the ROADMAP
+//     wants to optimize.
+//  2. Disabled telemetry is free. Every constructor and every update method
+//     is nil-receiver-safe: code instruments unconditionally against
+//     possibly-nil handles, and a nil *Registry hands out nil handles, so
+//     an uninstrumented run performs only a nil check per update.
+//  3. No dependencies. Exposition emits the Prometheus text format directly
+//     (expose.go); nothing outside the standard library is imported.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; a nil *Counter ignores updates (disabled telemetry).
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (no-op on a nil receiver).
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits. The
+// zero value is ready to use; a nil *Gauge ignores updates.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta (CAS loop; no allocation).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are defined by
+// ascending upper bounds; observations beyond the last bound land in the
+// implicit +Inf bucket. Observe is atomic and allocation-free. A nil
+// *Histogram ignores updates.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds (exclusive of +Inf)
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets is a general-purpose latency bucket ladder in seconds.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket ladders are short (≤ ~20), and a scan avoids the
+	// bounds-check and branch-misprediction overhead of binary search at
+	// these sizes.
+	i := len(h.bounds)
+	for b, ub := range h.bounds {
+		if v <= ub {
+			i = b
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Label is one metric label pair.
+type Label struct {
+	Name, Value string
+}
+
+// kind discriminates registry entries.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered metric instance (one label combination).
+type entry struct {
+	name   string
+	help   string
+	labels string // pre-rendered {k="v",...} or ""
+	kind   kind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry is a concurrent collection of metrics. Lookup-or-create is
+// mutex-guarded (wiring time); the handles it returns update lock-free.
+// A nil *Registry is a valid disabled registry: every constructor returns
+// nil, which the metric types accept as a no-op target.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// renderLabels builds the canonical `{k="v",...}` suffix (sorted by name)
+// used both as part of the registry key and verbatim in exposition.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the Prometheus label-value escaping rules.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns the entry for (name, labels), creating it with mk when
+// absent. Re-registering an existing (name, labels) with the same kind
+// returns the existing instance; a kind mismatch panics (it is a wiring
+// bug, not a runtime condition).
+func (r *Registry) lookup(name, help string, labels []Label, k kind, mk func(*entry)) *entry {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, k, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, labels: renderLabels(labels), kind: k}
+	mk(e)
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter registered under name (creating it if
+// needed). A nil registry returns nil, which is safe to update.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, help, labels, kindCounter, func(e *entry) { e.c = &Counter{} })
+	return e.c
+}
+
+// Gauge returns the gauge registered under name.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	e := r.lookup(name, help, labels, kindGauge, func(e *entry) { e.g = &Gauge{} })
+	return e.g
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket upper bounds (nil selects DefBuckets). Bounds are fixed at first
+// registration; later registrations reuse the existing ladder.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	e := r.lookup(name, help, labels, kindHistogram, func(e *entry) { e.h = newHistogram(bounds) })
+	return e.h
+}
+
+// snapshot returns the entries sorted by (name, labels) for exposition.
+func (r *Registry) snapshot() []*entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The decision trace is a structured event log of one streaming session:
+// every ABR step (what the controller saw and why it chose that track),
+// every download, and every resilience/fault event, in one schema shared
+// verbatim by the trace-driven simulator (player.Simulate) and the live
+// HTTP testbed (dash.Client) — the point being that a tool written against
+// one producer (cmd/abrexport's trace renderer, a dashboard, a diff script)
+// works unmodified against the other.
+
+// Kind tags a trace event.
+type Kind string
+
+const (
+	// KindDecide is one ABR decision: the observable state, the chosen
+	// track, and (for CAVA) the controller internals that produced it.
+	KindDecide Kind = "decide"
+	// KindDownload is one completed chunk download.
+	KindDownload Kind = "download"
+	// KindStartup marks playback start (end of the startup phase).
+	KindStartup Kind = "startup"
+	// KindWait is idle time before a request (full buffer or an
+	// algorithm-requested pause).
+	KindWait Kind = "wait"
+	// KindRetry is one failed download attempt that will be retried.
+	KindRetry Kind = "retry"
+	// KindAbandon is a mid-flight download given up for a lower track.
+	KindAbandon Kind = "abandon"
+	// KindSkip is a chunk abandoned entirely after exhausting retries.
+	KindSkip Kind = "skip"
+	// KindFault is a server-side injected fault (testbed fault injector).
+	KindFault Kind = "fault"
+)
+
+// Event is one decision-trace record. Scalar fields are always meaningful;
+// optional fields are populated per Kind and elide from JSON when zero, so
+// a JSONL dump stays compact. All times are virtual seconds since session
+// start and all rates are bits per second, matching the simulator's units.
+type Event struct {
+	// Session identifies the producing session (video|trace|scheme unless
+	// the caller sets an explicit id).
+	Session string `json:"session"`
+	// Seq is the ring-assigned monotonically increasing sequence number.
+	Seq uint64 `json:"seq"`
+	// TimeSec is the virtual session clock at the event.
+	TimeSec float64 `json:"t"`
+	// Kind tags the event.
+	Kind Kind `json:"kind"`
+	// Chunk is the chunk index the event concerns (-1 when not chunk-scoped).
+	Chunk int `json:"chunk"`
+	// Level is the track the event concerns: the chosen track for decide,
+	// the delivered track for download, the attempted track for
+	// retry/abandon/skip.
+	Level int `json:"level"`
+	// PrevLevel is the previously chosen track (-1 before the first chunk).
+	PrevLevel int `json:"prev_level"`
+	// BufferSec is the playback buffer at the event.
+	BufferSec float64 `json:"buffer_sec"`
+	// EstBps is the bandwidth estimate visible to the decision.
+	EstBps float64 `json:"est_bps,omitempty"`
+
+	// Controller internals (decide events from CAVA).
+	TargetSec float64 `json:"target_sec,omitempty"` // outer-loop target buffer x_r
+	U         float64 `json:"u,omitempty"`          // inner-loop control signal u_t
+	PTerm     float64 `json:"p_term,omitempty"`     // proportional term Kp·e
+	ITerm     float64 `json:"i_term,omitempty"`     // integral term Ki·∫e
+	Alpha     float64 `json:"alpha,omitempty"`      // bandwidth inflation α_t
+	Eta       float64 `json:"eta,omitempty"`        // change-penalty weight η_t
+	// Scores are the per-track objective values Q(ℓ) of the decision
+	// (lower is better); index = track level.
+	Scores []float64 `json:"scores,omitempty"`
+
+	// Download detail (download events).
+	SizeBits      float64 `json:"size_bits,omitempty"`
+	DownloadSec   float64 `json:"download_sec,omitempty"`
+	ThroughputBps float64 `json:"throughput_bps,omitempty"`
+	RebufferSec   float64 `json:"rebuffer_sec,omitempty"`
+	WaitSec       float64 `json:"wait_sec,omitempty"`
+
+	// Resilience/fault detail (retry, abandon, skip, fault events).
+	Attempt int    `json:"attempt,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Recorder consumes trace events. Implementations must be safe for
+// concurrent use (a sweep shares one recorder across sessions). Producers
+// must guard with a nil check so disabled tracing costs nothing:
+//
+//	if rec != nil {
+//		rec.Record(telemetry.Event{...})
+//	}
+type Recorder interface {
+	Record(ev Event)
+}
+
+// Ring is a bounded in-memory Recorder: a ring buffer that keeps the most
+// recent Capacity events and counts what it evicted. The zero value is
+// unusable; use NewRing. A nil *Ring discards events, so a typed-nil Ring
+// stored in a Recorder interface stays safe.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	n       int
+	seq     uint64
+	dropped uint64
+}
+
+// DefaultRingCapacity holds several full sessions of events.
+const DefaultRingCapacity = 8192
+
+// NewRing returns a ring holding up to capacity events (non-positive
+// selects DefaultRingCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Recorder: it stamps the sequence number and stores the
+// event, evicting the oldest when full.
+func (r *Ring) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a snapshot of the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events were evicted to make room.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// WriteJSONL dumps the retained events as JSON Lines, oldest first.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, r.Events())
+}
+
+// WriteJSONL writes events as JSON Lines (one event per line).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines trace dump back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: parsing trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// SessionID renders the canonical session identifier used when the caller
+// does not set an explicit one.
+func SessionID(videoID, traceID, scheme string) string {
+	return videoID + "|" + traceID + "|" + scheme
+}

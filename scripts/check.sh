@@ -1,9 +1,13 @@
 #!/bin/sh
-# Tier-1 gate: vet, build, and race-enabled tests. Equivalent to `make check`
-# for environments without make.
+# Tier-1 gate: vet, build, race-enabled tests, and the telemetry benchmark
+# smoke (which also runs the zero-alloc guards: the AllocsPerRun assertions
+# in internal/telemetry and internal/player). Equivalent to `make check` for
+# environments without make.
 set -eu
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+go test -bench=Telemetry -benchtime=100x -run='TestZeroAllocUpdates|TestTelemetryDisabledAllocBound' \
+	./internal/telemetry ./internal/player
 echo "check: OK"

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-telemetry
+.PHONY: check build vet test race bench bench-telemetry bench-sweep bench-sweep-short
 
 # check is the one-command tier-1 gate every PR must pass.
-check: vet build race bench-telemetry
+check: vet build race bench-telemetry bench-sweep-short
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,14 @@ bench-telemetry:
 	$(GO) test -bench=Telemetry -benchtime=100x \
 		-run='TestZeroAllocUpdates|TestTelemetryDisabledAllocBound' \
 		./internal/telemetry ./internal/player
+
+# Sweep-memoization benchmark: cold pass, warm replay, disk replay over the
+# fig8/fig9/fig10 suite; writes cold-vs-warm timings to BENCH_sweep.json.
+bench-sweep:
+	BENCH_SWEEP_OUT=BENCH_sweep.json $(GO) test -run='TestSweepColdWarm$$' -count=1 -v .
+
+# Short-mode variant wired into `check`: same correctness gates (warm pass
+# does zero sim work, outputs byte-identical) at reduced trace count, no
+# artifact written.
+bench-sweep-short:
+	$(GO) test -short -run='TestSweepColdWarm$$' -count=1 .

@@ -1,0 +1,120 @@
+package cava_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"cava/internal/cache"
+	"cava/internal/experiments"
+)
+
+// sweepSuite is the experiment set timed by TestSweepColdWarm: the Fig. 8/9
+// pair (which share one sweep) plus the Fig. 10 ablation (two sweeps of its
+// own), so the benchmark exercises both intra-pass reuse and the warm path.
+var sweepSuite = []string{"fig8", "fig9", "fig10"}
+
+// benchSweepReport is the BENCH_sweep.json schema.
+type benchSweepReport struct {
+	Suite      []string `json:"suite"`
+	Traces     int      `json:"traces"`
+	ColdSec    float64  `json:"cold_sec"`
+	WarmSec    float64  `json:"warm_sec"`
+	Speedup    float64  `json:"speedup"`
+	SimMisses  uint64   `json:"sim_misses"`
+	SimHits    uint64   `json:"sim_hits"`
+	DiskMisses uint64   `json:"disk_pass_misses"`
+	DiskHits   uint64   `json:"disk_pass_hits"`
+}
+
+// TestSweepColdWarm is the memoization benchmark and its correctness gate in
+// one: a cold pass over sweepSuite populates a fresh cache, a warm pass must
+// replay entirely from it (zero new sim misses, byte-identical output), and a
+// third pass through a fresh Cache over the same -cache-dir style directory
+// must reload from disk without executing a session. With BENCH_SWEEP_OUT
+// set, the cold-vs-warm timings are written there as BENCH_sweep.json.
+func TestSweepColdWarm(t *testing.T) {
+	traces := 6
+	if testing.Short() {
+		traces = 2
+	}
+	dir := t.TempDir()
+
+	runAll := func(c *cache.Cache) map[string]string {
+		t.Helper()
+		out := make(map[string]string, len(sweepSuite))
+		for _, id := range sweepSuite {
+			res, err := experiments.Run(id, experiments.Options{Traces: traces, Cache: c})
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out[id] = res.Text
+		}
+		return out
+	}
+
+	c := cache.New(cache.WithDir(dir))
+	t0 := time.Now()
+	cold := runAll(c)
+	coldSec := time.Since(t0).Seconds()
+	cs := c.Stats(cache.KindSim)
+	if cs.Misses == 0 {
+		t.Fatal("cold pass executed no sweeps")
+	}
+	// fig9 reuses fig8's sweep within the cold pass already.
+	if cs.Hits == 0 {
+		t.Fatalf("cold stats = %+v: fig9 did not reuse fig8's sweep", cs)
+	}
+
+	t1 := time.Now()
+	warm := runAll(c)
+	warmSec := time.Since(t1).Seconds()
+	ws := c.Stats(cache.KindSim)
+	if ws.Misses != cs.Misses {
+		t.Fatalf("warm pass executed %d new sweeps (stats %+v)", ws.Misses-cs.Misses, ws)
+	}
+	if ws.Hits <= cs.Hits {
+		t.Fatalf("warm pass recorded no cache hits (stats %+v)", ws)
+	}
+	for id, text := range cold {
+		if warm[id] != text {
+			t.Errorf("%s: warm output differs from cold output", id)
+		}
+	}
+
+	// A fresh Cache over the same directory models a later process with
+	// -cache-dir: everything replays from the JSON layer.
+	c2 := cache.New(cache.WithDir(dir))
+	disk := runAll(c2)
+	ds := c2.Stats(cache.KindSim)
+	if ds.Misses != 0 {
+		t.Fatalf("disk pass executed %d sweeps (stats %+v)", ds.Misses, ds)
+	}
+	for id, text := range cold {
+		if disk[id] != text {
+			t.Errorf("%s: disk-loaded output differs from cold output", id)
+		}
+	}
+
+	if out := os.Getenv("BENCH_SWEEP_OUT"); out != "" {
+		rep := benchSweepReport{
+			Suite: sweepSuite, Traces: traces,
+			ColdSec: coldSec, WarmSec: warmSec,
+			SimMisses: ws.Misses, SimHits: ws.Hits,
+			DiskMisses: ds.Misses, DiskHits: ds.Hits,
+		}
+		if warmSec > 0 {
+			rep.Speedup = coldSec / warmSec
+		}
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("cold %.2fs, warm %.3fs (%.0fx), report written to %s",
+			coldSec, warmSec, rep.Speedup, out)
+	}
+}

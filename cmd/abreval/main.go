@@ -17,16 +17,18 @@ import (
 	"os"
 	"time"
 
+	"cava/internal/cache"
 	"cava/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig1..fig11, table1, table2, codec, cap4x, prederr, live)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment ids")
-		traces  = flag.Int("traces", 0, "traces per set (default 200)")
-		workers = flag.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+		exp      = flag.String("exp", "", "experiment id (fig1..fig11, table1, table2, codec, cap4x, prederr, live)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		traces   = flag.Int("traces", 0, "traces per set (default 200)")
+		workers  = flag.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "persist sweep results as JSON under this directory; repeated invocations skip completed sweeps")
 	)
 	flag.Parse()
 
@@ -38,6 +40,9 @@ func main() {
 	}
 
 	opt := experiments.Options{Traces: *traces, Workers: *workers}
+	if *cacheDir != "" {
+		opt.Cache = cache.New(cache.WithDir(*cacheDir))
+	}
 	ids := []string{*exp}
 	if *all {
 		ids = experiments.IDs()

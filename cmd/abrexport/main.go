@@ -25,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	"cava/internal/abr"
+	"cava/internal/cache"
 	"cava/internal/cliutil"
 	"cava/internal/core"
 	"cava/internal/player"
@@ -48,17 +49,17 @@ func schemeByName(name string) (abr.Scheme, error) {
 		return abr.Scheme{Name: "RobustMPC", New: func(v *video.Video) abr.Algorithm { return abr.NewMPC(v, true) }}, nil
 	case "panda-max-sum":
 		return abr.Scheme{Name: "PANDA/CQ max-sum", New: func(v *video.Video) abr.Algorithm {
-			return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxSum)
+			return abr.NewPANDACQ(v, cache.Shared.QualityTable(v, quality.PSNR), abr.MaxSum)
 		}}, nil
 	case "panda-max-min":
 		return abr.Scheme{Name: "PANDA/CQ max-min", New: func(v *video.Video) abr.Algorithm {
-			return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), abr.MaxMin)
+			return abr.NewPANDACQ(v, cache.Shared.QualityTable(v, quality.PSNR), abr.MaxMin)
 		}}, nil
 	case "bolae-peak", "bolae-avg", "bolae-seg":
 		variant := map[string]abr.BOLAVariant{
 			"bolae-peak": abr.BOLAPeak, "bolae-avg": abr.BOLAAvg, "bolae-seg": abr.BOLASeg,
 		}[name]
-		probe := abr.NewBOLAE(video.Dataset()[0], variant, true)
+		probe := abr.NewBOLAE(cache.Shared.Generate(video.DatasetConfigs()[0]), variant, true)
 		return abr.Scheme{Name: probe.Name(), New: func(v *video.Video) abr.Algorithm {
 			return abr.NewBOLAE(v, variant, true)
 		}}, nil
@@ -94,12 +95,18 @@ func runSweep() {
 		traces      = flag.Int("traces", 50, "traces per set")
 		format      = flag.String("format", "csv", "output format: csv or json")
 		out         = flag.String("out", "-", "output path ('-' = stdout)")
+		cacheDir    = flag.String("cache-dir", "", "persist sweep results as JSON under this directory; a repeated identical invocation loads them instead of re-running")
 	)
 	flag.Parse()
 
+	c := cache.Shared
+	if *cacheDir != "" {
+		c = cache.New(cache.WithDir(*cacheDir))
+	}
+
 	var videos []*video.Video
 	for _, id := range strings.Split(*videosFlag, ",") {
-		v := video.ByID(strings.TrimSpace(id))
+		v := c.VideoByID(strings.TrimSpace(id))
 		if v == nil {
 			fmt.Fprintf(os.Stderr, "abrexport: unknown video %q\n", id)
 			os.Exit(2)
@@ -136,6 +143,7 @@ func runSweep() {
 		Schemes: schemes,
 		Config:  player.DefaultConfig(),
 		Metric:  metric,
+		Cache:   c,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abrexport: %v\n", err)

@@ -73,8 +73,16 @@ type Traced interface {
 type Factory func(v *video.Video) Algorithm
 
 // Scheme pairs a display name with a factory, for experiment sweeps.
+// Name labels the scheme's results and must be unique within one sweep.
+// Key, when non-empty, discriminates the factory's configuration for
+// cache fingerprints: two schemes with the same Name but different
+// parameters (e.g. a parameter sweep rebuilding "CAVA" with varying
+// controller settings) must carry distinct Keys, or a memoized sweep
+// result for one configuration would be returned for another. A factory
+// closed over nothing but the scheme name may leave Key empty.
 type Scheme struct {
 	Name string
+	Key  string
 	New  Factory
 }
 

@@ -1,0 +1,310 @@
+// Package cache is the repository's content-addressed artifact cache and
+// sweep memoization layer. Every figure/table reproduction derives the same
+// artifacts from the same deterministic inputs — generated videos, quality
+// tables, scene classifications, whole sim sweeps — so the cache
+// fingerprints those inputs (fingerprint.go) and memoizes the outputs
+// behind a concurrent get-or-compute API with singleflight semantics:
+// parallel workers asking for the same key block on one computation instead
+// of duplicating it.
+//
+// Two storage layers:
+//
+//   - In-memory, always on: a map from key to value, scoped to the Cache
+//     instance (Shared is the process-wide default).
+//   - On disk, optional (WithDir): values that pass through the JSON layer
+//     (GetOrComputeJSON — sim sweep results) are persisted as
+//     <dir>/<kind>/<fingerprint>.json, so repeated abrexport/abreval
+//     invocations across processes skip completed sweeps.
+//
+// Telemetry: cache_hits_total{kind}, cache_misses_total{kind} and
+// cache_bytes (serialized bytes moved through the JSON layer) when a
+// registry is attached with WithMetrics; Stats exposes the same counts
+// programmatically for tests. A nil *Cache disables caching: every helper
+// computes directly.
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cava/internal/telemetry"
+)
+
+// Cache is a concurrent get-or-compute store. Use New; the zero value is
+// not ready. A nil *Cache is a valid disabled cache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   map[string]*Stats
+	dir     string
+	reg     *telemetry.Registry
+	bytes   *telemetry.Counter
+}
+
+// entry is one in-flight or completed computation.
+type entry struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Stats counts one kind's cache outcomes. Hits are requests served without
+// running the computation (in-memory, disk, or by waiting on another
+// caller's in-flight computation); Misses are actual computations.
+type Stats struct {
+	Hits, Misses uint64
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithDir enables the on-disk JSON layer rooted at dir (created lazily).
+func WithDir(dir string) Option {
+	return func(c *Cache) { c.dir = dir }
+}
+
+// WithMetrics mirrors the hit/miss/bytes counters into a telemetry
+// registry as cache_hits_total{kind=...}, cache_misses_total{kind=...} and
+// cache_bytes.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(c *Cache) {
+		c.reg = reg
+		c.bytes = reg.Counter("cache_bytes", "serialized bytes moved through the cache JSON layer")
+	}
+}
+
+// New returns an empty cache.
+func New(opts ...Option) *Cache {
+	c := &Cache{
+		entries: make(map[string]*entry),
+		stats:   make(map[string]*Stats),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Shared is the process-wide default cache (in-memory only). Experiment
+// runners fall back to it when no explicit cache is configured, so one
+// abreval/test process never regenerates an artifact or re-executes an
+// identical sweep.
+var Shared = New()
+
+// Stats returns a snapshot of one kind's counters (zero for unknown kinds
+// and on a nil cache).
+func (c *Cache) Stats(kind string) Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.stats[kind]; s != nil {
+		return *s
+	}
+	return Stats{}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// count records one outcome for a kind, mirroring to the registry when
+// attached. Callers hold no lock.
+func (c *Cache) count(kind string, hit bool) {
+	c.mu.Lock()
+	s := c.stats[kind]
+	if s == nil {
+		s = &Stats{}
+		c.stats[kind] = s
+	}
+	if hit {
+		s.Hits++
+	} else {
+		s.Misses++
+	}
+	reg := c.reg
+	c.mu.Unlock()
+	if reg != nil {
+		if hit {
+			reg.Counter("cache_hits_total", "cache requests served without computing",
+				telemetry.Label{Name: "kind", Value: kind}).Inc()
+		} else {
+			reg.Counter("cache_misses_total", "cache requests that ran the computation",
+				telemetry.Label{Name: "kind", Value: kind}).Inc()
+		}
+	}
+}
+
+// GetOrCompute returns the value stored under kind/key, computing and
+// storing it on first request. Concurrent requests for the same key share
+// one computation (singleflight): exactly one caller runs compute, the rest
+// block until it finishes and receive the same value. A compute error is
+// returned to every waiter and the entry is dropped so a later request
+// retries. A nil cache calls compute directly.
+func (c *Cache) GetOrCompute(kind, key string, compute func() (any, error)) (any, error) {
+	if c == nil {
+		return compute()
+	}
+	full := kind + "\x00" + key
+	c.mu.Lock()
+	if e, ok := c.entries[full]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.err == nil {
+			c.count(kind, true)
+		}
+		return e.val, e.err
+	}
+	e := &entry{done: make(chan struct{})}
+	c.entries[full] = e
+	c.mu.Unlock()
+
+	e.val, e.err = compute()
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, full)
+		c.mu.Unlock()
+	} else {
+		c.count(kind, false)
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// GetOrComputeJSON is GetOrCompute for JSON-serializable values, adding the
+// on-disk layer: a first-in-process request probes <dir>/<kind>/<key>.json
+// before computing (a disk load counts as a hit), and a fresh computation
+// is persisted for future processes. Disk failures degrade to compute-only;
+// they never fail the request.
+func GetOrComputeJSON[T any](c *Cache, kind, key string, compute func() (T, error)) (T, error) {
+	if c == nil {
+		return compute()
+	}
+	v, err := c.GetOrCompute(kind, key, func() (any, error) {
+		if data, ok := c.readDisk(kind, key); ok {
+			var out T
+			if jerr := json.Unmarshal(data, &out); jerr == nil {
+				c.addBytes(len(data))
+				return diskLoaded[T]{out}, nil
+			}
+			// A corrupt or stale-format file is ignored and overwritten.
+		}
+		out, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if data, jerr := json.Marshal(out); jerr == nil {
+			c.addBytes(len(data))
+			c.writeDisk(kind, key, data)
+		}
+		return out, nil
+	})
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	// A disk load was a miss by GetOrCompute's accounting (the closure ran);
+	// reclassify it as a hit — the computation itself was skipped.
+	if dl, ok := v.(diskLoaded[T]); ok {
+		c.reclassify(kind)
+		return dl.val, nil
+	}
+	return v.(T), nil
+}
+
+// diskLoaded marks a value that came from the disk layer rather than a
+// fresh computation, so the hit/miss accounting can tell them apart.
+type diskLoaded[T any] struct{ val T }
+
+// reclassify converts the most recent miss of a kind into a hit.
+func (c *Cache) reclassify(kind string) {
+	c.mu.Lock()
+	if s := c.stats[kind]; s != nil && s.Misses > 0 {
+		s.Misses--
+		s.Hits++
+	}
+	reg := c.reg
+	c.mu.Unlock()
+	if reg != nil {
+		reg.Counter("cache_hits_total", "cache requests served without computing",
+			telemetry.Label{Name: "kind", Value: kind}).Inc()
+		// Registry counters are monotonic; expose the correction as a
+		// dedicated counter instead of decrementing the miss count.
+		reg.Counter("cache_disk_loads_total", "misses satisfied by the on-disk layer",
+			telemetry.Label{Name: "kind", Value: kind}).Inc()
+	}
+}
+
+func (c *Cache) addBytes(n int) {
+	if c.bytes != nil {
+		c.bytes.Add(uint64(n))
+	}
+}
+
+// diskPath maps kind/key to a file. Keys are hex fingerprints, so they are
+// safe path components; kind is a short identifier chosen by callers.
+func (c *Cache) diskPath(kind, key string) string {
+	return filepath.Join(c.dir, kind, key+".json")
+}
+
+func (c *Cache) readDisk(kind, key string) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.diskPath(kind, key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// writeDisk persists one entry via a temp-file rename so concurrent
+// processes never observe a torn file.
+func (c *Cache) writeDisk(kind, key string, data []byte) {
+	if c.dir == "" {
+		return
+	}
+	path := c.diskPath(kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}
+
+// String summarizes the cache state for logs.
+func (c *Cache) String() string {
+	if c == nil {
+		return "cache(disabled)"
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hits, misses uint64
+	for _, s := range c.stats {
+		hits += s.Hits
+		misses += s.Misses
+	}
+	return fmt.Sprintf("cache(%d entries, %d hits, %d misses)", len(c.entries), hits, misses)
+}

@@ -385,10 +385,12 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 
 			pred.ObserveDownload(bits, vdur)
 			lastThroughput = rec.Throughput
-			prevLevel = sf.Level
 			res.Chunks = append(res.Chunks, rec)
 			res.TotalBits += bits
 			if trc != nil {
+				// PrevLevel is the previous chunk's track (-1 on the first),
+				// so record before prevLevel advances to this chunk's level —
+				// the same ordering as the pure simulator.
 				trc.Record(telemetry.Event{
 					Session: session, TimeSec: v1, Kind: telemetry.KindDownload,
 					Chunk: i, Level: sf.Level, PrevLevel: prevLevel,
@@ -397,6 +399,7 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 					RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
 				})
 			}
+			prevLevel = sf.Level
 		}
 
 		if !playing && (buffer >= c.cfg.StartupSec || i == n-1) {

@@ -154,6 +154,28 @@ func TestTraceSchemaParity(t *testing.T) {
 		}
 	}
 
+	// Regression: the download event used to be recorded after prevLevel had
+	// advanced to the current chunk's level, so PrevLevel always equaled
+	// Level. In both worlds the downloads must chain: the first carries
+	// PrevLevel -1, each later one the previous download's Level.
+	for name, events := range map[string][]telemetry.Event{"sim": simEvents, "testbed": liveEvents} {
+		prev, n := -1, 0
+		for _, ev := range events {
+			if ev.Kind != telemetry.KindDownload {
+				continue
+			}
+			if ev.PrevLevel != prev {
+				t.Fatalf("%s download %d: PrevLevel = %d, want %d (previous download's Level)",
+					name, n, ev.PrevLevel, prev)
+			}
+			prev = ev.Level
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("%s trace has no download events", name)
+		}
+	}
+
 	// Session IDs follow the shared video|trace|scheme shape, and every
 	// event within a trace carries the same session and ascending seq.
 	for name, events := range map[string][]telemetry.Event{"sim": simEvents, "testbed": liveEvents} {

@@ -22,7 +22,7 @@ func init() {
 // auto variant should track the better fixed configuration in each without
 // manual intervention — the adaptation Oboe argues for.
 func runAutoTune(opt Options) (*Result, error) {
-	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	v := edYouTube()
 	schemes := []abr.Scheme{
 		{Name: "CAVA", New: core.Factory()},
 		{Name: "CAVA-auto", New: core.AutoFactory()},
@@ -37,6 +37,7 @@ func runAutoTune(opt Options) (*Result, error) {
 			Config:  defaultConfig(),
 			Metric:  metric,
 			Workers: opt.Workers,
+			Cache:   opt.cache(),
 		})
 		if err != nil {
 			return err

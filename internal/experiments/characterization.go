@@ -49,10 +49,10 @@ func runFig1(Options) (*Result, error) {
 // runFig2 regenerates the SI/TI quartile separation of Fig. 2 for both
 // codecs: the fraction of each quartile's chunks above the SI>25, TI>7
 // region, plus mean SI/TI per quartile.
-func runFig2(Options) (*Result, error) {
+func runFig2(opt Options) (*Result, error) {
 	var sb strings.Builder
 	for _, codec := range []video.Codec{video.H264, video.H265} {
-		v := video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, codec)
+		v := opt.cache().Generate(video.FFmpegConfig(video.Title{Name: "ED", Genre: video.SciFi}, codec))
 		cats := scene.Classify(v, 3, 4)
 		siti := scene.ComputeSITI(v)
 		fr := scene.FractionAbove(cats, siti, 25, 7, 4)
@@ -89,14 +89,14 @@ func runFig2(Options) (*Result, error) {
 
 // runFig3 regenerates the per-quartile quality CDFs of Fig. 3 on the middle
 // (480p) track for PSNR, SSIM, VMAF-TV and VMAF-phone.
-func runFig3(Options) (*Result, error) {
+func runFig3(opt Options) (*Result, error) {
 	v := edYouTube()
-	cats := scene.ClassifyDefault(v)
+	cats := opt.cache().Categories(v)
 	mid := v.NumTracks() / 2
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s, track %d (%s):\n\n", v.ID(), mid, v.Tracks[mid].Res.Name)
 	for _, m := range []quality.Metric{quality.PSNR, quality.SSIM, quality.VMAFTV, quality.VMAFPhone} {
-		qt := quality.NewTable(v, m)
+		qt := opt.cache().QualityTable(v, m)
 		byCat := map[scene.Category][]float64{}
 		for i := 0; i < v.NumChunks(); i++ {
 			byCat[cats[i]] = append(byCat[cats[i]], qt.At(mid, i))

@@ -31,8 +31,8 @@ func init() {
 // the summary the paper quotes (average Q4 VMAF and rebuffering).
 func runFig4(opt Options) (*Result, error) {
 	v := edYouTube()
-	qt := quality.NewTable(v, quality.VMAFPhone)
-	cats := scene.ClassifyDefault(v)
+	qt := opt.cache().QualityTable(v, quality.VMAFPhone)
+	cats := opt.cache().Categories(v)
 	cfg := defaultConfig()
 	// Pick an illustrative trace, as the paper's Fig. 4 does: one where
 	// CAVA streams stall-free and the myopic schemes' Q4 deficit shows.
@@ -110,9 +110,13 @@ func windowSweep(opt Options, values []float64, set func(*core.Params, float64))
 	for _, val := range values {
 		p := core.DefaultParams()
 		set(&p, val)
-		sc := abr.Scheme{Name: "CAVA", New: func(v *video.Video) abr.Algorithm {
-			return core.NewWith(v, p, core.AllPrinciples, "CAVA")
-		}}
+		// The sweep rebuilds "CAVA" with different controller parameters
+		// each iteration; Key carries the full parameter set so each
+		// configuration fingerprints (and therefore memoizes) separately.
+		sc := abr.Scheme{Name: "CAVA", Key: fmt.Sprintf("cava-params-%+v", p),
+			New: func(v *video.Video) abr.Algorithm {
+				return core.NewWith(v, p, core.AllPrinciples, "CAVA")
+			}}
 		res, err := sim.Run(sim.Request{
 			Videos:  []*video.Video{v},
 			Traces:  traces,
@@ -120,6 +124,7 @@ func windowSweep(opt Options, values []float64, set func(*core.Params, float64))
 			Config:  defaultConfig(),
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
+			Cache:   opt.cache(),
 		})
 		if err != nil {
 			return nil, err
@@ -162,7 +167,10 @@ func runFig7b(opt Options) (*Result, error) {
 		Text: table(header, rows) + "\n(ED, FFmpeg H.264, LTE traces; paper picks W'=200s)\n"}, nil
 }
 
-// fig8Run executes the Fig. 8 sweep and returns the results handle.
+// fig8Run executes the Fig. 8 sweep and returns the results handle. Both
+// runFig8 and runFig9 need exactly this sweep; with the cache enabled
+// (the default) the second caller gets the memoized result, so one
+// abreval/abrexport invocation executes the sweep once.
 func fig8Run(opt Options) (*sim.Results, *video.Video, error) {
 	v := edFFmpeg()
 	res, err := sim.Run(sim.Request{
@@ -172,6 +180,7 @@ func fig8Run(opt Options) (*sim.Results, *video.Video, error) {
 		Config:  defaultConfig(),
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
+		Cache:   opt.cache(),
 	})
 	return res, v, err
 }
@@ -293,6 +302,7 @@ func runFig10(opt Options) (*Result, error) {
 		Config:  defaultConfig(),
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
+		Cache:   opt.cache(),
 	})
 	if err != nil {
 		return nil, err
@@ -345,6 +355,7 @@ func runFig10(opt Options) (*Result, error) {
 		Config:  defaultConfig(),
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
+		Cache:   opt.cache(),
 	})
 	if err != nil {
 		return nil, err

@@ -17,6 +17,7 @@ import (
 	"text/tabwriter"
 
 	"cava/internal/abr"
+	"cava/internal/cache"
 	"cava/internal/core"
 	"cava/internal/metrics"
 	"cava/internal/player"
@@ -32,6 +33,10 @@ type Options struct {
 	Traces int
 	// Workers bounds sweep parallelism (default GOMAXPROCS).
 	Workers int
+	// Cache memoizes generated videos, derived artifacts and whole sweep
+	// results across runners (nil uses the process-wide cache.Shared, so
+	// e.g. fig8 and fig9 — which need the same sweep — execute it once).
+	Cache *cache.Cache
 }
 
 func (o Options) traces() int {
@@ -39,6 +44,13 @@ func (o Options) traces() int {
 		return trace.DefaultSetSize
 	}
 	return o.Traces
+}
+
+func (o Options) cache() *cache.Cache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return cache.Shared
 }
 
 // Result is a completed experiment: an identifier, a human title, and the
@@ -104,14 +116,16 @@ func table(header []string, rows [][]string) string {
 func f1(x float64) string { return fmt.Sprintf("%.1f", x) }
 func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
 
-// edYouTube returns the canonical YouTube-encoded Elephant Dream.
+// edYouTube returns the canonical YouTube-encoded Elephant Dream,
+// generated at most once per process (videos are immutable, so sharing
+// the cache.Shared instance across runners and option sets is safe).
 func edYouTube() *video.Video {
-	return video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
+	return cache.Shared.Generate(video.YouTubeConfig(video.Title{Name: "ED", Genre: video.SciFi}))
 }
 
 // edFFmpeg returns the canonical FFmpeg H.264 Elephant Dream.
 func edFFmpeg() *video.Video {
-	return video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, video.H264)
+	return cache.Shared.Generate(video.FFmpegConfig(video.Title{Name: "ED", Genre: video.SciFi}, video.H264))
 }
 
 // Scheme factories shared across experiments. PANDA/CQ consumes per-chunk
@@ -136,7 +150,10 @@ func pandaScheme(mode abr.PANDAMode) abr.Scheme {
 		name = "PANDA/CQ max-min"
 	}
 	return abr.Scheme{Name: name, New: func(v *video.Video) abr.Algorithm {
-		return abr.NewPANDACQ(v, quality.NewTable(v, quality.PSNR), mode)
+		// The factory runs once per session; the PSNR table only depends on
+		// the video, so share it process-wide instead of rebuilding it for
+		// every (trace, scheme) session of a sweep.
+		return abr.NewPANDACQ(v, cache.Shared.QualityTable(v, quality.PSNR), mode)
 	}}
 }
 

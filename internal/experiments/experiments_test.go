@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"cava/internal/cache"
 )
 
 // tinyOpt keeps experiment tests fast while exercising the full pipeline.
@@ -148,5 +150,25 @@ func TestDeterministicOutputs(t *testing.T) {
 	}
 	if a.Text != b.Text {
 		t.Error("fig3 output not deterministic")
+	}
+}
+
+// TestFig8Fig9ShareOneSweep pins the memoization contract at the experiments
+// layer: fig8 and fig9 render the same underlying sweep, so running both with
+// one cache must execute sim.Run's sessions exactly once.
+func TestFig8Fig9ShareOneSweep(t *testing.T) {
+	c := cache.New()
+	opt := Options{Traces: 2, Cache: c}
+	if _, err := Run("fig8", opt); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(cache.KindSim); s.Misses != 1 {
+		t.Fatalf("fig8 stats = %+v, want exactly 1 sweep executed", s)
+	}
+	if _, err := Run("fig9", opt); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(cache.KindSim); s.Misses != 1 || s.Hits < 1 {
+		t.Fatalf("fig8+fig9 stats = %+v, want the second runner to reuse the sweep", s)
 	}
 }

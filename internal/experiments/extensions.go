@@ -9,7 +9,6 @@ import (
 	"cava/internal/metrics"
 	"cava/internal/player"
 	"cava/internal/quality"
-	"cava/internal/scene"
 	"cava/internal/sim"
 	"cava/internal/trace"
 	"cava/internal/video"
@@ -50,6 +49,7 @@ func runAlpha(opt Options) (*Result, error) {
 			Config:  defaultConfig(),
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
+			Cache:   opt.cache(),
 		})
 		if err != nil {
 			return nil, err
@@ -84,8 +84,8 @@ func runLiveExt(opt Options) (*Result, error) {
 	// Live sessions cannot pre-buffer a minute of content: use a 10s
 	// startup against a live edge with a default one-chunk encoder delay.
 	lcfg := player.LiveConfig{EncoderDelaySec: -1}
-	qt := quality.NewTable(v, quality.VMAFPhone)
-	cats := scene.ClassifyDefault(v)
+	qt := opt.cache().QualityTable(v, quality.VMAFPhone)
+	cats := opt.cache().Categories(v)
 
 	type liveScheme struct {
 		name string

@@ -8,7 +8,6 @@ import (
 	"cava/internal/metrics"
 	"cava/internal/player"
 	"cava/internal/quality"
-	"cava/internal/scene"
 	"cava/internal/trace"
 	"cava/internal/video"
 )
@@ -28,9 +27,9 @@ func runMultiClient(opt Options) (*Result, error) {
 	if nTraces > 40 {
 		nTraces = 40 // shared sessions are ~3x the work of solo ones
 	}
-	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
-	qt := quality.NewTable(v, quality.VMAFPhone)
-	cats := scene.ClassifyDefault(v)
+	v := edYouTube()
+	qt := opt.cache().QualityTable(v, quality.VMAFPhone)
+	cats := opt.cache().Categories(v)
 
 	schemes := []abr.Scheme{
 		cavaScheme(),

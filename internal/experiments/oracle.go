@@ -8,7 +8,6 @@ import (
 	"cava/internal/oracle"
 	"cava/internal/player"
 	"cava/internal/quality"
-	"cava/internal/scene"
 	"cava/internal/trace"
 )
 
@@ -26,8 +25,8 @@ func runOracle(opt Options) (*Result, error) {
 		nTraces = 20
 	}
 	v := edYouTube()
-	qt := quality.NewTable(v, quality.VMAFPhone)
-	cats := scene.ClassifyDefault(v)
+	qt := opt.cache().QualityTable(v, quality.VMAFPhone)
+	cats := opt.cache().Categories(v)
 	cfg := defaultConfig()
 
 	type agg struct {

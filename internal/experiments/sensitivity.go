@@ -25,10 +25,10 @@ func init() {
 // average bitrate, VBR delivers higher and more uniform quality than CBR,
 // whose complex scenes starve. Measured directly on the encodes (no
 // network), per track.
-func runCBRvsVBR(Options) (*Result, error) {
+func runCBRvsVBR(opt Options) (*Result, error) {
 	vbr := edFFmpeg()
 	cbr := video.CBRCounterpart(vbr)
-	cats := scene.ClassifyDefault(vbr)
+	cats := opt.cache().Categories(vbr)
 
 	var sb strings.Builder
 	header := []string{"track", "encoding", "avg Mbps", "mean VMAF", "Q4-complex VMAF", "simple VMAF", "stdev"}
@@ -37,7 +37,7 @@ func runCBRvsVBR(Options) (*Result, error) {
 		label string
 		v     *video.Video
 	}{{"VBR 2x", vbr}, {"CBR", cbr}} {
-		qt := quality.NewTable(pair.v, quality.VMAFPhone)
+		qt := opt.cache().QualityTable(pair.v, quality.VMAFPhone)
 		for _, li := range []int{2, 3, 4} {
 			var all, q4, simple []float64
 			for i := 0; i < pair.v.NumChunks(); i++ {
@@ -95,6 +95,7 @@ func runStartup(opt Options) (*Result, error) {
 			Config:  cfg,
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
+			Cache:   opt.cache(),
 		})
 		if err != nil {
 			return nil, err
@@ -121,7 +122,7 @@ func runStartup(opt Options) (*Result, error) {
 // controllers finer decisions but noisier throughput samples.
 func runChunkDur(opt Options) (*Result, error) {
 	vids := []*video.Video{
-		video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, video.H264), // 2s
+		edFFmpeg(),  // 2s
 		edYouTube(), // 5s
 	}
 	traces := trace.GenLTESet(opt.traces())
@@ -132,6 +133,7 @@ func runChunkDur(opt Options) (*Result, error) {
 		Config:  defaultConfig(),
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
+		Cache:   opt.cache(),
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +177,7 @@ func runBaselines(opt Options) (*Result, error) {
 		Config:  defaultConfig(),
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
+		Cache:   opt.cache(),
 	})
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"cava/internal/bandwidth"
+	"cava/internal/cache"
 	"cava/internal/metrics"
 	"cava/internal/player"
 	"cava/internal/quality"
@@ -22,10 +23,10 @@ func init() {
 
 // table1Videos returns the paper's Table 1 rows: the 8 YouTube videos under
 // LTE and the 4 open titles under FCC.
-func table1Videos() (lte, fcc []*video.Video) {
-	lte = video.YouTubeSet()
+func table1Videos(c *cache.Cache) (lte, fcc []*video.Video) {
+	lte = c.GenerateAll(video.YouTubeSetConfigs())
 	for _, t := range video.OpenTitles {
-		fcc = append(fcc, video.YouTubeVideo(t))
+		fcc = append(fcc, c.Generate(video.YouTubeConfig(t)))
 	}
 	return lte, fcc
 }
@@ -34,7 +35,7 @@ func table1Videos() (lte, fcc []*video.Video) {
 // RobustMPC and PANDA/CQ max-min on the five metrics. Cells hold two
 // values (vs RobustMPC, vs PANDA/CQ max-min), matching the paper's layout.
 func runTable1(opt Options) (*Result, error) {
-	lteVideos, fccVideos := table1Videos()
+	lteVideos, fccVideos := table1Videos(opt.cache())
 	var sb strings.Builder
 	header := []string{"set", "video", "Q4 qual", "low-qual %", "stall %", "qual chg %", "data %"}
 	var rows [][]string
@@ -47,6 +48,7 @@ func runTable1(opt Options) (*Result, error) {
 			Config:  defaultConfig(),
 			Metric:  metric,
 			Workers: opt.Workers,
+			Cache:   opt.cache(),
 		})
 		if err != nil {
 			return err
@@ -88,7 +90,7 @@ func runCodec(opt Options) (*Result, error) {
 	for _, codec := range []video.Codec{video.H264, video.H265} {
 		var videos []*video.Video
 		for _, t := range video.OpenTitles {
-			videos = append(videos, video.FFmpegVideo(t, codec))
+			videos = append(videos, opt.cache().Generate(video.FFmpegConfig(t, codec)))
 		}
 		res, err := sim.Run(sim.Request{
 			Videos:  videos,
@@ -97,6 +99,7 @@ func runCodec(opt Options) (*Result, error) {
 			Config:  defaultConfig(),
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
+			Cache:   opt.cache(),
 		})
 		if err != nil {
 			return nil, err
@@ -123,7 +126,7 @@ func runCodec(opt Options) (*Result, error) {
 
 // runCap4x reproduces §6.6 on the 4x-capped Elephant Dream encode.
 func runCap4x(opt Options) (*Result, error) {
-	v4 := video.Cap4xED()
+	v4 := opt.cache().Generate(video.Cap4xConfig())
 	v2 := edFFmpeg()
 	traces := trace.GenLTESet(opt.traces())
 	var sb strings.Builder
@@ -137,6 +140,7 @@ func runCap4x(opt Options) (*Result, error) {
 			Config:  defaultConfig(),
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
+			Cache:   opt.cache(),
 		})
 		if err != nil {
 			return nil, err
@@ -174,6 +178,9 @@ func runPredErr(opt Options) (*Result, error) {
 			Config:  defaultConfig(),
 			Metric:  quality.VMAFPhone,
 			Workers: opt.Workers,
+			// PredictorFor makes the sweep unfingerprintable, so only the
+			// per-video artifacts are cached — the sessions always run.
+			Cache: opt.cache(),
 			PredictorFor: func(vv *video.Video, tr *trace.Trace) player.Config {
 				cfg := defaultConfig()
 				cfg.Predictor = bandwidth.NewNoisyOracle(tr, errLevel, seedFromID(tr.ID))

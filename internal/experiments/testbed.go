@@ -43,7 +43,7 @@ func bolaComparisonSchemes() []abr.Scheme {
 // sweep tractable, exactly as the paper pairs simulation with its dash.js
 // testbed.
 func runFig11(opt Options) (*Result, error) {
-	v := video.YouTubeVideo(video.Title{Name: "BBB", Genre: video.Animation})
+	v := opt.cache().Generate(video.YouTubeConfig(video.Title{Name: "BBB", Genre: video.Animation}))
 	res, err := sim.Run(sim.Request{
 		Videos:  []*video.Video{v},
 		Traces:  trace.GenLTESet(opt.traces()),
@@ -51,6 +51,7 @@ func runFig11(opt Options) (*Result, error) {
 		Config:  defaultConfig(),
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
+		Cache:   opt.cache(),
 	})
 	if err != nil {
 		return nil, err
@@ -92,7 +93,7 @@ func runTable2(opt Options) (*Result, error) {
 	}
 	var videos []*video.Video
 	for _, t := range titles {
-		videos = append(videos, video.YouTubeVideo(t))
+		videos = append(videos, opt.cache().Generate(video.YouTubeConfig(t)))
 	}
 	res, err := sim.Run(sim.Request{
 		Videos:  videos,
@@ -101,6 +102,7 @@ func runTable2(opt Options) (*Result, error) {
 		Config:  defaultConfig(),
 		Metric:  quality.VMAFPhone,
 		Workers: opt.Workers,
+		Cache:   opt.cache(),
 	})
 	if err != nil {
 		return nil, err
@@ -131,9 +133,9 @@ func runLive(opt Options) (*Result, error) {
 	const scale = 120
 	const maxChunks = 60
 
-	v := video.YouTubeVideo(video.Title{Name: "BBB", Genre: video.Animation})
-	qt := quality.NewTable(v, quality.VMAFPhone)
-	cats := scene.ClassifyDefault(v)
+	v := opt.cache().Generate(video.YouTubeConfig(video.Title{Name: "BBB", Genre: video.Animation}))
+	qt := opt.cache().QualityTable(v, quality.VMAFPhone)
+	cats := opt.cache().Categories(v)
 
 	factories := []abr.Scheme{cavaScheme(), bolaScheme(abr.BOLASeg, true)}
 	header := []string{"trace", "scheme", "Q4 qual", "low-qual %", "rebuf (s)", "qual chg", "data MB", "wall (s)"}
@@ -213,9 +215,9 @@ func runRobustness(opt Options) (*Result, error) {
 	const maxChunks = 40
 	const seed = 1
 
-	v := video.YouTubeVideo(video.Title{Name: "BBB", Genre: video.Animation})
-	qt := quality.NewTable(v, quality.VMAFPhone)
-	cats := scene.ClassifyDefault(v)
+	v := opt.cache().Generate(video.YouTubeConfig(video.Title{Name: "BBB", Genre: video.Animation}))
+	qt := opt.cache().QualityTable(v, quality.VMAFPhone)
+	cats := opt.cache().Categories(v)
 	tr := trace.GenLTE(0)
 
 	schemes := []abr.Scheme{cavaScheme(), bolaScheme(abr.BOLASeg, true)}

@@ -235,19 +235,13 @@ func (c CDF) At(x float64) float64 {
 	return float64(i) / float64(len(c.X))
 }
 
-// Quantile returns the value below which fraction p of the sample lies.
+// Quantile returns the p-quantile (p in [0,1]) of the sample by the same
+// nearest-rank rule as Sorted.Percentile — the smallest x with
+// P(X ≤ x) ≥ p — so the two agree on any sample (a floor-rank
+// implementation here used to disagree with Percentile, e.g. on the
+// median of an even-sized sample).
 func (c CDF) Quantile(p float64) float64 {
-	if len(c.X) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(c.X)))
-	if i >= len(c.X) {
-		i = len(c.X) - 1
-	}
-	if i < 0 {
-		i = 0
-	}
-	return c.X[i]
+	return Sorted{xs: c.X}.Percentile(p * 100)
 }
 
 // DeltaPct returns (a−b)/b as a percentage, or 0 when b is 0. It is the

@@ -192,6 +192,38 @@ func TestCDF(t *testing.T) {
 	}
 }
 
+// TestQuantileMatchesPercentile is the regression test for the floor-rank
+// Quantile: it used to return index int(p*n) while Percentile used
+// nearest-rank ceil(p*n)-1, so the two disagreed on the same sample — e.g.
+// the median of [1,2,3,4] was 3 by Quantile but 2 by Percentile. The two
+// rules must agree everywhere.
+func TestQuantileMatchesPercentile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) of [1,2,3,4] = %v, want 2 (nearest-rank)", got)
+	}
+	samples := [][]float64{
+		{1, 2, 3, 4},
+		{5},
+		{2, 2, 2, 7},
+		{-3, 0, 0.5, 9, 9, 12, 40, 41},
+		{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+	}
+	for _, xs := range samples {
+		c := NewCDF(xs)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			if got, want := c.Quantile(p), Percentile(xs, p*100); got != want {
+				t.Fatalf("sample %v: Quantile(%v) = %v, Percentile(%v) = %v — rules diverge",
+					xs, p, got, p*100, want)
+			}
+		}
+	}
+	var empty CDF
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty Quantile should be 0")
+	}
+}
+
 func TestCDFProperties(t *testing.T) {
 	f := func(raw []float64) bool {
 		var xs []float64

@@ -246,10 +246,12 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 
 		pred.ObserveDownload(size, dl)
 		lastThroughput = rec.Throughput
-		prevLevel = level
 		res.Chunks = append(res.Chunks, rec)
 		res.TotalBits += size
 		if trc != nil {
+			// PrevLevel is the track of the *previous* chunk (-1 on the
+			// first), so it must be recorded before prevLevel advances to
+			// this chunk's level.
 			trc.Record(telemetry.Event{
 				Session: session, TimeSec: now, Kind: telemetry.KindDownload,
 				Chunk: i, Level: level, PrevLevel: prevLevel,
@@ -258,6 +260,7 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 				RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
 			})
 		}
+		prevLevel = level
 
 		if !playing && (buffer >= cfg.StartupSec || i == n-1) {
 			playing = true

@@ -7,6 +7,7 @@ import (
 
 	"cava/internal/abr"
 	"cava/internal/bandwidth"
+	"cava/internal/telemetry"
 	"cava/internal/trace"
 	"cava/internal/video"
 )
@@ -274,4 +275,54 @@ func TestMustSimulatePanicsOnBadInput(t *testing.T) {
 	}()
 	v := testVideo()
 	MustSimulate(v, &trace.Trace{ID: "bad", Interval: 0}, fixedAlgo(v, 0), DefaultConfig())
+}
+
+// oscillator alternates between two track levels every chunk, so consecutive
+// downloads always land on different tracks — the strongest possible probe
+// for PrevLevel bookkeeping.
+type oscillator struct{ n int }
+
+func (o *oscillator) Name() string { return "Oscillator" }
+func (o *oscillator) Select(abr.State) int {
+	o.n++
+	return o.n % 2
+}
+
+// TestDownloadEventPrevLevelChain is the regression test for recording the
+// download trace event after prevLevel had already advanced to the current
+// chunk's level: every download event carried PrevLevel == Level, destroying
+// the track-switch information. The events must chain instead — the first
+// download sees -1, every later one sees the previous download's Level.
+func TestDownloadEventPrevLevelChain(t *testing.T) {
+	v := testVideo()
+	ring := telemetry.NewRing(telemetry.DefaultRingCapacity)
+	cfg := DefaultConfig()
+	cfg.Recorder = ring
+	if _, err := Simulate(v, trace.Constant("c", 10e6, 1200, 1), &oscillator{}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	prev, downloads, switches := -1, 0, 0
+	for _, ev := range ring.Events() {
+		if ev.Kind != telemetry.KindDownload {
+			continue
+		}
+		if ev.PrevLevel != prev {
+			t.Fatalf("download %d: PrevLevel = %d, want %d (the previous download's Level)",
+				downloads, ev.PrevLevel, prev)
+		}
+		if ev.PrevLevel != ev.Level {
+			switches++
+		}
+		prev = ev.Level
+		downloads++
+	}
+	if downloads != v.NumChunks() {
+		t.Fatalf("recorded %d download events, want %d", downloads, v.NumChunks())
+	}
+	// The oscillator switches track on every chunk; if no event shows a
+	// switch, PrevLevel is being stamped from the current level.
+	if switches != downloads {
+		t.Fatalf("only %d/%d download events show a track switch under an oscillating algorithm",
+			switches, downloads)
+	}
 }

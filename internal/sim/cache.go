@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"sort"
+
+	"cava/internal/cache"
+	"cava/internal/metrics"
+)
+
+// Fingerprint returns the content fingerprint of a request — the key under
+// which its sweep result is memoized — and whether the request is
+// fingerprintable at all.
+//
+// The fingerprint covers everything that determines the result: video
+// content, trace content and order, scheme names and keys (in order), the
+// player configuration and the quality metric. It deliberately excludes
+// Workers and Metrics, which change how the sweep runs but not what it
+// produces.
+//
+// A request is not fingerprintable when its behavior depends on values the
+// fingerprint cannot see: a custom bandwidth predictor (PredictorFor or
+// Config.Predictor), an attached trace recorder, or a session-ID override.
+// Such requests always execute.
+func (req Request) Fingerprint() (string, bool) {
+	if req.PredictorFor != nil || req.Config.Predictor != nil ||
+		req.Config.Recorder != nil || req.Config.SessionID != "" {
+		return "", false
+	}
+	h := cache.NewHasher("sim-v1")
+	h.F64(req.Config.StartupSec).F64(req.Config.MaxBufferSec)
+	h.I64(int64(req.Metric))
+	h.I64(int64(len(req.Videos)))
+	for _, v := range req.Videos {
+		h.Str(cache.VideoFingerprint(v))
+	}
+	h.I64(int64(len(req.Traces)))
+	for _, tr := range req.Traces {
+		h.Str(cache.TraceFingerprint(tr))
+	}
+	h.I64(int64(len(req.Schemes)))
+	for _, sc := range req.Schemes {
+		h.Str(sc.Name).Str(sc.Key)
+	}
+	return h.Sum(), true
+}
+
+// cellEnc is the JSON shape of one aggregation cell. Results.Cells is a
+// map keyed by a struct, which encoding/json cannot represent, so cached
+// sweeps serialize as a sorted list of cells (sorted so identical results
+// marshal to identical bytes).
+type cellEnc struct {
+	Scheme    string            `json:"scheme"`
+	Video     string            `json:"video"`
+	Summaries []metrics.Summary `json:"summaries"`
+}
+
+type resultsEnc []cellEnc
+
+func encodeResults(r *Results) resultsEnc {
+	out := make(resultsEnc, 0, len(r.Cells))
+	for k, ss := range r.Cells {
+		out = append(out, cellEnc{Scheme: k.Scheme, Video: k.Video, Summaries: ss})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		return out[i].Video < out[j].Video
+	})
+	return out
+}
+
+func (e resultsEnc) decode() *Results {
+	r := &Results{Cells: make(map[CellKey][]metrics.Summary, len(e))}
+	for _, c := range e {
+		r.Cells[CellKey{Scheme: c.Scheme, Video: c.Video}] = c.Summaries
+	}
+	return r
+}

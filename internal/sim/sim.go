@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"cava/internal/abr"
+	"cava/internal/cache"
 	"cava/internal/metrics"
 	"cava/internal/player"
 	"cava/internal/quality"
@@ -41,6 +42,13 @@ type Request struct {
 	// sim_jobs_pending gauge, so a long sweep is observable live on
 	// /metrics instead of only through its final summary.
 	Metrics *telemetry.Registry
+	// Cache, when non-nil, memoizes per-video derived artifacts (quality
+	// tables, scene classifications) and — for requests whose outcome is
+	// fully determined by fingerprintable inputs (see Fingerprint) — the
+	// whole sweep result, in memory and optionally on disk. Neither
+	// Workers nor Metrics affects results, so neither invalidates a
+	// cached sweep.
+	Cache *cache.Cache
 }
 
 // CellKey identifies one (scheme, video) aggregation cell.
@@ -76,7 +84,41 @@ func (r *Results) SchemeAll(scheme string) []metrics.Summary {
 // independent streaming session with a fresh algorithm instance. A session
 // failure (invalid video or trace) aborts the sweep and is returned after
 // the in-flight sessions drain.
+//
+// Scheme names must be unique within a request: results are keyed by
+// scheme name, so duplicates would merge distinct schemes into one cell.
+// Run rejects them with an error instead of silently dropping sessions.
+//
+// When req.Cache is set and the request is fingerprintable (see
+// Fingerprint), the whole sweep result is memoized: a repeated identical
+// request — in this process or, with a disk-backed cache, in a previous
+// one — returns the stored result without running any session.
 func Run(req Request) (*Results, error) {
+	seen := make(map[string]bool, len(req.Schemes))
+	for _, sc := range req.Schemes {
+		if seen[sc.Name] {
+			return nil, fmt.Errorf("sim: duplicate scheme name %q in request", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	if fp, ok := req.Fingerprint(); ok && req.Cache != nil {
+		enc, err := cache.GetOrComputeJSON(req.Cache, cache.KindSim, fp, func() (resultsEnc, error) {
+			r, err := run(req)
+			if err != nil {
+				return nil, err
+			}
+			return encodeResults(r), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return enc.decode(), nil
+	}
+	return run(req)
+}
+
+// run executes the sweep unconditionally.
+func run(req Request) (*Results, error) {
 	type job struct {
 		v      *video.Video
 		tr     *trace.Trace
@@ -93,12 +135,14 @@ func Run(req Request) (*Results, error) {
 	pending := req.Metrics.Gauge("sim_jobs_pending", "sweep sessions not yet finished")
 	pending.Set(float64(len(req.Videos) * len(req.Traces) * len(req.Schemes)))
 
-	// Precompute per-video quality tables and classifications once.
+	// Per-video quality tables and classifications, computed once here and
+	// at most once per process when a cache is attached (req.Cache may be
+	// nil; the helpers then compute directly).
 	qts := make(map[string]*quality.Table, len(req.Videos))
 	cats := make(map[string][]scene.Category, len(req.Videos))
 	for _, v := range req.Videos {
-		qts[v.ID()] = quality.NewTable(v, req.Metric)
-		cats[v.ID()] = scene.ClassifyDefault(v)
+		qts[v.ID()] = req.Cache.QualityTable(v, req.Metric)
+		cats[v.ID()] = req.Cache.Categories(v)
 	}
 
 	jobs := make(chan job)
@@ -151,9 +195,15 @@ func Run(req Request) (*Results, error) {
 					continue
 				}
 				s := metrics.Summarize(res, qts[j.v.ID()], cats[j.v.ID()])
+				// Cells — and the summaries inside them — carry the sweep's
+				// scheme label, not the algorithm's self-reported name: a
+				// constructor may name its algorithm differently (or several
+				// sweep entries may share one algorithm), and results must
+				// stay findable under the label the caller configured.
+				s.Scheme = j.scheme.Name
 				sessionsTot.Inc()
 				pending.Add(-1)
-				out <- keyed{key: CellKey{Scheme: algo.Name(), Video: j.v.ID()}, ti: j.ti, s: s}
+				out <- keyed{key: CellKey{Scheme: j.scheme.Name, Video: j.v.ID()}, ti: j.ti, s: s}
 			}
 		}()
 	}
@@ -181,14 +231,22 @@ func Run(req Request) (*Results, error) {
 	}
 	res := &Results{Cells: make(map[CellKey][]metrics.Summary, len(tmp))}
 	for key, ks := range tmp {
-		// Restore trace order for determinism.
+		// Restore trace order for determinism. Every cell must receive
+		// exactly one summary per trace; anything else is an aggregation
+		// bug and must surface, not silently leave zero-valued slots.
+		if len(ks) != len(req.Traces) {
+			return nil, fmt.Errorf("sim: cell (%s, %s) collected %d sessions for %d traces",
+				key.Scheme, key.Video, len(ks), len(req.Traces))
+		}
 		ordered := make([]metrics.Summary, len(ks))
-		used := make([]bool, len(req.Traces))
+		filled := make([]bool, len(req.Traces))
 		for _, k := range ks {
-			if k.ti < len(ordered) && !used[k.ti] {
-				ordered[k.ti] = k.s
-				used[k.ti] = true
+			if k.ti >= len(ordered) || filled[k.ti] {
+				return nil, fmt.Errorf("sim: cell (%s, %s) received conflicting sessions for trace %d",
+					key.Scheme, key.Video, k.ti)
 			}
+			ordered[k.ti] = k.s
+			filled[k.ti] = true
 		}
 		res.Cells[key] = ordered
 	}

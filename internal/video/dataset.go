@@ -1,5 +1,7 @@
 package video
 
+import "fmt"
+
 // The paper's 16-video dataset (§2):
 //
 //   - 8 FFmpeg encodes: the four Xiph open titles (Elephant Dream, Big Buck
@@ -32,10 +34,12 @@ var YouTubeOnlyTitles = []Title{
 	{"Action", Action},
 }
 
-// FFmpegVideo generates one FFmpeg-pipeline encode (2-second chunks, 2× cap,
-// 24 fps film content).
-func FFmpegVideo(t Title, codec Codec) *Video {
-	return Generate(GenConfig{
+// FFmpegConfig is the generator configuration of one FFmpeg-pipeline encode
+// (2-second chunks, 2× cap, 24 fps film content). Exposed separately from
+// FFmpegVideo so callers (the artifact cache) can key on the full
+// deterministic input without generating.
+func FFmpegConfig(t Title, codec Codec) GenConfig {
+	return GenConfig{
 		Name:     t.Name,
 		Genre:    t.Genre,
 		Codec:    codec,
@@ -44,13 +48,18 @@ func FFmpegVideo(t Title, codec Codec) *Video {
 		Cap:      2.0,
 		Duration: 600,
 		FPS:      24,
-	})
+	}
 }
 
-// YouTubeVideo generates one YouTube-pipeline encode (5-second chunks,
-// H.264, 30 fps).
-func YouTubeVideo(t Title) *Video {
-	return Generate(GenConfig{
+// FFmpegVideo generates one FFmpeg-pipeline encode.
+func FFmpegVideo(t Title, codec Codec) *Video {
+	return Generate(FFmpegConfig(t, codec))
+}
+
+// YouTubeConfig is the generator configuration of one YouTube-pipeline
+// encode (5-second chunks, H.264, 30 fps).
+func YouTubeConfig(t Title) GenConfig {
+	return GenConfig{
 		Name:     t.Name,
 		Genre:    t.Genre,
 		Codec:    H264,
@@ -59,13 +68,20 @@ func YouTubeVideo(t Title) *Video {
 		Cap:      2.0,
 		Duration: 600,
 		FPS:      30,
-	})
+	}
 }
 
-// Cap4xED generates the 4×-capped Elephant Dream encode used in the higher
-// bitrate-variability study (§3.3, §6.6).
-func Cap4xED() *Video {
-	return Generate(GenConfig{
+// YouTubeVideo generates one YouTube-pipeline encode.
+func YouTubeVideo(t Title) *Video {
+	return Generate(YouTubeConfig(t))
+}
+
+// Cap4xConfig is the generator configuration of the 4×-capped Elephant
+// Dream encode used in the higher bitrate-variability study (§3.3, §6.6).
+// Note it shares a video ID with FFmpegConfig(ED, H264) — only the cap
+// differs — so configurations, not IDs, are the cache key for generation.
+func Cap4xConfig() GenConfig {
+	return GenConfig{
 		Name:     "ED",
 		Genre:    SciFi,
 		Codec:    H264,
@@ -74,36 +90,67 @@ func Cap4xED() *Video {
 		Cap:      4.0,
 		Duration: 600,
 		FPS:      24,
-	})
+	}
 }
 
-// Dataset returns the full 16-video dataset in a stable order:
-// 8 FFmpeg encodes (4 titles × {H.264, H.265}) then 8 YouTube encodes.
-func Dataset() []*Video {
-	var out []*Video
+// Cap4xED generates the 4×-capped Elephant Dream encode.
+func Cap4xED() *Video {
+	return Generate(Cap4xConfig())
+}
+
+// DatasetConfigs returns the generator configurations of the full
+// 16-video dataset in a stable order: 8 FFmpeg encodes (4 titles ×
+// {H.264, H.265}) then 8 YouTube encodes.
+func DatasetConfigs() []GenConfig {
+	var out []GenConfig
 	for _, t := range OpenTitles {
-		out = append(out, FFmpegVideo(t, H264))
+		out = append(out, FFmpegConfig(t, H264))
 	}
 	for _, t := range OpenTitles {
-		out = append(out, FFmpegVideo(t, H265))
+		out = append(out, FFmpegConfig(t, H265))
 	}
 	for _, t := range OpenTitles {
-		out = append(out, YouTubeVideo(t))
+		out = append(out, YouTubeConfig(t))
 	}
 	for _, t := range YouTubeOnlyTitles {
-		out = append(out, YouTubeVideo(t))
+		out = append(out, YouTubeConfig(t))
 	}
 	return out
 }
 
-// YouTubeSet returns the 8 YouTube-encoded videos (Table 1's rows).
-func YouTubeSet() []*Video {
+// ID returns the video ID this configuration generates, without
+// generating: the same Name-Source-Codec string as Video.ID.
+func (cfg GenConfig) ID() string {
+	return fmt.Sprintf("%s-%s-%s", cfg.Name, cfg.Source, cfg.Codec)
+}
+
+// Dataset generates the full 16-video dataset in DatasetConfigs order.
+func Dataset() []*Video {
 	var out []*Video
+	for _, cfg := range DatasetConfigs() {
+		out = append(out, Generate(cfg))
+	}
+	return out
+}
+
+// YouTubeSetConfigs returns the configurations of the 8 YouTube-encoded
+// videos (Table 1's rows).
+func YouTubeSetConfigs() []GenConfig {
+	var out []GenConfig
 	for _, t := range OpenTitles {
-		out = append(out, YouTubeVideo(t))
+		out = append(out, YouTubeConfig(t))
 	}
 	for _, t := range YouTubeOnlyTitles {
-		out = append(out, YouTubeVideo(t))
+		out = append(out, YouTubeConfig(t))
+	}
+	return out
+}
+
+// YouTubeSet generates the 8 YouTube-encoded videos (Table 1's rows).
+func YouTubeSet() []*Video {
+	var out []*Video
+	for _, cfg := range YouTubeSetConfigs() {
+		out = append(out, Generate(cfg))
 	}
 	return out
 }
@@ -121,13 +168,22 @@ func FFmpegSet() []*Video {
 	return out
 }
 
-// ByID finds a video in the dataset by its ID string (e.g.
-// "ED-ffmpeg-h264"); it returns nil when absent.
-func ByID(id string) *Video {
-	for _, v := range Dataset() {
-		if v.ID() == id {
-			return v
+// ConfigByID finds the dataset configuration for an ID string (e.g.
+// "ED-ffmpeg-h264") without generating any video.
+func ConfigByID(id string) (GenConfig, bool) {
+	for _, cfg := range DatasetConfigs() {
+		if cfg.ID() == id {
+			return cfg, true
 		}
+	}
+	return GenConfig{}, false
+}
+
+// ByID finds a video in the dataset by its ID string; it returns nil when
+// absent. Unlike Dataset, it generates only the requested video.
+func ByID(id string) *Video {
+	if cfg, ok := ConfigByID(id); ok {
+		return Generate(cfg)
 	}
 	return nil
 }

@@ -8,6 +8,13 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+# Hammer the concurrency-heavy packages a second time under the race
+# detector: the cache's singleflight path, the sim worker pool, and the
+# telemetry registry are where a data race would land.
+go test -race -count=2 ./internal/sim ./internal/cache ./internal/telemetry
 go test -bench=Telemetry -benchtime=100x -run='TestZeroAllocUpdates|TestTelemetryDisabledAllocBound' \
 	./internal/telemetry ./internal/player
+# Sweep-memoization gate: warm replay must do zero sim work and reproduce
+# the cold output byte-for-byte (short mode; `make bench-sweep` for timings).
+go test -short -run='TestSweepColdWarm$' -count=1 .
 echo "check: OK"

@@ -1,9 +1,17 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-telemetry bench-sweep bench-sweep-short
+.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short
 
 # check is the one-command tier-1 gate every PR must pass.
-check: vet build race bench-telemetry bench-sweep-short
+check: lint build race bench-telemetry bench-sweep-short
+
+# lint is the static-analysis gate: formatting, go vet, and abrlint (the
+# project analyzer suite in internal/lint — determinism, units, nopanic,
+# floateq, errdrop; see DESIGN.md "Static analysis").
+lint: vet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/abrlint ./...
 
 build:
 	$(GO) build ./...

@@ -76,7 +76,7 @@ func BenchmarkLiveTestbed(b *testing.B) {
 func benchDecision(b *testing.B, algo abr.Algorithm) {
 	b.Helper()
 	st := abr.State{ChunkIndex: 40, Now: 200, Buffer: 55, Playing: true,
-		PrevLevel: 3, Est: 2.4e6, LastThroughput: 2.1e6}
+		PrevLevel: 3, Est: 2.4e6, LastThroughputBps: 2.1e6}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -175,7 +175,7 @@ func BenchmarkDownloadTime(b *testing.B) {
 func BenchmarkSummarize(b *testing.B) {
 	v := benchVideo()
 	tr := trace.GenLTE(0)
-	res := player.MustSimulate(v, tr, core.New(v), player.DefaultConfig())
+	res := mustSimulate(b, v, tr, core.New(v), player.DefaultConfig())
 	qt := quality.NewTable(v, quality.VMAFPhone)
 	cats := scene.ClassifyDefault(v)
 	b.ReportAllocs()

@@ -106,9 +106,9 @@ func runSweep() {
 
 	var videos []*video.Video
 	for _, id := range strings.Split(*videosFlag, ",") {
-		v := c.VideoByID(strings.TrimSpace(id))
-		if v == nil {
-			fmt.Fprintf(os.Stderr, "abrexport: unknown video %q\n", id)
+		v, err := c.VideoByIDErr(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abrexport: %v\n", err)
 			os.Exit(2)
 		}
 		videos = append(videos, v)
@@ -252,7 +252,9 @@ func runTrace(args []string) error {
 // renderTrace prints one line per event, in time order, with the fields that
 // matter for each kind.
 func renderTrace(w io.Writer, events []telemetry.Event) error {
-	fmt.Fprintf(w, "session %s: %d events\n", events[0].Session, len(events))
+	if _, err := fmt.Fprintf(w, "session %s: %d events\n", events[0].Session, len(events)); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "seq\tt(s)\tkind\tchunk\tlevel\tbuf(s)\test(Mbps)\tdetail")
 	for _, ev := range events {

@@ -1,0 +1,80 @@
+// Command abrlint runs the repository's project-specific static-analysis
+// suite (internal/lint): determinism, units, nopanic, floateq and errdrop
+// over every package under ./internal/... and ./cmd/....
+//
+// Usage:
+//
+//	abrlint [./...]
+//
+// Findings print as `file:line: [analyzer] message`; the exit status is
+// non-zero when any finding survives suppression. The suite is part of the
+// tier-1 gate (`make check`), next to go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cava/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: abrlint [-root dir] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "..." {
+			fmt.Fprintf(os.Stderr, "abrlint: only the ./... pattern is supported (got %q)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abrlint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	findings, err := lint.Run(dir, lint.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abrlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		rel, err := filepath.Rel(dir, f.Pos.Filename)
+		if err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "abrlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

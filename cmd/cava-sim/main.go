@@ -37,7 +37,7 @@ func main() {
 	if *listVideos {
 		for _, v := range video.Dataset() {
 			fmt.Printf("%-22s %d tracks, %d chunks of %.0fs, cap %.0fx\n",
-				v.ID(), v.NumTracks(), v.NumChunks(), v.ChunkDur, v.Cap)
+				v.ID(), v.NumTracks(), v.NumChunks(), v.ChunkDurSec, v.Cap)
 		}
 		fmt.Println("ED-ffmpeg-h264-4x      (4x-capped variant via cap4x experiment)")
 		return
@@ -80,12 +80,12 @@ func main() {
 		for _, c := range res.Chunks {
 			fmt.Printf("%5d  Q%d   %5d  %8.2f  %5.1f  %10.2f  %6.1f  %8.1f  %4.0f\n",
 				c.Index, cats[c.Index], c.Level, c.SizeBits/1e6, c.DownloadSec,
-				c.Throughput/1e6, c.BufferAfter, c.RebufferSec, qt.At(c.Level, c.Index))
+				c.ThroughputBps/1e6, c.BufferAfter, c.RebufferSec, qt.At(c.Level, c.Index))
 		}
 		fmt.Println()
 	}
 	fmt.Printf("video %s | trace %s (mean %.2f Mbps) | scheme %s\n", v.ID(), tr.ID, tr.Mean()/1e6, res.Scheme)
-	fmt.Printf("  startup delay       %.1f s\n", s.StartupDelay)
+	fmt.Printf("  startup delay       %.1f s\n", s.StartupDelaySec)
 	fmt.Printf("  Q4 chunk quality    %.1f (median %.1f)\n", s.Q4Quality, s.Q4MedianQuality)
 	fmt.Printf("  Q1-Q3 chunk quality %.1f\n", s.Q13Quality)
 	fmt.Printf("  low-quality chunks  %.1f%%\n", s.LowQualityPct)

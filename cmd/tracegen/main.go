@@ -46,7 +46,7 @@ func main() {
 			mins = append(mins, t.Min()/1e6)
 		}
 		fmt.Printf("%s set: %d traces, interval %gs, >= %g s each\n",
-			*set, len(traces), traces[0].Interval, traces[0].Duration())
+			*set, len(traces), traces[0].IntervalSec, traces[0].Duration())
 		sm, sc := metrics.NewSorted(means), metrics.NewSorted(covs)
 		fmt.Printf("per-trace mean (Mbps): median %.2f, p10 %.2f, p90 %.2f\n",
 			sm.Median(), sm.Percentile(10), sm.Percentile(90))
@@ -72,11 +72,14 @@ func main() {
 			os.Exit(1)
 		}
 		if err := trace.WriteCSV(f, t); err != nil {
-			f.Close()
+			_ = f.Close()
 			fmt.Fprintf(os.Stderr, "tracegen: writing %s: %v\n", path, err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: closing %s: %v\n", path, err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("wrote %d traces to %s\n", len(traces), *out)
 }

@@ -46,20 +46,24 @@ func writeManifest(dir, format, id string, m *dash.Manifest) error {
 			return err
 		}
 		if err := dash.WriteHLSMaster(f, m); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			return err
+		}
 		for ti := range m.Tracks {
 			mf, err := create(fmt.Sprintf("%s_track_%d.m3u8", id, ti))
 			if err != nil {
 				return err
 			}
 			if err := dash.WriteHLSMedia(mf, m, ti); err != nil {
-				mf.Close()
+				_ = mf.Close()
 				return err
 			}
-			mf.Close()
+			if err := mf.Close(); err != nil {
+				return err
+			}
 		}
 		return nil
 	default:
@@ -81,10 +85,10 @@ func main() {
 	case *stats:
 		for _, v := range video.Dataset() {
 			fmt.Printf("%s (%s, %.0fs chunks, cap %.0fx, %d chunks)\n",
-				v.ID(), v.Genre, v.ChunkDur, v.Cap, v.NumChunks())
+				v.ID(), v.Genre, v.ChunkDurSec, v.Cap, v.NumChunks())
 			for _, t := range v.Tracks {
 				fmt.Printf("  %-6s avg %6.2f Mbps  peak/avg %.2f  CoV %.2f\n",
-					t.Res.Name, t.AvgBitrate/1e6, t.PeakToAvg(), t.CoV())
+					t.Res.Name, t.AvgBitrateBps/1e6, t.PeakToAvg(), t.CoV())
 			}
 		}
 	case *chunks:

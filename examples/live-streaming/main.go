@@ -37,7 +37,7 @@ func main() {
 			p := core.DefaultParams()
 			p.Lookahead = lookahead
 			p.BaseTargetBuffer = cfg.StartupSec
-			p.TargetMax = cfg.StartupSec + 2*v.ChunkDur
+			p.TargetMax = cfg.StartupSec + 2*v.ChunkDurSec
 			return core.NewWith(v, p, core.AllPrinciples, fmt.Sprintf("CAVA-live%d", lookahead))
 		}
 	}
@@ -56,7 +56,11 @@ func main() {
 	for _, sc := range schemes {
 		var q4, reb, lat, latMax, wait []float64
 		for i := 0; i < *traces; i++ {
-			res := player.MustSimulateLive(v, trace.GenLTE(i), sc.make(), cfg, lcfg)
+			res, err := player.SimulateLive(v, trace.GenLTE(i), sc.make(), cfg, lcfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simulate live:", err)
+				os.Exit(1)
+			}
 			s := metrics.Summarize(&res.Result, qt, cats)
 			q4 = append(q4, s.Q4Quality)
 			reb = append(reb, s.RebufferSec)

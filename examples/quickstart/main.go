@@ -41,7 +41,7 @@ func main() {
 	s := metrics.Summarize(res, qt, cats)
 
 	fmt.Printf("streamed %s over %s (mean %.1f Mbps)\n", v.ID(), tr.ID, tr.Mean()/1e6)
-	fmt.Printf("  startup delay:        %.1f s\n", s.StartupDelay)
+	fmt.Printf("  startup delay:        %.1f s\n", s.StartupDelaySec)
 	fmt.Printf("  Q4 (complex) quality: %.1f VMAF\n", s.Q4Quality)
 	fmt.Printf("  Q1-Q3 quality:        %.1f VMAF\n", s.Q13Quality)
 	fmt.Printf("  low-quality chunks:   %.1f%%\n", s.LowQualityPct)

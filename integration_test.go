@@ -100,7 +100,7 @@ func TestHeadlineOrdering(t *testing.T) {
 	const n = 25
 	for _, sc := range schemes {
 		for i := 0; i < n; i++ {
-			res := player.MustSimulate(v, trace.GenLTE(i), sc.New(v), cfg)
+			res := mustSimulate(t, v, trace.GenLTE(i), sc.New(v), cfg)
 			agg[sc.Name] = append(agg[sc.Name], metrics.Summarize(res, qt, cats))
 		}
 	}
@@ -123,4 +123,15 @@ func TestHeadlineOrdering(t *testing.T) {
 	if cc, rc := mean("CAVA", metrics.FieldQualityChange), mean("RobustMPC", metrics.FieldQualityChange); cc >= rc {
 		t.Errorf("CAVA quality change %.2f not below RobustMPC's %.2f", cc, rc)
 	}
+}
+
+// mustSimulate runs a simulation, failing the test on error: integration
+// fixtures are valid by construction, so an error is a harness bug.
+func mustSimulate(tb testing.TB, v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg player.Config) *player.Result {
+	tb.Helper()
+	res, err := player.Simulate(v, tr, algo, cfg)
+	if err != nil {
+		tb.Fatalf("Simulate(%s, %s): %v", v.ID(), tr.ID, err)
+	}
+	return res
 }

@@ -33,9 +33,9 @@ type State struct {
 	PrevLevel int
 	// Est is the predicted network bandwidth in bits/sec (0 if unknown).
 	Est float64
-	// LastThroughput is the measured throughput of the most recent chunk
+	// LastThroughputBps is the measured throughput of the most recent chunk
 	// download in bits/sec (0 before the first download).
-	LastThroughput float64
+	LastThroughputBps float64
 }
 
 // Algorithm selects a track for each chunk. Implementations are stateful

@@ -65,7 +65,7 @@ func TestBBA1IsMyopic(t *testing.T) {
 	// paper's Fig. 4 calls out.
 	v := testVideo()
 	b := NewBBA1(v, 10, 90)
-	ref := v.Tracks[3].ChunkSizes
+	ref := v.Tracks[3].ChunkSizesBits
 	small, large := 0, 0
 	for i := 1; i < v.NumChunks(); i++ {
 		if ref[i] < ref[small] {
@@ -118,7 +118,7 @@ func TestRBA(t *testing.T) {
 	}
 	// With exactly 4 chunks buffered, any download violates the floor
 	// unless instantaneous; RBA must pick the lowest.
-	if got := r.Select(State{ChunkIndex: 0, Buffer: 4 * v.ChunkDur, Est: 1e6}); got != 0 {
+	if got := r.Select(State{ChunkIndex: 0, Buffer: 4 * v.ChunkDurSec, Est: 1e6}); got != 0 {
 		t.Errorf("at-floor selection = %d, want 0", got)
 	}
 }
@@ -180,13 +180,13 @@ func TestRobustMPCMoreConservative(t *testing.T) {
 	// variant must discount the estimate and pick a lower-or-equal track.
 	mkHistory := func(m *MPC) {
 		for k := 0; k < 5; k++ {
-			m.Select(State{ChunkIndex: k, Buffer: 30, Est: 4e6, LastThroughput: 1.5e6, PrevLevel: 2})
+			m.Select(State{ChunkIndex: k, Buffer: 30, Est: 4e6, LastThroughputBps: 1.5e6, PrevLevel: 2})
 		}
 	}
 	plain, robust := NewMPC(v, false), NewMPC(v, true)
 	mkHistory(plain)
 	mkHistory(robust)
-	st := State{ChunkIndex: 6, Buffer: 30, Est: 4e6, LastThroughput: 1.5e6, PrevLevel: 2}
+	st := State{ChunkIndex: 6, Buffer: 30, Est: 4e6, LastThroughputBps: 1.5e6, PrevLevel: 2}
 	lp, lr := plain.Select(st), robust.Select(st)
 	if lr > lp {
 		t.Errorf("RobustMPC picked %d above MPC's %d despite bad prediction history", lr, lp)

@@ -81,7 +81,7 @@ func NewBOLAE(v *video.Video, variant BOLAVariant, enhanced bool) *BOLAE {
 func (b *BOLAE) calibrate() {
 	n := b.v.NumTracks()
 	utilMax := math.Log(b.declaredBitrate(n-1) / b.declaredBitrate(0))
-	b.vParam = (b.TargetBuffer - b.v.ChunkDur) / (utilMax + b.GammaP)
+	b.vParam = (b.TargetBuffer - b.v.ChunkDurSec) / (utilMax + b.GammaP)
 }
 
 // declaredBitrate returns the variant-level bitrate used for calibration
@@ -89,9 +89,9 @@ func (b *BOLAE) calibrate() {
 func (b *BOLAE) declaredBitrate(l int) float64 {
 	switch b.Variant {
 	case BOLAPeak:
-		return b.v.Tracks[l].PeakBitrate
+		return b.v.Tracks[l].PeakBitrateBps
 	default:
-		return b.v.Tracks[l].AvgBitrate
+		return b.v.Tracks[l].AvgBitrateBps
 	}
 }
 
@@ -100,9 +100,9 @@ func (b *BOLAE) declaredBitrate(l int) float64 {
 func (b *BOLAE) size(l, i int) float64 {
 	switch b.Variant {
 	case BOLAPeak:
-		return b.v.Tracks[l].PeakBitrate * b.v.ChunkDur
+		return b.v.Tracks[l].PeakBitrateBps * b.v.ChunkDurSec
 	case BOLAAvg:
-		return b.v.Tracks[l].AvgBitrate * b.v.ChunkDur
+		return b.v.Tracks[l].AvgBitrateBps * b.v.ChunkDurSec
 	default:
 		return b.v.ChunkSize(l, i)
 	}
@@ -166,7 +166,7 @@ func (b *BOLAE) Select(st State) int {
 			best = capped
 		}
 	}
-	if b.Enhanced && st.Est > 0 && st.Buffer < 2*b.v.ChunkDur {
+	if b.Enhanced && st.Est > 0 && st.Buffer < 2*b.v.ChunkDurSec {
 		// Insufficient-buffer rule: with almost nothing buffered, never
 		// request more than a conservative fraction of the estimated
 		// throughput regardless of what the utility (inflated by the
@@ -183,7 +183,7 @@ func (b *BOLAE) Select(st State) int {
 func (b *BOLAE) throughputLevel(est float64, i int) int {
 	lt := 0
 	for l := 0; l < b.v.NumTracks(); l++ {
-		if b.size(l, i)/b.v.ChunkDur <= est {
+		if b.size(l, i)/b.v.ChunkDurSec <= est {
 			lt = l
 		}
 	}

@@ -64,8 +64,8 @@ func (m *MPC) qual(l, i int) float64 {
 func (m *MPC) Select(st State) int {
 	v := m.v
 	// Track prediction error for the robust discount.
-	if m.lastPred > 0 && st.LastThroughput > 0 {
-		e := math.Abs(m.lastPred-st.LastThroughput) / m.lastPred
+	if m.lastPred > 0 && st.LastThroughputBps > 0 {
+		e := math.Abs(m.lastPred-st.LastThroughputBps) / m.lastPred
 		m.errWindow = append(m.errWindow, e)
 		if len(m.errWindow) > 5 {
 			m.errWindow = m.errWindow[len(m.errWindow)-5:]
@@ -122,7 +122,7 @@ func (m *MPC) Select(st State) int {
 				rebuf = -b
 				b = 0
 			}
-			b += v.ChunkDur
+			b += v.ChunkDurSec
 			if b > m.BufferCap {
 				b = m.BufferCap
 			}

@@ -88,11 +88,13 @@ func (p *PANDACQ) Select(st State) int {
 		}
 		if !a.feasible {
 			// Nothing fits the budget: less data wins.
+			//lint:allow floateq exact tie-break between candidate byte sums
 			if a.bits != b.bits {
 				return a.bits < b.bits
 			}
 			return a.obj > b.obj
 		}
+		//lint:allow floateq exact tie-break between candidate objectives
 		if a.obj != b.obj {
 			return a.obj > b.obj
 		}
@@ -102,7 +104,7 @@ func (p *PANDACQ) Select(st State) int {
 		return a.bits < b.bits
 	}
 
-	budget := p.BudgetFactor * pred * float64(horizon) * v.ChunkDur
+	budget := p.BudgetFactor * pred * float64(horizon) * v.ChunkDurSec
 
 	var dfs func(depth int, buf float64, prevL int, sum, min, rebuf, bits float64, switches, first int)
 	dfs = func(depth int, buf float64, prevL int, sum, min, rebuf, bits float64, switches, first int) {
@@ -128,7 +130,7 @@ func (p *PANDACQ) Select(st State) int {
 				rb += -b
 				b = 0
 			}
-			b += v.ChunkDur
+			b += v.ChunkDurSec
 			if b > p.BufferCap {
 				b = p.BufferCap
 			}

@@ -57,7 +57,7 @@ func TestPANDAMonotoneInBandwidth(t *testing.T) {
 // than max-sum gives it, at the same bandwidth.
 func TestPANDAMaxMinFavorsComplexChunk(t *testing.T) {
 	v := testVideo()
-	ref := v.Tracks[3].ChunkSizes
+	ref := v.Tracks[3].ChunkSizesBits
 	// Find a clearly-large chunk (complex scene) away from the ends.
 	large := 5
 	for i := 5; i < v.NumChunks()-10; i++ {
@@ -127,7 +127,7 @@ func TestBOLAPeakMoreConservativeThanAvg(t *testing.T) {
 
 func TestBOLASegReactsToChunkSize(t *testing.T) {
 	v := testVideo()
-	ref := v.Tracks[3].ChunkSizes
+	ref := v.Tracks[3].ChunkSizesBits
 	small, large := 10, 10
 	for i := 10; i < v.NumChunks()-10; i++ {
 		if ref[i] < ref[small] {

@@ -67,7 +67,7 @@ func (p *PIA) Select(st State) int {
 	p.lastNow = st.Now
 
 	u := p.Kp*e + p.Ki*p.integral
-	if st.Buffer >= p.v.ChunkDur {
+	if st.Buffer >= p.v.ChunkDurSec {
 		u++
 	}
 	u = math.Max(p.UMin, math.Min(p.UMax, u))
@@ -76,7 +76,7 @@ func (p *PIA) Select(st State) int {
 	budget := st.Est / u
 	level := 0
 	for l := 0; l < p.v.NumTracks(); l++ {
-		if p.v.AvgBitrate(l) <= budget {
+		if p.v.AvgBitrateBps(l) <= budget {
 			level = l
 		}
 	}
@@ -96,6 +96,7 @@ type FESTIVE struct {
 	SafetyFactor float64
 	// UpDelay is how many consecutive chunks the reference must stay
 	// above the current level before switching up one step.
+	//lint:allow units UpDelay counts chunks, not a physical quantity
 	UpDelay int
 
 	upStreak int
@@ -117,7 +118,7 @@ func (f *FESTIVE) Select(st State) int {
 	budget := f.SafetyFactor * st.Est
 	ref := 0
 	for l := 0; l < f.v.NumTracks(); l++ {
-		if f.v.AvgBitrate(l) <= budget {
+		if f.v.AvgBitrateBps(l) <= budget {
 			ref = l
 		}
 	}

@@ -36,7 +36,7 @@ func TestPIABufferFeedback(t *testing.T) {
 	eq := abr.NewPIA(v).Select(abr.State{ChunkIndex: 10, Now: 0, Buffer: 60, Est: 2.5e6, PrevLevel: 2})
 	want := 0
 	for l := 0; l < v.NumTracks(); l++ {
-		if v.AvgBitrate(l) <= 2.5e6 {
+		if v.AvgBitrateBps(l) <= 2.5e6 {
 			want = l
 		}
 	}
@@ -99,7 +99,7 @@ func TestFESTIVESafetyFactor(t *testing.T) {
 	f := abr.NewFESTIVE(v)
 	// First decision (no previous level) goes straight to the reference,
 	// which must respect the 0.85 safety factor.
-	est := v.AvgBitrate(3) / 0.85 * 0.99 // just below what level 3 needs
+	est := v.AvgBitrateBps(3) / 0.85 * 0.99 // just below what level 3 needs
 	got := f.Select(abr.State{ChunkIndex: 0, Buffer: 10, Est: est, PrevLevel: -1})
 	if got > 2 {
 		t.Errorf("safety factor ignored: selected %d", got)

@@ -36,13 +36,13 @@ func TestAllSchemesValidOnArbitraryStates(t *testing.T) {
 	algos := allAlgorithms(v)
 	f := func(chunkU uint16, bufU uint8, estU uint32, prevI int8, tputU uint32, playing bool) bool {
 		st := State{
-			ChunkIndex:     int(chunkU) % v.NumChunks(),
-			Now:            float64(chunkU),
-			Buffer:         float64(bufU % 100),
-			Playing:        playing,
-			PrevLevel:      int(prevI)%v.NumTracks() - 1, // includes -1 and negatives
-			Est:            float64(estU % 20_000_000),
-			LastThroughput: float64(tputU % 20_000_000),
+			ChunkIndex:        int(chunkU) % v.NumChunks(),
+			Now:               float64(chunkU),
+			Buffer:            float64(bufU % 100),
+			Playing:           playing,
+			PrevLevel:         int(prevI)%v.NumTracks() - 1, // includes -1 and negatives
+			Est:               float64(estU % 20_000_000),
+			LastThroughputBps: float64(tputU % 20_000_000),
 		}
 		for _, a := range algos {
 			l := a.Select(st)

@@ -42,8 +42,8 @@ func (b *BBA1) Name() string { return "BBA-1" }
 func (b *BBA1) Select(st State) int {
 	v := b.v
 	i := st.ChunkIndex
-	loAvg := v.AvgBitrate(0) * v.ChunkDur
-	hiAvg := v.AvgBitrate(v.NumTracks()-1) * v.ChunkDur
+	loAvg := v.AvgBitrateBps(0) * v.ChunkDurSec
+	hiAvg := v.AvgBitrateBps(v.NumTracks()-1) * v.ChunkDurSec
 
 	var allowed float64
 	switch {
@@ -91,7 +91,7 @@ func (r *RBA) Select(st State) int {
 	if st.Est <= 0 {
 		return 0
 	}
-	need := float64(r.MinChunks) * v.ChunkDur
+	need := float64(r.MinChunks) * v.ChunkDurSec
 	level := 0
 	for l := 0; l < v.NumTracks(); l++ {
 		dl := v.ChunkSize(l, st.ChunkIndex) / st.Est

@@ -171,10 +171,10 @@ func (o *NoisyOracle) Predict(now float64) float64 {
 		h = 8
 	}
 	// Average the trace over [now, now+h).
-	steps := int(h/o.tr.Interval) + 1
+	steps := int(h/o.tr.IntervalSec) + 1
 	sum, n := 0.0, 0
 	for k := 0; k < steps; k++ {
-		sum += o.tr.BandwidthAt(now + float64(k)*o.tr.Interval)
+		sum += o.tr.BandwidthAt(now + float64(k)*o.tr.IntervalSec)
 		n++
 	}
 	c := sum / float64(n)

@@ -84,12 +84,12 @@ func (c *Cache) Categories(v *video.Video) []scene.Category {
 	return cats.([]scene.Category)
 }
 
-// MustVideoByID is VideoByID that panics on unknown IDs, for call sites
-// that validated the ID up front.
-func (c *Cache) MustVideoByID(id string) *video.Video {
+// VideoByIDErr is VideoByID returning an error for unknown IDs, for call
+// sites that thread errors instead of handling the nil sentinel.
+func (c *Cache) VideoByIDErr(id string) (*video.Video, error) {
 	v := c.VideoByID(id)
 	if v == nil {
-		panic(fmt.Sprintf("cache: unknown video ID %q", id))
+		return nil, fmt.Errorf("cache: unknown video ID %q", id)
 	}
-	return v
+	return v, nil
 }

@@ -286,11 +286,11 @@ func (c *Cache) writeDisk(kind, key string, data []byte) {
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
-		os.Remove(name)
+		_ = os.Remove(name) // best-effort cleanup of the temp file
 		return
 	}
 	if err := os.Rename(name, path); err != nil {
-		os.Remove(name)
+		_ = os.Remove(name) // best-effort cleanup of the temp file
 	}
 }
 

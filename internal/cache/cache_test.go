@@ -220,6 +220,14 @@ func TestVideoByID(t *testing.T) {
 	if c.VideoByID("nope") != nil {
 		t.Fatal("unknown ID should return nil")
 	}
+	// Regression: the error-returning variant must report unknown IDs as
+	// errors, not crash (the former MustVideoByID panicked here).
+	if _, err := c.VideoByIDErr("nope"); err == nil {
+		t.Fatal("VideoByIDErr accepted an unknown ID")
+	}
+	if ev, err := c.VideoByIDErr("ED-ffmpeg-h264"); err != nil || ev != v {
+		t.Fatalf("VideoByIDErr = %v, %v", ev, err)
+	}
 	// Matches the package-level lookup.
 	if want := video.ByID("ED-ffmpeg-h264"); !reflect.DeepEqual(v, want) {
 		t.Fatal("cached video differs from video.ByID")

@@ -88,13 +88,13 @@ func VideoFingerprint(v *video.Video) string {
 	}
 	h := NewHasher("video-v1")
 	h.Str(v.Name).I64(int64(v.Genre)).I64(int64(v.Codec)).I64(int64(v.Source))
-	h.F64(v.ChunkDur).F64(v.Cap).F64(v.FPS)
+	h.F64(v.ChunkDurSec).F64(v.Cap).F64(v.FPS)
 	h.F64s(v.Complexity)
 	h.I64(int64(len(v.Tracks)))
 	for _, t := range v.Tracks {
 		h.I64(int64(t.ID)).Str(t.Res.Name)
-		h.F64(t.AvgBitrate).F64(t.PeakBitrate).F64(t.DeclaredBitrate)
-		h.F64s(t.ChunkSizes)
+		h.F64(t.AvgBitrateBps).F64(t.PeakBitrateBps).F64(t.DeclaredBitrateBps)
+		h.F64s(t.ChunkSizesBits)
 	}
 	fp := h.Sum()
 	videoFPs.Store(v, fp)
@@ -107,7 +107,7 @@ func TraceFingerprint(tr *trace.Trace) string {
 		return fp.(string)
 	}
 	h := NewHasher("trace-v1")
-	h.Str(tr.ID).F64(tr.Interval).F64s(tr.Samples)
+	h.Str(tr.ID).F64(tr.IntervalSec).F64s(tr.Samples)
 	fp := h.Sum()
 	traceFPs.Store(tr, fp)
 	return fp
@@ -118,6 +118,6 @@ func TraceFingerprint(tr *trace.Trace) string {
 func GenConfigKey(cfg video.GenConfig) string {
 	h := NewHasher("genconfig-v1")
 	h.Str(cfg.Name).I64(int64(cfg.Genre)).I64(int64(cfg.Codec)).I64(int64(cfg.Source))
-	h.F64(cfg.ChunkDur).F64(cfg.Cap).F64(cfg.Duration).F64(cfg.FPS).I64(cfg.Seed)
+	h.F64(cfg.ChunkDurSec).F64(cfg.Cap).F64(cfg.DurationSec).F64(cfg.FPS).I64(cfg.Seed)
 	return h.Sum()
 }

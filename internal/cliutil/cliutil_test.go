@@ -17,7 +17,7 @@ func TestParseTraceFamilies(t *testing.T) {
 		t.Fatalf("lte spec: %v, %v", lte, err)
 	}
 	fcc, err := ParseTrace("fcc:0")
-	if err != nil || fcc.Interval != trace.FCCInterval {
+	if err != nil || fcc.IntervalSec != trace.FCCIntervalSec {
 		t.Fatalf("fcc spec: %v, %v", fcc, err)
 	}
 	c, err := ParseTrace("const:2.5")

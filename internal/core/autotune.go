@@ -113,6 +113,7 @@ type AutoCAVA struct {
 	// AdaptEvery is the re-tune period in chunks (8 by default).
 	AdaptEvery int
 	// WindowSize is how many throughput samples feed the detector (24).
+	//lint:allow units WindowSize counts samples, not a data size
 	WindowSize int
 
 	samples []float64
@@ -139,8 +140,8 @@ func (a *AutoCAVA) Regime() Regime { return a.regime }
 
 // Select implements abr.Algorithm: observe, maybe re-tune, then delegate.
 func (a *AutoCAVA) Select(st abr.State) int {
-	if st.LastThroughput > 0 {
-		a.samples = append(a.samples, st.LastThroughput)
+	if st.LastThroughputBps > 0 {
+		a.samples = append(a.samples, st.LastThroughputBps)
 		if len(a.samples) > a.WindowSize {
 			a.samples = a.samples[len(a.samples)-a.WindowSize:]
 		}

@@ -6,6 +6,7 @@ import (
 	"cava/internal/abr"
 	"cava/internal/player"
 	"cava/internal/trace"
+	"cava/internal/video"
 )
 
 func TestClassifyRegime(t *testing.T) {
@@ -62,7 +63,7 @@ func TestAutoCAVAAdaptsToRegime(t *testing.T) {
 	// Feed stable throughput observations through decisions.
 	for i := 0; i < 20; i++ {
 		a.Select(abr.State{ChunkIndex: i, Now: float64(5 * i), Buffer: 40,
-			Est: 2e6, LastThroughput: 2e6 * (1 + 0.01*float64(i%2)), PrevLevel: 2})
+			Est: 2e6, LastThroughputBps: 2e6 * (1 + 0.01*float64(i%2)), PrevLevel: 2})
 	}
 	if a.Regime() != RegimeStable {
 		t.Errorf("regime = %v after stable samples", a.Regime())
@@ -74,7 +75,7 @@ func TestAutoCAVAAdaptsToRegime(t *testing.T) {
 	tputs := []float64{0.2e6, 6e6, 0.4e6, 9e6, 0.3e6, 5e6}
 	for i := 20; i < 60; i++ {
 		a.Select(abr.State{ChunkIndex: i, Now: float64(5 * i), Buffer: 40,
-			Est: 2e6, LastThroughput: tputs[i%len(tputs)], PrevLevel: 2})
+			Est: 2e6, LastThroughputBps: tputs[i%len(tputs)], PrevLevel: 2})
 	}
 	if a.Regime() != RegimeVolatile {
 		t.Errorf("regime = %v after volatile samples", a.Regime())
@@ -107,8 +108,8 @@ func TestAutoCAVAComparableToFixed(t *testing.T) {
 	n := 10
 	for i := 0; i < n; i++ {
 		tr := trace.GenLTE(i)
-		f := player.MustSimulate(v, tr, New(v), cfg)
-		a := player.MustSimulate(v, tr, NewAuto(v), cfg)
+		f := mustSimulate(t, v, tr, New(v), cfg)
+		a := mustSimulate(t, v, tr, NewAuto(v), cfg)
 		fixedBits += f.TotalBits
 		autoBits += a.TotalBits
 		fixedReb += f.TotalRebufferSec
@@ -120,4 +121,15 @@ func TestAutoCAVAComparableToFixed(t *testing.T) {
 	if autoReb > fixedReb+60 {
 		t.Errorf("auto rebuffers far more: %.1f vs %.1f", autoReb, fixedReb)
 	}
+}
+
+// mustSimulate fails the test on a simulation error; the test fixtures are
+// valid by construction.
+func mustSimulate(tb testing.TB, v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg player.Config) *player.Result {
+	tb.Helper()
+	res, err := player.Simulate(v, tr, algo, cfg)
+	if err != nil {
+		tb.Fatalf("Simulate: %v", err)
+	}
+	return res
 }

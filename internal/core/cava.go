@@ -140,8 +140,8 @@ type CAVA struct {
 	pr   Principles
 	cats []scene.Category
 
-	ref        int     // resolved reference track
-	refAvgSize float64 // mean chunk size of the reference track (bits)
+	ref            int     // resolved reference track
+	refAvgSizeBits float64 // mean chunk size of the reference track (bits)
 
 	integral float64 // PID integral accumulator (seconds²)
 	lastNow  float64
@@ -176,10 +176,10 @@ func NewWith(v *video.Video, p Params, pr Principles, name string) *CAVA {
 		name: name,
 	}
 	sum := 0.0
-	for _, s := range v.Tracks[ref].ChunkSizes {
+	for _, s := range v.Tracks[ref].ChunkSizesBits {
 		sum += s
 	}
-	c.refAvgSize = sum / float64(v.NumChunks())
+	c.refAvgSizeBits = sum / float64(v.NumChunks())
 	return c
 }
 
@@ -241,7 +241,7 @@ func (c *CAVA) TargetBuffer(i int) float64 {
 	if !c.pr.Proactive {
 		return xr
 	}
-	wChunks := int(math.Round(c.p.OuterWindowSec / c.v.ChunkDur))
+	wChunks := int(math.Round(c.p.OuterWindowSec / c.v.ChunkDurSec))
 	if wChunks < 1 {
 		wChunks = 1
 	}
@@ -264,8 +264,8 @@ func (c *CAVA) TargetBuffer(i int) float64 {
 	n := float64(end - start)
 	// Deviation of the upcoming window from the track average, converted
 	// to seconds by dividing by the reference track's average bitrate.
-	refAvgBitrate := c.v.AvgBitrate(c.ref)
-	dev := (sum - c.refAvgSize*n) / refAvgBitrate
+	refAvgBitrate := c.v.AvgBitrateBps(c.ref)
+	dev := (sum - c.refAvgSizeBits*n) / refAvgBitrate
 	if dev > 0 {
 		xr += dev
 	}
@@ -315,7 +315,7 @@ func (c *CAVA) controlSignal(now, buffer, target float64) float64 {
 	c.lastP = c.p.Kp * e
 	c.lastI = c.p.Ki * c.integral
 	u := c.lastP + c.lastI
-	if buffer >= c.v.ChunkDur {
+	if buffer >= c.v.ChunkDurSec {
 		u += 1 // the linearizing indicator term 1(x_t − Δ)
 	}
 	if u < c.p.UMin {
@@ -334,7 +334,7 @@ func (c *CAVA) windowAvgBitrate(level, i int) float64 {
 	if !c.pr.NonMyopic {
 		return c.v.ChunkBitrate(level, i)
 	}
-	wChunks := int(math.Round(c.p.InnerWindowSec / c.v.ChunkDur))
+	wChunks := int(math.Round(c.p.InnerWindowSec / c.v.ChunkDurSec))
 	if wChunks < 1 {
 		wChunks = 1
 	}
@@ -349,7 +349,7 @@ func (c *CAVA) windowAvgBitrate(level, i int) float64 {
 	for k := i; k < end; k++ {
 		sum += c.v.ChunkSize(level, k)
 	}
-	return sum / (float64(end-i) * c.v.ChunkDur)
+	return sum / (float64(end-i) * c.v.ChunkDurSec)
 }
 
 // alpha returns the bandwidth inflation/deflation factor α_t for chunk i
@@ -396,7 +396,7 @@ func (c *CAVA) objective(level, i, prevLevel int, u, estBW, alpha, eta float64) 
 	dev := u*rbar - alpha*estBW
 	q := float64(n) * dev * dev
 	if prevLevel >= 0 {
-		d := c.v.AvgBitrate(level) - c.v.AvgBitrate(prevLevel)
+		d := c.v.AvgBitrateBps(level) - c.v.AvgBitrateBps(prevLevel)
 		q += eta * d * d
 	}
 	return q

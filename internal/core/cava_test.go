@@ -140,14 +140,14 @@ func TestControlSignalAntiWindup(t *testing.T) {
 func TestWindowAvgBitrate(t *testing.T) {
 	v := testVideo()
 	c := New(v)
-	w := int(math.Round(c.p.InnerWindowSec / v.ChunkDur))
+	w := int(math.Round(c.p.InnerWindowSec / v.ChunkDurSec))
 	// Manual average for a mid-video chunk.
 	i, level := 20, 3
 	sum := 0.0
 	for k := i; k < i+w; k++ {
 		sum += v.ChunkSize(level, k)
 	}
-	want := sum / (float64(w) * v.ChunkDur)
+	want := sum / (float64(w) * v.ChunkDurSec)
 	if got := c.windowAvgBitrate(level, i); math.Abs(got-want) > 1e-6 {
 		t.Errorf("window average = %v, want %v", got, want)
 	}
@@ -168,7 +168,7 @@ func TestWindowSmoothsQ4Requirement(t *testing.T) {
 	// average is below the chunk's own bitrate, enabling a higher track.
 	v := testVideo()
 	c := New(v)
-	ref := v.Tracks[3].ChunkSizes
+	ref := v.Tracks[3].ChunkSizesBits
 	large := 10
 	for i := 10; i < v.NumChunks()-20; i++ {
 		if ref[i] > ref[large] {

@@ -33,7 +33,7 @@ func TestLiveWindowTruncation(t *testing.T) {
 	live := NewWith(v, p, AllPrinciples, "live")
 	// With a 2-chunk lookahead the window average covers chunks i..i+2.
 	i := 20
-	want := (v.ChunkSize(3, i) + v.ChunkSize(3, i+1) + v.ChunkSize(3, i+2)) / (3 * v.ChunkDur)
+	want := (v.ChunkSize(3, i) + v.ChunkSize(3, i+1) + v.ChunkSize(3, i+2)) / (3 * v.ChunkDurSec)
 	if got := live.windowAvgBitrate(3, i); got != want {
 		t.Errorf("truncated window average = %v, want %v", got, want)
 	}
@@ -84,8 +84,8 @@ func TestLiveDegradesGracefully(t *testing.T) {
 	n := 8
 	for i := 0; i < n; i++ {
 		tr := trace.GenLTE(i)
-		rv := player.MustSimulate(v, tr, New(v), cfg)
-		rl := player.MustSimulate(v, tr, Live(2)(v), cfg)
+		rv := mustSimulate(t, v, tr, New(v), cfg)
+		rl := mustSimulate(t, v, tr, Live(2)(v), cfg)
 		if len(rl.Chunks) != v.NumChunks() {
 			t.Fatal("live session incomplete")
 		}

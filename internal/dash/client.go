@@ -52,6 +52,9 @@ type ClientConfig struct {
 	// abandonments, deadline hits, download latency) on the given registry;
 	// nil disables at zero cost.
 	Metrics *telemetry.Registry
+	// Clock supplies the session clock; nil uses the real wall clock.
+	// Tests substitute a FakeClock for reproducible virtual time.
+	Clock Clock
 }
 
 // newDefaultHTTPClient builds the default transport: bounded connect and
@@ -162,8 +165,9 @@ func (c *Client) fetchManifestAs(ctx context.Context, path string,
 // on the Result instead of aborting the session.
 func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 	scale := c.cfg.TimeScale
-	start := time.Now()
-	vnow := func() float64 { return time.Since(start).Seconds() * scale }
+	clk := realClockOr(c.cfg.Clock)
+	start := clk.Now()
+	vnow := func() float64 { return clk.Now().Sub(start).Seconds() * scale }
 	// sleepVirtual idles for d virtual seconds.
 	sleepVirtual := func(d float64) error {
 		if d <= 0 {
@@ -260,13 +264,13 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 		}
 		rec := player.ChunkRecord{Index: i, BufferBefore: buffer}
 		st := abr.State{
-			ChunkIndex:     i,
-			Now:            vnow(),
-			Buffer:         buffer,
-			Playing:        playing,
-			PrevLevel:      prevLevel,
-			Est:            pred.Predict(vnow()),
-			LastThroughput: lastThroughput,
+			ChunkIndex:        i,
+			Now:               vnow(),
+			Buffer:            buffer,
+			Playing:           playing,
+			PrevLevel:         prevLevel,
+			Est:               pred.Predict(vnow()),
+			LastThroughputBps: lastThroughput,
 		}
 		if canDelay {
 			if d := delayer.Delay(st); d > 0 {
@@ -279,8 +283,8 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 				rec.RebufferSec += stall
 			}
 		}
-		if playing && buffer+m.ChunkDur > c.cfg.MaxBufferSec {
-			wait := buffer + m.ChunkDur - c.cfg.MaxBufferSec
+		if playing && buffer+m.ChunkDurSec > c.cfg.MaxBufferSec {
+			wait := buffer + m.ChunkDurSec - c.cfg.MaxBufferSec
 			rec.WaitSec += wait
 			if err := sleepVirtual(wait); err != nil {
 				return nil, err
@@ -333,7 +337,7 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 		rec.WastedBits = sf.WastedBits
 		rec.Skipped = sf.Skipped
 		if vdur > 0 && !sf.Skipped {
-			rec.Throughput = bits / vdur
+			rec.ThroughputBps = bits / vdur
 		}
 		stall := advance(v1)
 		res.TotalRebufferSec += stall
@@ -357,8 +361,8 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 					consecSkips, i)
 			}
 			res.SkippedChunks++
-			res.TotalRebufferSec += m.ChunkDur
-			rec.RebufferSec += m.ChunkDur
+			res.TotalRebufferSec += m.ChunkDurSec
+			rec.RebufferSec += m.ChunkDurSec
 			rec.BufferAfter = buffer
 			res.Chunks = append(res.Chunks, rec)
 			c.mSkips.Inc()
@@ -374,17 +378,17 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 			// duration when the playhead reaches the hole. Let it elapse
 			// without draining the buffer (playback is frozen, and the
 			// stall is already accounted above).
-			if err := sleepVirtual(m.ChunkDur); err != nil {
+			if err := sleepVirtual(m.ChunkDurSec); err != nil {
 				return nil, err
 			}
 			lastV = vnow()
 		} else {
 			consecSkips = 0
-			buffer += m.ChunkDur
+			buffer += m.ChunkDurSec
 			rec.BufferAfter = buffer
 
 			pred.ObserveDownload(bits, vdur)
-			lastThroughput = rec.Throughput
+			lastThroughput = rec.ThroughputBps
 			res.Chunks = append(res.Chunks, rec)
 			res.TotalBits += bits
 			if trc != nil {
@@ -395,7 +399,7 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 					Session: session, TimeSec: v1, Kind: telemetry.KindDownload,
 					Chunk: i, Level: sf.Level, PrevLevel: prevLevel,
 					BufferSec: buffer, EstBps: st.Est,
-					SizeBits: bits, DownloadSec: vdur, ThroughputBps: rec.Throughput,
+					SizeBits: bits, DownloadSec: vdur, ThroughputBps: rec.ThroughputBps,
 					RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
 				})
 			}
@@ -404,11 +408,11 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 
 		if !playing && (buffer >= c.cfg.StartupSec || i == n-1) {
 			playing = true
-			res.StartupDelay = vnow()
-			lastV = res.StartupDelay
+			res.StartupDelaySec = vnow()
+			lastV = res.StartupDelaySec
 			if trc != nil {
 				trc.Record(telemetry.Event{
-					Session: session, TimeSec: res.StartupDelay, Kind: telemetry.KindStartup,
+					Session: session, TimeSec: res.StartupDelaySec, Kind: telemetry.KindStartup,
 					Chunk: i, Level: rec.Level, PrevLevel: prevLevel, BufferSec: buffer,
 				})
 			}

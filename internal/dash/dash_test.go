@@ -35,7 +35,7 @@ func TestManifestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.VideoID != v.ID() || got.ChunkDur != v.ChunkDur || len(got.Tracks) != v.NumTracks() {
+	if got.VideoID != v.ID() || got.ChunkDurSec != v.ChunkDurSec || len(got.Tracks) != v.NumTracks() {
 		t.Errorf("round-trip mismatch: %+v", got)
 	}
 	if got.NumSegments() != v.NumChunks() {
@@ -53,7 +53,7 @@ func TestManifestRoundTrip(t *testing.T) {
 func TestManifestValidation(t *testing.T) {
 	v := testVideo()
 	m := BuildManifest(v)
-	m.ChunkDur = 0
+	m.ChunkDurSec = 0
 	if m.Validate() == nil {
 		t.Error("zero chunk duration validated")
 	}
@@ -67,7 +67,7 @@ func TestManifestValidation(t *testing.T) {
 	if m.Validate() == nil {
 		t.Error("negative segment size validated")
 	}
-	if (&Manifest{ChunkDur: 2}).Validate() == nil {
+	if (&Manifest{ChunkDurSec: 2}).Validate() == nil {
 		t.Error("trackless manifest validated")
 	}
 }
@@ -82,7 +82,7 @@ func TestManifestToVideo(t *testing.T) {
 		t.Fatal("dimensions lost")
 	}
 	for li := range view.Tracks {
-		if math.Abs(view.AvgBitrate(li)-v.AvgBitrate(li))/v.AvgBitrate(li) > 1e-9 {
+		if math.Abs(view.AvgBitrateBps(li)-v.AvgBitrateBps(li))/v.AvgBitrateBps(li) > 1e-9 {
 			t.Errorf("track %d average bitrate drifted", li)
 		}
 	}
@@ -161,7 +161,7 @@ func TestShaperRate(t *testing.T) {
 }
 
 func TestShaperHonorsOutage(t *testing.T) {
-	tr := &trace.Trace{ID: "o", Interval: 1, Samples: []float64{0, 8e6}}
+	tr := &trace.Trace{ID: "o", IntervalSec: 1, Samples: []float64{0, 8e6}}
 	s := NewShaper(tr, 10)
 	start := time.Now()
 	s.Wait(100_000) // must wait out the 0.1 s (virtual 1 s) outage

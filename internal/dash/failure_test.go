@@ -336,7 +336,7 @@ func TestClientOutageDegradation(t *testing.T) {
 	}
 	// Each skip accounts one segment duration of stall.
 	m := BuildManifest(v)
-	minStall := float64(res.SkippedChunks) * m.ChunkDur
+	minStall := float64(res.SkippedChunks) * m.ChunkDurSec
 	if res.TotalRebufferSec < minStall-1e-9 {
 		t.Errorf("TotalRebufferSec = %v, want ≥ %v (skip gaps)", res.TotalRebufferSec, minStall)
 	}
@@ -344,7 +344,7 @@ func TestClientOutageDegradation(t *testing.T) {
 	for _, rec := range res.Chunks {
 		if rec.Skipped {
 			skipped++
-			if rec.SizeBits != 0 || rec.Throughput != 0 {
+			if rec.SizeBits != 0 || rec.ThroughputBps != 0 {
 				t.Errorf("skipped chunk %d carries download stats", rec.Index)
 			}
 		}

@@ -113,6 +113,7 @@ type FaultStats struct {
 type FaultInjector struct {
 	cfg   FaultConfig
 	inner http.Handler
+	clock Clock
 
 	mu       sync.Mutex
 	start    time.Time
@@ -137,7 +138,14 @@ func NewFaultInjector(cfg FaultConfig, inner http.Handler) *FaultInjector {
 	if cfg.TruncateFrac <= 0 || cfg.TruncateFrac >= 1 {
 		cfg.TruncateFrac = 0.5
 	}
-	return &FaultInjector{cfg: cfg, inner: inner, attempts: make(map[string]uint64)}
+	return &FaultInjector{cfg: cfg, inner: inner, clock: RealClock(), attempts: make(map[string]uint64)}
+}
+
+// WithClock substitutes the injector's clock (tests use a FakeClock). Call
+// before serving.
+func (f *FaultInjector) WithClock(c Clock) *FaultInjector {
+	f.clock = realClockOr(c)
+	return f
 }
 
 // SetMetrics registers the injector's counters on reg (nil disables).
@@ -194,7 +202,7 @@ func draw(seed int64, path string, attempt uint64, salt uint64) float64 {
 // plan computes the request's fault decision and updates counters.
 func (f *FaultInjector) plan(path string) decision {
 	f.mu.Lock()
-	now := time.Now()
+	now := f.clock.Now()
 	if f.start.IsZero() {
 		f.start = now
 	}
@@ -301,18 +309,20 @@ func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case d.reset:
 		// ErrAbortHandler makes the server drop the connection without a
 		// response and without logging a stack trace.
+		//lint:allow nopanic http.ErrAbortHandler is net/http's abort idiom
 		panic(http.ErrAbortHandler)
 	case d.httpErr:
 		http.Error(w, "injected server error", http.StatusServiceUnavailable)
 		return
 	}
 	if d.latency && f.cfg.LatencySec > 0 {
-		time.Sleep(wallDuration(f.cfg.LatencySec, f.cfg.TimeScale))
+		f.clock.Sleep(wallDuration(f.cfg.LatencySec, f.cfg.TimeScale))
 	}
 	out := http.ResponseWriter(w)
 	if d.truncate || d.stall {
 		out = &faultWriter{
 			ResponseWriter: w,
+			clock:          f.clock,
 			truncate:       d.truncate,
 			truncFrac:      f.cfg.TruncateFrac,
 			stall:          d.stall,
@@ -333,6 +343,7 @@ func wallDuration(virtualSec, scale float64) time.Duration {
 // declared length), and freezes once halfway through for the stall case.
 type faultWriter struct {
 	http.ResponseWriter
+	clock     Clock
 	truncate  bool
 	truncFrac float64
 	stall     bool
@@ -376,7 +387,7 @@ func (fw *faultWriter) Write(p []byte) (int, error) {
 	fw.init()
 	if fw.stall && !fw.stalled && fw.written >= fw.half {
 		fw.stalled = true
-		time.Sleep(fw.stallWall)
+		fw.clock.Sleep(fw.stallWall)
 	}
 	if fw.truncate {
 		remain := fw.limit - fw.written

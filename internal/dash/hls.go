@@ -28,7 +28,7 @@ func WriteHLSMaster(w io.Writer, m *Manifest) error {
 	fmt.Fprintf(bw, "## video %s\n", m.VideoID)
 	for _, t := range m.Tracks {
 		fmt.Fprintf(bw, "#EXT-X-STREAM-INF:BANDWIDTH=%d,AVERAGE-BANDWIDTH=%d,RESOLUTION=%dx%d,FRAME-RATE=%.3f\n",
-			int64(math.Round(t.PeakBitrate)), int64(math.Round(t.DeclaredBitrate)),
+			int64(math.Round(t.PeakBitrateBps)), int64(math.Round(t.DeclaredBitrateBps)),
 			t.Width, t.Height, m.FPS)
 		fmt.Fprintf(bw, "track_%d.m3u8\n", t.ID)
 	}
@@ -45,13 +45,13 @@ func WriteHLSMedia(w io.Writer, m *Manifest, trackID int) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "#EXTM3U")
 	fmt.Fprintln(bw, "#EXT-X-VERSION:7")
-	fmt.Fprintf(bw, "#EXT-X-TARGETDURATION:%d\n", int(math.Ceil(m.ChunkDur)))
+	fmt.Fprintf(bw, "#EXT-X-TARGETDURATION:%d\n", int(math.Ceil(m.ChunkDurSec)))
 	fmt.Fprintln(bw, "#EXT-X-MEDIA-SEQUENCE:0")
 	fmt.Fprintln(bw, "#EXT-X-PLAYLIST-TYPE:VOD")
 	for i, bits := range t.SegmentBits {
-		kbps := bits / m.ChunkDur / 1000
+		kbps := bits / m.ChunkDurSec / 1000
 		fmt.Fprintf(bw, "#EXT-X-BITRATE:%d\n", int64(math.Round(kbps)))
-		fmt.Fprintf(bw, "#EXTINF:%.3f,\n", m.ChunkDur)
+		fmt.Fprintf(bw, "#EXTINF:%.3f,\n", m.ChunkDurSec)
 		fmt.Fprintf(bw, "seg/%d/%d\n", trackID, i)
 	}
 	fmt.Fprintln(bw, "#EXT-X-ENDLIST")

@@ -27,8 +27,8 @@ import (
 type Manifest struct {
 	// VideoID identifies the content.
 	VideoID string `json:"video_id"`
-	// ChunkDur is the segment playback duration in seconds.
-	ChunkDur float64 `json:"chunk_dur"`
+	// ChunkDurSec is the segment playback duration in seconds.
+	ChunkDurSec float64 `json:"chunk_dur"`
 	// FPS is the content frame rate.
 	FPS float64 `json:"fps"`
 	// Tracks lists renditions in ascending bitrate order.
@@ -44,26 +44,26 @@ type ManifestTrack struct {
 	// Width and Height are the coded dimensions.
 	Width  int `json:"width"`
 	Height int `json:"height"`
-	// DeclaredBitrate is the manifest-declared average bitrate (bits/s).
-	DeclaredBitrate float64 `json:"declared_bitrate"`
-	// PeakBitrate is the highest per-segment bitrate (bits/s).
-	PeakBitrate float64 `json:"peak_bitrate"`
+	// DeclaredBitrateBps is the manifest-declared average bitrate (bits/s).
+	DeclaredBitrateBps float64 `json:"declared_bitrate"`
+	// PeakBitrateBps is the highest per-segment bitrate (bits/s).
+	PeakBitrateBps float64 `json:"peak_bitrate"`
 	// SegmentBits holds each segment's exact size in bits.
 	SegmentBits []float64 `json:"segment_bits"`
 }
 
 // BuildManifest derives the manifest of a video.
 func BuildManifest(v *video.Video) *Manifest {
-	m := &Manifest{VideoID: v.ID(), ChunkDur: v.ChunkDur, FPS: v.FPS}
+	m := &Manifest{VideoID: v.ID(), ChunkDurSec: v.ChunkDurSec, FPS: v.FPS}
 	for _, t := range v.Tracks {
 		m.Tracks = append(m.Tracks, ManifestTrack{
-			ID:              t.ID,
-			Resolution:      t.Res.Name,
-			Width:           t.Res.Width,
-			Height:          t.Res.Height,
-			DeclaredBitrate: t.DeclaredBitrate,
-			PeakBitrate:     t.PeakBitrate,
-			SegmentBits:     append([]float64(nil), t.ChunkSizes...),
+			ID:                 t.ID,
+			Resolution:         t.Res.Name,
+			Width:              t.Res.Width,
+			Height:             t.Res.Height,
+			DeclaredBitrateBps: t.DeclaredBitrateBps,
+			PeakBitrateBps:     t.PeakBitrateBps,
+			SegmentBits:        append([]float64(nil), t.ChunkSizesBits...),
 		})
 	}
 	return m
@@ -79,7 +79,7 @@ func (m *Manifest) NumSegments() int {
 
 // Validate checks structural sanity of a received manifest.
 func (m *Manifest) Validate() error {
-	if m.ChunkDur <= 0 {
+	if m.ChunkDurSec <= 0 {
 		return fmt.Errorf("dash: manifest %q has non-positive chunk duration", m.VideoID)
 	}
 	if len(m.Tracks) == 0 {
@@ -109,10 +109,10 @@ func (m *Manifest) Validate() error {
 // suitable for constructing algorithms, not for quality evaluation.
 func (m *Manifest) ToVideo() *video.Video {
 	v := &video.Video{
-		Name:       m.VideoID,
-		ChunkDur:   m.ChunkDur,
-		FPS:        m.FPS,
-		Complexity: make([]float64, m.NumSegments()),
+		Name:        m.VideoID,
+		ChunkDurSec: m.ChunkDurSec,
+		FPS:         m.FPS,
+		Complexity:  make([]float64, m.NumSegments()),
 	}
 	for _, t := range m.Tracks {
 		sizes := append([]float64(nil), t.SegmentBits...)
@@ -120,14 +120,14 @@ func (m *Manifest) ToVideo() *video.Video {
 		for _, s := range sizes {
 			avg += s
 		}
-		avg /= float64(len(sizes)) * m.ChunkDur
+		avg /= float64(len(sizes)) * m.ChunkDurSec
 		v.Tracks = append(v.Tracks, video.Track{
-			ID:              t.ID,
-			Res:             video.Resolution{Name: t.Resolution, Width: t.Width, Height: t.Height},
-			AvgBitrate:      avg,
-			PeakBitrate:     t.PeakBitrate,
-			DeclaredBitrate: t.DeclaredBitrate,
-			ChunkSizes:      sizes,
+			ID:                 t.ID,
+			Res:                video.Resolution{Name: t.Resolution, Width: t.Width, Height: t.Height},
+			AvgBitrateBps:      avg,
+			PeakBitrateBps:     t.PeakBitrateBps,
+			DeclaredBitrateBps: t.DeclaredBitrateBps,
+			ChunkSizesBits:     sizes,
 		})
 	}
 	return v

@@ -111,13 +111,13 @@ func WriteMPD(w io.Writer, m *Manifest) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	duration := float64(m.NumSegments()) * m.ChunkDur
+	duration := float64(m.NumSegments()) * m.ChunkDurSec
 	doc := mpdXML{
 		Xmlns:                     "urn:mpeg:dash:schema:mpd:2011",
 		Type:                      "static",
 		Profiles:                  "urn:mpeg:dash:profile:isoff-on-demand:2011",
 		MediaPresentationDuration: isoDuration(duration),
-		MinBufferTime:             isoDuration(m.ChunkDur * 2),
+		MinBufferTime:             isoDuration(m.ChunkDurSec * 2),
 		Period: periodXML{
 			ID:       "0",
 			Duration: isoDuration(duration),
@@ -141,18 +141,18 @@ func WriteMPD(w io.Writer, m *Manifest) error {
 			ID:        strconv.Itoa(t.ID),
 			Width:     t.Width,
 			Height:    t.Height,
-			Bandwidth: int64(math.Round(t.DeclaredBitrate)),
+			Bandwidth: int64(math.Round(t.DeclaredBitrateBps)),
 			Codecs:    "avc1.640028",
 			SegmentTemplate: segmentTplXML{
 				Media:       "seg/$RepresentationID$/$Number$",
 				Timescale:   1,
-				Duration:    int(math.Round(m.ChunkDur)),
+				Duration:    int(math.Round(m.ChunkDurSec)),
 				StartNumber: 0,
 			},
 			Supplemental: []supplementalXML{
 				{SchemeIDURI: segmentSizesScheme, Value: strings.Join(sizes, ",")},
 				{SchemeIDURI: "urn:cava:peak-bitrate:2018",
-					Value: strconv.FormatInt(int64(math.Round(t.PeakBitrate)), 10)},
+					Value: strconv.FormatInt(int64(math.Round(t.PeakBitrateBps)), 10)},
 			},
 		})
 	}
@@ -201,23 +201,23 @@ func ReadMPD(r io.Reader) (*Manifest, error) {
 		m.FPS = fr
 	}
 	for _, rep := range aset.Representations {
-		if m.ChunkDur == 0 && rep.SegmentTemplate.Duration > 0 {
+		if m.ChunkDurSec == 0 && rep.SegmentTemplate.Duration > 0 {
 			ts := rep.SegmentTemplate.Timescale
 			if ts <= 0 {
 				ts = 1
 			}
-			m.ChunkDur = float64(rep.SegmentTemplate.Duration) / float64(ts)
+			m.ChunkDurSec = float64(rep.SegmentTemplate.Duration) / float64(ts)
 		}
 		id, err := strconv.Atoi(rep.ID)
 		if err != nil {
 			return nil, fmt.Errorf("dash: bad representation id %q", rep.ID)
 		}
 		mt := ManifestTrack{
-			ID:              id,
-			Resolution:      fmt.Sprintf("%dp", rep.Height),
-			Width:           rep.Width,
-			Height:          rep.Height,
-			DeclaredBitrate: float64(rep.Bandwidth),
+			ID:                 id,
+			Resolution:         fmt.Sprintf("%dp", rep.Height),
+			Width:              rep.Width,
+			Height:             rep.Height,
+			DeclaredBitrateBps: float64(rep.Bandwidth),
 		}
 		for _, sp := range rep.Supplemental {
 			switch sp.SchemeIDURI {
@@ -231,22 +231,22 @@ func ReadMPD(r io.Reader) (*Manifest, error) {
 				}
 			case "urn:cava:peak-bitrate:2018":
 				if v, err := strconv.ParseFloat(sp.Value, 64); err == nil {
-					mt.PeakBitrate = v
+					mt.PeakBitrateBps = v
 				}
 			}
 		}
-		if mt.PeakBitrate == 0 {
-			mt.PeakBitrate = mt.DeclaredBitrate
+		if mt.PeakBitrateBps == 0 {
+			mt.PeakBitrateBps = mt.DeclaredBitrateBps
 		}
 		m.Tracks = append(m.Tracks, mt)
 	}
 	// Verify the declared presentation duration is consistent when present.
-	if doc.MediaPresentationDuration != "" && m.ChunkDur > 0 {
+	if doc.MediaPresentationDuration != "" && m.ChunkDurSec > 0 {
 		if d, err := parseISODuration(doc.MediaPresentationDuration); err == nil {
-			want := float64(m.NumSegments()) * m.ChunkDur
-			if math.Abs(d-want) > m.ChunkDur {
+			want := float64(m.NumSegments()) * m.ChunkDurSec
+			if math.Abs(d-want) > m.ChunkDurSec {
 				return nil, fmt.Errorf("dash: MPD duration %gs inconsistent with %d segments of %gs",
-					d, m.NumSegments(), m.ChunkDur)
+					d, m.NumSegments(), m.ChunkDurSec)
 			}
 		}
 	}

@@ -26,8 +26,8 @@ func TestMPDRoundTrip(t *testing.T) {
 	if got.VideoID != m.VideoID {
 		t.Errorf("VideoID = %q, want %q", got.VideoID, m.VideoID)
 	}
-	if got.ChunkDur != m.ChunkDur || len(got.Tracks) != len(m.Tracks) {
-		t.Fatalf("structure lost: dur=%v tracks=%d", got.ChunkDur, len(got.Tracks))
+	if got.ChunkDurSec != m.ChunkDurSec || len(got.Tracks) != len(m.Tracks) {
+		t.Fatalf("structure lost: dur=%v tracks=%d", got.ChunkDurSec, len(got.Tracks))
 	}
 	for li := range got.Tracks {
 		if got.Tracks[li].Height != m.Tracks[li].Height {
@@ -114,7 +114,7 @@ func TestHLSMasterRoundTrip(t *testing.T) {
 		if vt.Height != m.Tracks[i].Height {
 			t.Errorf("variant %d height %d, want %d", i, vt.Height, m.Tracks[i].Height)
 		}
-		if math.Abs(vt.AverageBandwidth-m.Tracks[i].DeclaredBitrate) > 1 {
+		if math.Abs(vt.AverageBandwidth-m.Tracks[i].DeclaredBitrateBps) > 1 {
 			t.Errorf("variant %d average bandwidth drifted", i)
 		}
 		if vt.Bandwidth < vt.AverageBandwidth {
@@ -140,7 +140,7 @@ func TestHLSMediaRoundTrip(t *testing.T) {
 	if len(tr.SegmentBits) != v.NumChunks() {
 		t.Fatalf("%d segments, want %d", len(tr.SegmentBits), v.NumChunks())
 	}
-	if tr.TargetDuration < m.ChunkDur {
+	if tr.TargetDuration < m.ChunkDurSec {
 		t.Errorf("target duration %v below chunk duration", tr.TargetDuration)
 	}
 	// EXT-X-BITRATE is kbps-rounded; sizes must agree within 0.1%.

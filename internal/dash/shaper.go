@@ -21,6 +21,7 @@ import (
 type Shaper struct {
 	tr    *trace.Trace
 	scale float64
+	clock Clock
 
 	mu         sync.Mutex
 	start      time.Time
@@ -39,7 +40,14 @@ func NewShaper(tr *trace.Trace, timeScale float64) *Shaper {
 	if timeScale <= 0 {
 		timeScale = 1
 	}
-	return &Shaper{tr: tr, scale: timeScale}
+	return &Shaper{tr: tr, scale: timeScale, clock: RealClock()}
+}
+
+// WithClock substitutes the shaper's clock (tests use a FakeClock). Call
+// before the first Wait.
+func (s *Shaper) WithClock(c Clock) *Shaper {
+	s.clock = realClockOr(c)
+	return s
 }
 
 // TimeScale reports the configured compression factor.
@@ -60,7 +68,7 @@ func (s *Shaper) VirtualNow() float64 {
 	if s.start.IsZero() {
 		return 0
 	}
-	return time.Since(s.start).Seconds() * s.scale
+	return s.clock.Now().Sub(s.start).Seconds() * s.scale
 }
 
 // Wait blocks until n bytes may pass the link.
@@ -71,7 +79,7 @@ func (s *Shaper) Wait(n int) {
 	defer s.waiters.Add(-1)
 	for remaining > 0 {
 		s.mu.Lock()
-		now := time.Now()
+		now := s.clock.Now()
 		if s.start.IsZero() {
 			s.start = now
 			s.lastRefill = now
@@ -98,7 +106,7 @@ func (s *Shaper) Wait(n int) {
 			s.shapedTot.Add(uint64(take))
 		}
 		if remaining > 0 {
-			time.Sleep(time.Millisecond)
+			s.clock.Sleep(time.Millisecond)
 		}
 	}
 }

@@ -28,8 +28,8 @@ func runFig1(Options) (*Result, error) {
 	for _, t := range v.Tracks {
 		rows = append(rows, []string{
 			t.Res.Name,
-			f2(t.AvgBitrate / 1e6),
-			f2(t.PeakBitrate / 1e6),
+			f2(t.AvgBitrateBps / 1e6),
+			f2(t.PeakBitrateBps / 1e6),
 			f2(t.PeakToAvg()),
 			f2(t.CoV()),
 		})
@@ -39,7 +39,7 @@ func runFig1(Options) (*Result, error) {
 	for _, t := range v.Tracks {
 		parts := make([]string, 0, 100)
 		for i := 0; i < 100 && i < v.NumChunks(); i++ {
-			parts = append(parts, f2(t.ChunkBitrate(i, v.ChunkDur)/1e6))
+			parts = append(parts, f2(t.ChunkBitrate(i, v.ChunkDurSec)/1e6))
 		}
 		fmt.Fprintf(&sb, "%-6s %s\n", t.Res.Name, strings.Join(parts, " "))
 	}

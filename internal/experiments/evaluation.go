@@ -40,9 +40,18 @@ func runFig4(opt Options) (*Result, error) {
 	bestGap := math.Inf(-1)
 	for ti := 0; ti < 12; ti++ {
 		cand := trace.GenLTE(ti)
-		cres := player.MustSimulate(v, cand, cavaScheme().New(v), cfg)
-		bres := player.MustSimulate(v, cand, bbaScheme().New(v), cfg)
-		rres := player.MustSimulate(v, cand, rbaScheme().New(v), cfg)
+		cres, err := player.Simulate(v, cand, cavaScheme().New(v), cfg)
+		if err != nil {
+			return nil, err
+		}
+		bres, err := player.Simulate(v, cand, bbaScheme().New(v), cfg)
+		if err != nil {
+			return nil, err
+		}
+		rres, err := player.Simulate(v, cand, rbaScheme().New(v), cfg)
+		if err != nil {
+			return nil, err
+		}
 		cs := metrics.Summarize(cres, qt, cats)
 		bs := metrics.Summarize(bres, qt, cats)
 		rs := metrics.Summarize(rres, qt, cats)

@@ -108,7 +108,7 @@ func table(header []string, rows [][]string) string {
 	for _, r := range rows {
 		fmt.Fprintln(w, strings.Join(r, "\t"))
 	}
-	w.Flush()
+	_ = w.Flush() // cannot fail: the underlying writer is a strings.Builder
 	return sb.String()
 }
 

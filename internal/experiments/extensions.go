@@ -99,7 +99,7 @@ func runLiveExt(opt Options) (*Result, error) {
 			// The live buffer is bounded by the edge; target what is
 			// reachable under the startup latency.
 			p.BaseTargetBuffer = cfg.StartupSec
-			p.TargetMax = cfg.StartupSec + 2*v.ChunkDur
+			p.TargetMax = cfg.StartupSec + 2*v.ChunkDurSec
 			return core.NewWith(v, p, core.AllPrinciples, name)
 		}}
 	}
@@ -118,7 +118,10 @@ func runLiveExt(opt Options) (*Result, error) {
 		for ti := 0; ti < nTraces; ti++ {
 			tr := trace.GenLTE(ti)
 			if sc.vod {
-				res := player.MustSimulate(v, tr, sc.make(), cfg)
+				res, err := player.Simulate(v, tr, sc.make(), cfg)
+				if err != nil {
+					return nil, err
+				}
 				s := metrics.Summarize(res, qt, cats)
 				q4s = append(q4s, s.Q4Quality)
 				lows = append(lows, s.LowQualityPct)
@@ -126,7 +129,10 @@ func runLiveExt(opt Options) (*Result, error) {
 				mbs = append(mbs, s.DataMB)
 				continue
 			}
-			res := player.MustSimulateLive(v, tr, sc.make(), cfg, lcfg)
+			res, err := player.SimulateLive(v, tr, sc.make(), cfg, lcfg)
+			if err != nil {
+				return nil, err
+			}
 			s := metrics.Summarize(&res.Result, qt, cats)
 			q4s = append(q4s, s.Q4Quality)
 			lows = append(lows, s.LowQualityPct)

@@ -66,11 +66,15 @@ func runOracle(opt Options) (*Result, error) {
 			name string
 		}{{"CAVA"}, {"RobustMPC"}} {
 			var res *player.Result
+			var serr error
 			switch sc.name {
 			case "CAVA":
-				res = player.MustSimulate(v, tr, cavaScheme().New(v), cfg)
+				res, serr = player.Simulate(v, tr, cavaScheme().New(v), cfg)
 			case "RobustMPC":
-				res = player.MustSimulate(v, tr, mpcScheme(true).New(v), cfg)
+				res, serr = player.Simulate(v, tr, mpcScheme(true).New(v), cfg)
+			}
+			if serr != nil {
+				return nil, serr
 			}
 			add(sc.name, metrics.Summarize(res, qt, cats))
 		}

@@ -53,7 +53,7 @@ func runCBRvsVBR(opt Options) (*Result, error) {
 			}
 			rows = append(rows, []string{
 				pair.v.Tracks[li].Res.Name, pair.label,
-				f2(pair.v.AvgBitrate(li) / 1e6),
+				f2(pair.v.AvgBitrateBps(li) / 1e6),
 				f1(metrics.Mean(all)), f1(metrics.Mean(q4)), f1(metrics.Mean(simple)),
 				f1(stdev(all)),
 			})
@@ -104,7 +104,7 @@ func runStartup(opt Options) (*Result, error) {
 			ss := res.Summaries(s, v.ID())
 			var delay []float64
 			for _, x := range ss {
-				delay = append(delay, x.StartupDelay)
+				delay = append(delay, x.StartupDelaySec)
 			}
 			m := meansOf(ss)
 			rows = append(rows, []string{
@@ -144,7 +144,7 @@ func runChunkDur(opt Options) (*Result, error) {
 		for _, s := range []string{"CAVA", "RobustMPC", "PANDA/CQ max-min"} {
 			m := meansOf(res.Summaries(s, v.ID()))
 			rows = append(rows, []string{
-				fmt.Sprintf("%.0fs (%s)", v.ChunkDur, v.Source), s,
+				fmt.Sprintf("%.0fs (%s)", v.ChunkDurSec, v.Source), s,
 				f1(m.q4), f1(m.low), f1(m.reb), f2(m.chg), f1(m.mb),
 			})
 		}

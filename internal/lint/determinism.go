@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The determinism analyzer guards the sweep cache's core assumption: a
+// simulation keyed by (inputs, seed) replays byte-identically. It flags,
+// inside the configured deterministic package set:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until;
+//   - the global math/rand generator (top-level rand.Intn, rand.Float64,
+//     …), whose sequence depends on process history — explicit
+//     rand.New(rand.NewSource(seed)) instances are fine;
+//   - `for … range <map>` loops whose body appends to a slice or writes
+//     output: Go's map order is randomized per run, so the result order
+//     leaks into artifacts. Loops whose appended slice is sorted later in
+//     the same function are pardoned (the canonical collect-then-sort
+//     idiom restores determinism).
+//
+// Files in DeterminismAllowFiles (the real Clock implementation) are
+// exempt.
+
+// randCtors are math/rand names that construct explicitly seeded state and
+// are therefore deterministic to call.
+var randCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(p *Package, cfg Config) []Finding {
+	if !pkgSelected(p.Path, cfg.DeterministicPkgs) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		pos := p.Fset.Position(f.Pos())
+		if fileSelected(pos.Filename, cfg.DeterminismAllowFiles) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				switch pkgNameOf(p.Info, n.X) {
+				case "time":
+					switch n.Sel.Name {
+					case "Now", "Since", "Until":
+						out = append(out, Finding{
+							Pos: p.Fset.Position(n.Pos()), Analyzer: "determinism",
+							Message: fmt.Sprintf("time.%s reads the wall clock; deterministic packages must take time as input (or a Clock)", n.Sel.Name),
+						})
+					}
+				case "math/rand", "math/rand/v2":
+					// Only function references count: rand.Rand / rand.Source
+					// type names in signatures are how seeded state is
+					// threaded, which is exactly what we want.
+					if _, isFunc := p.Info.Uses[n.Sel].(*types.Func); isFunc && !randCtors[n.Sel.Name] {
+						out = append(out, Finding{
+							Pos: p.Fset.Position(n.Pos()), Analyzer: "determinism",
+							Message: fmt.Sprintf("global rand.%s depends on process-wide state; use an explicitly seeded rand.New(rand.NewSource(seed))", n.Sel.Name),
+						})
+					}
+				}
+			case *ast.FuncDecl:
+				// Map-range order checks need the enclosing body (the
+				// collect-then-sort pardon scans it); selectors keep being
+				// visited by this walk.
+				if n.Body != nil {
+					out = append(out, mapRangeFindings(p, n.Body)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mapRangeFindings flags order-dependent map iteration within one function
+// body, pardoning the collect-then-sort idiom.
+func mapRangeFindings(p *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		appended, writes := rangeBodyEffects(p, rng.Body)
+		if writes {
+			out = append(out, Finding{
+				Pos: p.Fset.Position(rng.Pos()), Analyzer: "determinism",
+				Message: "map iteration order is randomized; this range body writes output per entry — collect and sort first",
+			})
+			return true
+		}
+		for _, target := range appended {
+			if !sortedAfter(p, body, rng, target) {
+				out = append(out, Finding{
+					Pos: p.Fset.Position(rng.Pos()), Analyzer: "determinism",
+					Message: fmt.Sprintf("map iteration order is randomized; slice %q appended here is never sorted — sort it before use", target.Name),
+				})
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rangeBodyEffects finds slice-append targets and output writes inside a
+// range body. Output writes are calls to fmt printers or Write/WriteString
+// methods — anything that emits per-entry bytes in iteration order.
+func rangeBodyEffects(p *Package, body *ast.BlockStmt) (appended []*ast.Ident, writes bool) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" && p.Info.Uses[fun] == types.Universe.Lookup("append") && len(call.Args) > 0 {
+				if id := rootIdent(call.Args[0]); id != nil {
+					obj := p.Info.Uses[id]
+					if obj != nil && !seen[obj] {
+						seen[obj] = true
+						appended = append(appended, id)
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			if pkgNameOf(p.Info, fun.X) == "fmt" {
+				// Only the printing functions write; Sprintf/Errorf are pure.
+				if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+					writes = true
+				}
+			} else if name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune" {
+				writes = true
+			}
+		}
+		return true
+	})
+	return appended, writes
+}
+
+// rootIdent unwraps index/selector expressions down to their base
+// identifier (nil when the base is not a plain identifier).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether the function body contains a sort.* call on
+// the same object anywhere after the range statement.
+func sortedAfter(p *Package, body *ast.BlockStmt, rng *ast.RangeStmt, target *ast.Ident) bool {
+	obj := p.Info.Uses[target]
+	if obj == nil {
+		obj = p.Info.Defs[target]
+	}
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rng.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || pkgNameOf(p.Info, sel.X) != "sort" || len(call.Args) == 0 {
+			return true
+		}
+		if id := rootIdent(call.Args[0]); id != nil && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The errdrop analyzer flags expression statements that call a function
+// returning an error and let the value fall on the floor. Dropping an
+// error must be explicit (`_ = f()`) or handled. Exemptions, because the
+// call provably cannot fail or failure is not actionable:
+//
+//   - fmt.Print / Printf / Println, and fmt.Fprint* aimed at os.Stdout or
+//     os.Stderr (CLI progress output: a failed write to a closed pipe has
+//     no remedy);
+//   - writes to *strings.Builder, *bytes.Buffer, or hash.Hash — writers
+//     whose Write never returns an error — whether through fmt.Fprint* or
+//     direct Write/WriteString/WriteByte/WriteRune method calls;
+//   - fmt.Fprint* into a *bufio.Writer or *tabwriter.Writer: bufio latches
+//     the first error and re-reports it from Flush; tabwriter buffers all
+//     cells until Flush, which is where this codebase checks both.
+//
+// Deferred and go-routine calls are out of scope for this analyzer (a
+// deferred Close on a read path is idiomatic); the sweep that introduced
+// errdrop converted the statement-position drops.
+
+func runErrDrop(p *Package, _ Config) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p.Info, call) || exemptDrop(p.Info, call) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos: p.Fset.Position(call.Pos()), Analyzer: "errdrop",
+				Message: fmt.Sprintf("%s returns an error that is silently dropped; handle it or assign to _ explicitly", calleeName(call)),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exemptDrop reports whether the dropped error is from an allowed callee.
+func exemptDrop(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if pkgNameOf(info, sel.X) == "fmt" {
+		if name == "Print" || name == "Printf" || name == "Println" {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return stdStream(info, call.Args[0]) ||
+				infallibleWriter(info, call.Args[0]) ||
+				stickyWriter(info, call.Args[0])
+		}
+		return false
+	}
+	// Direct write methods on writers that cannot fail.
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return infallibleWriter(info, sel.X)
+	}
+	return false
+}
+
+// stdStream reports whether the expression is os.Stdout or os.Stderr.
+func stdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || pkgNameOf(info, sel.X) != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}
+
+// stickyWriter reports whether the expression is a *bufio.Writer (whose
+// first error latches and resurfaces from Flush) or a *tabwriter.Writer
+// (which buffers every cell until Flush, so underlying-writer errors
+// surface there).
+func stickyWriter(info *types.Info, e ast.Expr) bool {
+	named := namedOf(info, e)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "bufio", "text/tabwriter":
+		return named.Obj().Name() == "Writer"
+	}
+	return false
+}
+
+// infallibleWriter reports whether the expression's static type is a
+// writer that never returns a non-nil error: strings.Builder,
+// bytes.Buffer, or any hash.Hash implementation.
+func infallibleWriter(info *types.Info, e ast.Expr) bool {
+	named := namedOf(info, e)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "strings":
+		return obj.Name() == "Builder"
+	case "bytes":
+		return obj.Name() == "Buffer"
+	case "hash":
+		return true // hash.Hash, hash.Hash32, hash.Hash64
+	}
+	return false
+}
+
+// namedOf returns the (pointer-stripped) named type of an expression, or
+// nil when it has none.
+func namedOf(info *types.Info, e ast.Expr) *types.Named {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// calleeName renders the call target for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The floateq analyzer flags == and != between floating-point operands:
+// after any arithmetic, exact comparison is a rounding bug waiting to
+// happen (the PID and MPC controllers are all float math). One idiom is
+// exempt — comparison against a compile-time constant zero — because the
+// zero sentinel ("this field was never set") is assigned exactly and never
+// the result of arithmetic in this codebase. Intentional exact comparisons
+// (sort tie-breaks on stored values) carry a lint:allow directive.
+
+func runFloatEq(p *Package, _ Config) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !floatOperand(p.Info, bin.X) || !floatOperand(p.Info, bin.Y) {
+				return true
+			}
+			if constZero(p.Info, bin.X) || constZero(p.Info, bin.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos: p.Fset.Position(bin.OpPos), Analyzer: "floateq",
+				Message: fmt.Sprintf("%s compares floats exactly; use a tolerance (or compare against the 0 sentinel)", bin.Op),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// floatOperand reports whether the expression has floating-point type.
+func floatOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,164 @@
+// Package lint is abrlint's analyzer suite: project-specific static
+// analysis that enforces the invariants this reproduction rests on but the
+// compiler cannot see. Three of them are global correctness properties —
+// every simulation path must be seed-deterministic (the sweep cache replays
+// warm results byte-for-byte), every float64 carries its unit only in its
+// name (bits vs bytes, Bps vs Kbps, seconds vs milliseconds), and library
+// packages return errors instead of panicking — and two are bug-class
+// gates (float equality, silently dropped errors).
+//
+// The suite is built on go/parser and go/types with the source importer
+// only, so it works offline with zero module dependencies and runs as a
+// tier-1 gate next to go vet.
+//
+// Suppressions: a finding may be waived with a comment on the flagged line
+// or the line directly above it:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory; a reason-less suppression is itself reported
+// (analyzer name "allow"). Suppressions are per-line and per-analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported violation.
+type Finding struct {
+	// Pos locates the violation (file, line, column).
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name (determinism, units,
+	// nopanic, floateq, errdrop, or allow for broken suppressions).
+	Analyzer string
+	// Message describes the violation.
+	Message string
+}
+
+// String renders the finding in the canonical file:line: [analyzer] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Config selects which packages each analyzer inspects. Package entries are
+// import-path suffixes ("internal/sim" matches cava/internal/sim); file
+// entries are slash-path suffixes relative to the module root.
+type Config struct {
+	// DeterministicPkgs is the package set whose behaviour must be a pure
+	// function of explicit seeds: the simulator and everything feeding it.
+	// The determinism analyzer flags wall-clock reads, global math/rand
+	// use, and order-dependent map iteration here.
+	DeterministicPkgs []string
+	// DeterminismAllowFiles are files inside DeterministicPkgs exempt from
+	// the determinism analyzer: the real Clock implementation is the single
+	// place allowed to call time.Now.
+	DeterminismAllowFiles []string
+	// UnitsPkgs is the domain set whose numeric identifiers must carry
+	// explicit unit suffixes.
+	UnitsPkgs []string
+}
+
+// DefaultConfig is the repository configuration: the deterministic set is
+// every package the sweep cache assumes replays byte-identically, plus
+// internal/dash whose only wall-clock access is the Clock interface's real
+// implementation (clock.go, allowlisted). internal/telemetry stays outside
+// the deterministic set: it timestamps real traffic by design.
+func DefaultConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{
+			"internal/sim", "internal/experiments", "internal/player",
+			"internal/video", "internal/trace", "internal/scene",
+			"internal/abr", "internal/metrics", "internal/cache",
+			"internal/qoe", "internal/quality", "internal/oracle",
+			"internal/report", "internal/core", "internal/bandwidth",
+			"internal/plot", "internal/cliutil", "internal/lint",
+			"internal/dash",
+		},
+		DeterminismAllowFiles: []string{"internal/dash/clock.go"},
+		UnitsPkgs: []string{
+			"internal/video", "internal/trace", "internal/player",
+			"internal/abr", "internal/bandwidth", "internal/qoe",
+			"internal/metrics", "internal/core", "internal/oracle",
+		},
+	}
+}
+
+// pkgSelected reports whether an import path is in the suffix set.
+func pkgSelected(path string, set []string) bool {
+	for _, s := range set {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// fileSelected reports whether a filename is in the slash-suffix set.
+func fileSelected(filename string, set []string) bool {
+	f := strings.ReplaceAll(filename, "\\", "/")
+	for _, s := range set {
+		if f == s || strings.HasSuffix(f, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzer is one check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Run  func(*Package, Config) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		{Name: "determinism", Run: runDeterminism},
+		{Name: "units", Run: runUnits},
+		{Name: "nopanic", Run: runNoPanic},
+		{Name: "floateq", Run: runFloatEq},
+		{Name: "errdrop", Run: runErrDrop},
+	}
+}
+
+// Run loads every package under the given root directories and applies the
+// suite, returning the surviving (non-suppressed) findings sorted by
+// position. Load errors (parse or type-check failures) are returned as an
+// error: the suite only analyzes code that compiles.
+func Run(root string, cfg Config) ([]Finding, error) {
+	pkgs, err := LoadTree(root)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(pkgs, cfg), nil
+}
+
+// Analyze applies the suite to already-loaded packages.
+func Analyze(pkgs []*Package, cfg Config) []Finding {
+	var all []Finding
+	for _, p := range pkgs {
+		sup := collectSuppressions(p)
+		all = append(all, sup.broken...)
+		for _, a := range Analyzers() {
+			for _, f := range a.Run(p, cfg) {
+				if !sup.allows(a.Name, f.Pos) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package plus everything the
+// analyzers need: its syntax (with comments), its type information, and its
+// import path within the module.
+type Package struct {
+	// Path is the full import path (module path + directory).
+	Path string
+	// Dir is the absolute directory.
+	Dir string
+	// Fset positions all files of the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, sorted by filename.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and object tables.
+	Info *types.Info
+}
+
+// IsMain reports whether the package is a command.
+func (p *Package) IsMain() bool { return p.Types.Name() == "main" }
+
+// LoadTree loads every non-test package under root/internal and root/cmd.
+// root must contain go.mod (its module line names the import-path prefix).
+func LoadTree(root string) ([]*Package, error) {
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, top := range []string{"internal", "cmd"} {
+		d := filepath.Join(root, top)
+		if _, err := os.Stat(d); err != nil {
+			continue
+		}
+		sub, err := goDirs(d)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, sub...)
+	}
+	ld := NewLoader(root, mod)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ld.Load(mod + "/" + filepath.ToSlash(rel))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// goDirs lists directories under root holding at least one non-test .go
+// file, skipping testdata and hidden directories.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// modulePath extracts the module line from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (run from the module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Loader parses and type-checks module packages from source. Module-local
+// imports resolve recursively through the loader itself (with caching);
+// everything else falls back to the standard library's source importer, so
+// the whole load works offline with no export data and no go tool
+// invocations. Cgo is disabled for the load: the repository is pure Go and
+// the netgo fallbacks type-check identically.
+type Loader struct {
+	root   string // module root directory
+	module string // module import-path prefix
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*Package
+	stack  []string // in-flight loads, for import-cycle reporting
+}
+
+// NewLoader creates a loader for the module rooted at root.
+func NewLoader(root, module string) *Loader {
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		root:   root,
+		module: module,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*Package{},
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load parses and type-checks the package with the given module import
+// path, reusing previously loaded results.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	for _, s := range l.stack {
+		if s == path {
+			return nil, fmt.Errorf("lint: import cycle through %s", strings.Join(append(l.stack, path), " -> "))
+		}
+	}
+	l.stack = append(l.stack, path)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	rel, ok := strings.CutPrefix(path, l.module+"/")
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is outside module %s", path, l.module)
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	files, err := parseDir(l.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:     map[ast.Expr]types.TypeAndValue{},
+		Defs:      map[*ast.Ident]types.Object{},
+		Uses:      map[*ast.Ident]types.Object{},
+		Implicits: map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importerFunc(func(imp string) (*types.Package, error) {
+		if imp == l.module || strings.HasPrefix(imp, l.module+"/") {
+			p, err := l.Load(imp)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+		return l.std.Import(imp)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.loaded[path] = p
+	return p, nil
+}
+
+// parseDir parses all non-test .go files of a directory with comments.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// pkgNameOf resolves a selector's base identifier to an imported package
+// path ("" when the identifier is not a package name). Used to recognize
+// time.Now, math/rand globals and fmt printers.
+func pkgNameOf(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// constZero reports whether the expression is a compile-time constant equal
+// to zero (the exact-sentinel idiom floateq exempts).
+func constZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	s := tv.Value.ExactString()
+	f, err := strconv.ParseFloat(s, 64)
+	return err == nil && f == 0
+}

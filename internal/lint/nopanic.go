@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The nopanic analyzer forbids panic in library packages: everything under
+// internal/ returns errors so that a malformed trace file or an unknown
+// video ID fails one request, not the whole sweep or server. main packages
+// are exempt (a CLI's top level may die loudly); genuine invariant panics
+// ("this branch is unreachable by construction") carry a
+// `//lint:allow nopanic <reason>` directive.
+
+func runNoPanic(p *Package, _ Config) []Finding {
+	if p.IsMain() {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if p.Info.Uses[id] != types.Universe.Lookup("panic") {
+				return true // shadowed
+			}
+			out = append(out, Finding{
+				Pos: p.Fset.Position(call.Pos()), Analyzer: "nopanic",
+				Message: "library packages return errors instead of panicking",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression grammar: `//lint:allow <analyzer> <reason>` on the flagged
+// line or on the line directly above it. The reason is mandatory — the
+// directive documents *why* the invariant is waived, and a bare waiver is
+// reported as its own finding so it cannot rot silently.
+
+// allowKey identifies one (file, line, analyzer) waiver.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// suppressions is the per-package waiver table.
+type suppressions struct {
+	keys   map[allowKey]bool
+	broken []Finding // reason-less directives
+}
+
+// allows reports whether the analyzer is waived at the position (same line
+// or the directive line directly above).
+func (s suppressions) allows(analyzer string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if s.keys[allowKey{pos.Filename, line, analyzer}] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans a package's comments for lint:allow directives.
+func collectSuppressions(p *Package) suppressions {
+	s := suppressions{keys: map[allowKey]bool{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					s.broken = append(s.broken, Finding{
+						Pos: pos, Analyzer: "allow",
+						Message: "lint:allow needs an analyzer name and a reason",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					s.broken = append(s.broken, Finding{
+						Pos: pos, Analyzer: "allow",
+						Message: "lint:allow " + fields[0] + " needs a reason",
+					})
+					continue
+				}
+				s.keys[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+// Package determfix is the determinism-analyzer fixture: wall-clock reads,
+// global math/rand use, and order-dependent map iteration must be flagged;
+// seeded generators, *rand.Rand plumbing, and collect-then-sort map loops
+// must not.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock reads the wall clock three ways; every call is a finding.
+func Clock() (time.Time, time.Duration, time.Duration) {
+	now := time.Now()                   // want determinism
+	since := time.Since(now)            // want determinism
+	until := time.Until(now.Add(since)) // want determinism
+	return now, since, until
+}
+
+// GlobalRand uses the process-global generator; both calls are findings.
+func GlobalRand() float64 {
+	x := rand.Float64()                // want determinism
+	rand.Shuffle(1, func(i, j int) {}) // want determinism
+	return x
+}
+
+// SeededRand threads an explicit generator; nothing here is a finding: the
+// constructors are allowlisted and r is a *rand.Rand value, not the global.
+func SeededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Draw consumes a caller-supplied generator; the *rand.Rand type reference
+// must not be mistaken for global rand use.
+func Draw(r *rand.Rand) float64 { return r.Float64() }
+
+// LeakOrder appends in map-iteration order straight into its result; the
+// range statement is a finding.
+func LeakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want determinism
+		out = append(out, k)
+	}
+	return out
+}
+
+// PrintOrder writes output in map-iteration order; the range statement is a
+// finding.
+func PrintOrder(m map[string]int) {
+	for k, v := range m { // want determinism
+		fmt.Println(k, v)
+	}
+}
+
+// SortedOrder collects then sorts before anyone can observe the order; the
+// range statement must not be flagged.
+func SortedOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Accumulate ranges a map without emitting anything order-dependent
+// (commutative sum); it must not be flagged.
+func Accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

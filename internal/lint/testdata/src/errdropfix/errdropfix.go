@@ -1,0 +1,52 @@
+// Package errdropfix is the errdrop-analyzer fixture: statement-position
+// calls that discard an error are findings; explicit `_ =` drops, handled
+// errors, and writes that provably cannot fail are not.
+package errdropfix
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Drops discards errors three ways; each statement is a finding.
+func Drops(f *os.File) {
+	fallible()           // want errdrop
+	pair()               // want errdrop
+	f.Close()            // want errdrop
+	fmt.Fprintf(f, "hi") // want errdrop (an *os.File is not a std stream)
+}
+
+// Handled threads or explicitly discards every error; no findings.
+func Handled() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_ = fallible()
+	return nil
+}
+
+// Exempt exercises the allowed writers: console printing, the std streams,
+// infallible in-memory writers, and sticky buffered writers whose error
+// resurfaces at the checked Flush.
+func Exempt() error {
+	fmt.Println("console output")
+	fmt.Fprintln(os.Stderr, "diagnostics")
+	var sb strings.Builder
+	sb.WriteString("no error path")
+	fmt.Fprintf(&sb, "still none")
+	bw := bufio.NewWriter(&sb)
+	fmt.Fprintf(bw, "latched until Flush")
+	return bw.Flush()
+}
+
+// Waived suppresses a drop with a reason; not a finding.
+func Waived() {
+	//lint:allow errdrop fixture demonstrates a reasoned waiver
+	fallible()
+}

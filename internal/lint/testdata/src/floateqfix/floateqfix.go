@@ -1,0 +1,30 @@
+// Package floateqfix is the floateq-analyzer fixture: exact ==/!= between
+// floats are findings, while comparisons against a constant zero (the exact
+// sentinel idiom), integer comparisons, and ordered comparisons are not.
+package floateqfix
+
+// Same compares floats exactly both ways; both operators are findings.
+func Same(a, b float64) bool {
+	if a != b { // want floateq
+		return false
+	}
+	return a == b // want floateq
+}
+
+// ZeroSentinel compares against constant zero; the idiom is exempt.
+func ZeroSentinel(x float64) bool {
+	const unset = 0.0
+	return x == 0 || x == unset || 0 != x
+}
+
+// Ints compares integers; never flagged.
+func Ints(a, b int) bool { return a == b }
+
+// Ordered uses <, which is fine for floats.
+func Ordered(a, b float64) bool { return a < b }
+
+// Waived carries a reasoned suppression; not a finding.
+func Waived(a, b float64) bool {
+	//lint:allow floateq exact tie-break over copied values
+	return a == b
+}

@@ -1,0 +1,30 @@
+// Package nopanicfix is the nopanic-analyzer fixture: library panics are
+// findings, reasoned suppressions silence them, and a reason-less
+// suppression is itself reported.
+package nopanicfix
+
+// Boom panics without excuse; the call is a finding.
+func Boom() {
+	panic("boom") // want nopanic
+}
+
+// Invariant panics with a reasoned waiver; not a finding.
+func Invariant(n int) {
+	if n < 0 {
+		//lint:allow nopanic negative n is a programmer error
+		panic("nopanicfix: negative n")
+	}
+}
+
+// BadWaiver carries a reason-less suppression: the bare directive is
+// reported as an "allow" finding AND does not waive the panic beneath it.
+func BadWaiver() {
+	//lint:allow nopanic
+	panic("waived without a reason") // want nopanic
+}
+
+// Recoverable shadows the built-in; calling it is not a finding.
+func Recoverable() {
+	localPanic := func(string) {}
+	localPanic("not the built-in")
+}

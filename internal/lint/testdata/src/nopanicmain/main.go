@@ -1,0 +1,7 @@
+// Command nopanicmain is the nopanic false-positive fixture: panics in
+// package main are a legitimate way to die and must not be flagged.
+package main
+
+func main() {
+	panic("commands may panic")
+}

@@ -1,0 +1,27 @@
+// Package unitsfix is the units-analyzer fixture: numeric identifiers whose
+// last camel-case word is a quantity stem (bitrate, size, duration, delay,
+// interval, throughput, ...) must carry a unit suffix; suffixed identifiers,
+// non-numeric identifiers, and suppressed counts must not be flagged.
+package unitsfix
+
+// PollInterval is unit-ambiguous.
+const PollInterval = 5 // want units
+
+// MaxDelayMs carries its unit; not a finding.
+const MaxDelayMs = 250
+
+// Chunk mixes ambiguous and suffixed fields.
+type Chunk struct {
+	Bitrate  float64 // want units
+	SizeBits float64
+	Dur      float64 // want units
+	DurSec   float64
+	Name     string // non-numeric: never flagged
+	//lint:allow units Window counts samples, not a physical quantity
+	WindowSize int
+}
+
+// Wait's duration parameter is ambiguous; the suffixed one is not.
+func Wait(duration float64, timeoutSec float64) float64 { // want units
+	return duration + timeoutSec
+}

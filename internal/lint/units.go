@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// The units analyzer enforces the repository's unit-suffix convention:
+// every quantity is a raw number whose unit lives only in its name, so a
+// numeric struct field, function parameter, or constant whose name ends in
+// a bare quantity stem (Bitrate, Size, Dur, Delay, Interval, Throughput,
+// …) is ambiguous — is ChunkDur seconds or milliseconds? is Size bits or
+// bytes? Such names must carry one of the explicit unit suffixes:
+//
+//	…Bits …Bytes …Kbps …Bps …Sec …Ms
+//
+// Only the configured domain packages are checked. Quantities measured in
+// other units (counts of chunks, samples, …) use a lint:allow directive
+// naming the actual unit.
+
+// unitStems are the quantity words that demand a unit suffix when they end
+// a name. Plural size ("Sizes", for slices) counts.
+var unitStems = map[string]bool{
+	"bitrate": true, "size": true, "sizes": true,
+	"dur": true, "duration": true, "delay": true,
+	"interval": true, "throughput": true, "bandwidth": true,
+	"latency": true, "timeout": true,
+}
+
+// unitSuffixes are the accepted explicit units.
+var unitSuffixes = []string{"Bits", "Bytes", "Kbps", "Bps", "Sec", "Ms"}
+
+func runUnits(p *Package, cfg Config) []Finding {
+	if !pkgSelected(p.Path, cfg.UnitsPkgs) {
+		return nil
+	}
+	var out []Finding
+	flag := func(id *ast.Ident, kind string) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil || !numericType(obj.Type()) {
+			return
+		}
+		if !needsUnitSuffix(id.Name) {
+			return
+		}
+		out = append(out, Finding{
+			Pos: p.Fset.Position(id.Pos()), Analyzer: "units",
+			Message: fmt.Sprintf("numeric %s %q is unit-ambiguous; add a unit suffix (%s)",
+				kind, id.Name, strings.Join(unitSuffixes, "/")),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					for _, name := range fld.Names {
+						flag(name, "field")
+					}
+				}
+			case *ast.FuncType:
+				if n.Params != nil {
+					for _, fld := range n.Params.List {
+						for _, name := range fld.Names {
+							flag(name, "parameter")
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok.String() == "const" {
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							flag(name, "constant")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// needsUnitSuffix reports whether the name's final camel-case word is a
+// bare quantity stem. A name already ending in a unit suffix never matches
+// (its final word is the suffix, not a stem).
+func needsUnitSuffix(name string) bool {
+	return unitStems[strings.ToLower(lastCamelWord(name))]
+}
+
+// lastCamelWord returns the final camel-case word of an identifier
+// ("AvgBitrate" -> "Bitrate", "ChunkDurSec" -> "Sec", "size" -> "size").
+func lastCamelWord(name string) string {
+	runes := []rune(name)
+	end := len(runes)
+	// Trim a trailing acronym/digit run to its own word boundary.
+	i := end - 1
+	for i > 0 && !unicode.IsUpper(runes[i]) {
+		i--
+	}
+	if i == 0 && !unicode.IsUpper(runes[0]) {
+		return name // single all-lower word
+	}
+	return string(runes[i:])
+}
+
+// numericType reports whether t is an integer/float type or a slice/array
+// of one (the shapes quantities take in this repository).
+func numericType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsInteger|types.IsFloat|types.IsUntyped) != 0 &&
+			u.Info()&(types.IsBoolean|types.IsString) == 0
+	case *types.Slice:
+		return numericType(u.Elem())
+	case *types.Array:
+		return numericType(u.Elem())
+	}
+	return false
+}

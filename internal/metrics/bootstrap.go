@@ -69,6 +69,7 @@ func bootstrapCI(xs []float64, stat func([]float64) float64, resamples int, leve
 // (sessions paired by trace). It panics if the samples differ in length.
 func BootstrapDeltaCI(a, b []float64, resamples int, level float64, seed int64) CI {
 	if len(a) != len(b) {
+		//lint:allow nopanic unpaired samples are a programmer error
 		panic("metrics: BootstrapDeltaCI on unpaired samples")
 	}
 	d := make([]float64, len(a))

@@ -44,8 +44,8 @@ type Summary struct {
 	QualityChange float64
 	// DataMB is the total downloaded data in megabytes.
 	DataMB float64
-	// StartupDelay is the time to first frame in seconds.
-	StartupDelay float64
+	// StartupDelaySec is the time to first frame in seconds.
+	StartupDelaySec float64
 	// ChunkQualities are the per-chunk delivered qualities, kept for CDF
 	// plots (Fig. 8–9); indexed by playback order.
 	ChunkQualities []float64
@@ -120,7 +120,7 @@ func Summarize(res *player.Result, qt *quality.Table, cats []scene.Category) Sum
 	s.QualityChange = change / float64(nDelivered)
 	s.RebufferSec = res.TotalRebufferSec
 	s.DataMB = res.TotalBits / 8 / 1e6
-	s.StartupDelay = res.StartupDelay
+	s.StartupDelaySec = res.StartupDelaySec
 	s.ChunkQualities = qs
 	s.Categories = cats
 	s.Retries = res.TotalRetries

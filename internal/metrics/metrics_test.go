@@ -24,7 +24,7 @@ func craftedSession() (*player.Result, *quality.Table, []scene.Category) {
 		res.TotalBits += v.ChunkSize(i%v.NumTracks(), i)
 	}
 	res.TotalRebufferSec = 3.5
-	res.StartupDelay = 2.25
+	res.StartupDelaySec = 2.25
 	return res, qt, cats
 }
 
@@ -37,8 +37,8 @@ func TestSummarizeBasics(t *testing.T) {
 	if s.RebufferSec != 3.5 {
 		t.Errorf("RebufferSec = %v", s.RebufferSec)
 	}
-	if s.StartupDelay != 2.25 {
-		t.Errorf("StartupDelay = %v", s.StartupDelay)
+	if s.StartupDelaySec != 2.25 {
+		t.Errorf("StartupDelaySec = %v", s.StartupDelaySec)
 	}
 	if want := res.TotalBits / 8 / 1e6; math.Abs(s.DataMB-want) > 1e-9 {
 		t.Errorf("DataMB = %v, want %v", s.DataMB, want)

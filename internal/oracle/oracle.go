@@ -77,7 +77,7 @@ func Compute(v *video.Video, tr *trace.Trace, qt *quality.Table, cfg Config) (*P
 
 	// startupChunks is how many chunks must complete before playback
 	// starts; the playback clock s is their completion time.
-	p.startupChunks = int(math.Ceil(cfg.StartupSec / v.ChunkDur))
+	p.startupChunks = int(math.Ceil(cfg.StartupSec / v.ChunkDurSec))
 	if p.startupChunks < 1 {
 		p.startupChunks = 1
 	}
@@ -162,7 +162,7 @@ func (p *planner) bin(t float64) int32 {
 
 // deadline is when chunk i must be ready for stall-free playback.
 func (p *planner) deadline(i int, playStart float64) float64 {
-	return playStart + float64(i-p.startupChunks+1)*p.v.ChunkDur
+	return playStart + float64(i-p.startupChunks+1)*p.v.ChunkDurSec
 }
 
 // startTime is the earliest the download of chunk i may begin: after the
@@ -170,7 +170,7 @@ func (p *planner) deadline(i int, playStart float64) float64 {
 func (p *planner) startTime(i int, prevDone, playStart float64) float64 {
 	// Buffer occupancy at x: i·Δ − (x − playStart) video-seconds (chunks
 	// 0..i−1 downloaded). Starting chunk i requires occupancy + Δ ≤ max.
-	earliest := playStart + float64(i+1)*p.v.ChunkDur - p.cfg.MaxBufferSec
+	earliest := playStart + float64(i+1)*p.v.ChunkDurSec - p.cfg.MaxBufferSec
 	if prevDone > earliest {
 		return prevDone
 	}

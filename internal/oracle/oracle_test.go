@@ -3,6 +3,7 @@ package oracle
 import (
 	"testing"
 
+	"cava/internal/abr"
 	"cava/internal/core"
 	"cava/internal/metrics"
 	"cava/internal/player"
@@ -98,7 +99,7 @@ func TestOracleBeatsOnlineSchemes(t *testing.T) {
 		if !plan.Feasible {
 			continue
 		}
-		cava := player.MustSimulate(v, tr, core.New(v), cfg)
+		cava := mustSimulate(t, v, tr, core.New(v), cfg)
 		// The oracle optimizes its objective with perfect knowledge; an
 		// online scheme must not beat it by more than the time-quantization
 		// slack.
@@ -127,7 +128,7 @@ func TestOracleInfeasibleFallsBack(t *testing.T) {
 
 func TestOracleValidatesInputs(t *testing.T) {
 	v, qt := testSetup()
-	if _, err := Compute(v, &trace.Trace{Interval: 0}, qt, Config{}); err == nil {
+	if _, err := Compute(v, &trace.Trace{IntervalSec: 0}, qt, Config{}); err == nil {
 		t.Error("bad trace accepted")
 	}
 	bad := *v
@@ -155,7 +156,7 @@ func TestOracleQ4Headroom(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cres := player.MustSimulate(v, tr, core.New(v), cfg)
+		cres := mustSimulate(t, v, tr, core.New(v), cfg)
 		oq4 += metrics.Summarize(ores, qt, cats).AvgQuality
 		cq4 += metrics.Summarize(cres, qt, cats).AvgQuality
 		n++
@@ -163,4 +164,15 @@ func TestOracleQ4Headroom(t *testing.T) {
 	if n > 0 && oq4 < cq4*0.97 {
 		t.Errorf("oracle avg quality %.1f below CAVA %.1f", oq4/float64(n), cq4/float64(n))
 	}
+}
+
+// mustSimulate fails the test on a simulation error; oracle comparison
+// fixtures are valid by construction.
+func mustSimulate(tb testing.TB, v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg player.Config) *player.Result {
+	tb.Helper()
+	res, err := player.Simulate(v, tr, algo, cfg)
+	if err != nil {
+		tb.Fatalf("Simulate: %v", err)
+	}
+	return res
 }

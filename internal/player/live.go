@@ -1,8 +1,6 @@
 package player
 
 import (
-	"fmt"
-
 	"cava/internal/abr"
 	"cava/internal/bandwidth"
 	"cava/internal/trace"
@@ -51,7 +49,7 @@ func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Confi
 		cfg.MaxBufferSec = 100
 	}
 	if lcfg.EncoderDelaySec < 0 {
-		lcfg.EncoderDelaySec = v.ChunkDur
+		lcfg.EncoderDelaySec = v.ChunkDurSec
 	}
 	pred := cfg.Predictor
 	if pred == nil {
@@ -75,7 +73,7 @@ func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Confi
 	// avail is when chunk i becomes downloadable: its content ends at
 	// (i+1)Δ relative to chunk 0's content end at 0, plus encode delay.
 	avail := func(i int) float64 {
-		return float64(i)*v.ChunkDur + lcfg.EncoderDelaySec
+		return float64(i)*v.ChunkDurSec + lcfg.EncoderDelaySec
 	}
 	drain := func(dt float64) float64 {
 		now += dt
@@ -122,13 +120,13 @@ func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Confi
 		}
 
 		st := abr.State{
-			ChunkIndex:     i,
-			Now:            now,
-			Buffer:         buffer,
-			Playing:        playing,
-			PrevLevel:      prevLevel,
-			Est:            pred.Predict(now),
-			LastThroughput: lastThroughput,
+			ChunkIndex:        i,
+			Now:               now,
+			Buffer:            buffer,
+			Playing:           playing,
+			PrevLevel:         prevLevel,
+			Est:               pred.Predict(now),
+			LastThroughputBps: lastThroughput,
 		}
 		if canDelay {
 			if d := delayer.Delay(st); d > 0 {
@@ -139,8 +137,8 @@ func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Confi
 				rec.RebufferSec += s
 			}
 		}
-		if playing && buffer+v.ChunkDur > cfg.MaxBufferSec {
-			wait := buffer + v.ChunkDur - cfg.MaxBufferSec
+		if playing && buffer+v.ChunkDurSec > cfg.MaxBufferSec {
+			wait := buffer + v.ChunkDurSec - cfg.MaxBufferSec
 			rec.WaitSec += wait
 			drain(wait)
 		}
@@ -155,17 +153,17 @@ func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Confi
 		rec.StartTime = now
 		rec.DownloadSec = dl
 		if dl > 0 {
-			rec.Throughput = size / dl
+			rec.ThroughputBps = size / dl
 		}
 		s := drain(dl)
 		res.TotalRebufferSec += s
 		stalls += s
 		rec.RebufferSec += s
-		buffer += v.ChunkDur
+		buffer += v.ChunkDurSec
 		rec.BufferAfter = buffer
 
 		pred.ObserveDownload(size, dl)
-		lastThroughput = rec.Throughput
+		lastThroughput = rec.ThroughputBps
 		prevLevel = level
 		res.Chunks = append(res.Chunks, rec)
 		res.TotalBits += size
@@ -173,7 +171,7 @@ func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Confi
 		if !playing && (buffer >= cfg.StartupSec || i == n-1) {
 			playing = true
 			playStart = now
-			res.StartupDelay = now
+			res.StartupDelaySec = now
 		}
 		observeLatency()
 	}
@@ -183,13 +181,4 @@ func SimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Confi
 	}
 	res.MaxLatencySec = latMax
 	return res, nil
-}
-
-// MustSimulateLive is SimulateLive that panics on error.
-func MustSimulateLive(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config, lcfg LiveConfig) *LiveResult {
-	r, err := SimulateLive(v, tr, algo, cfg, lcfg)
-	if err != nil {
-		panic(fmt.Sprintf("player: %v", err))
-	}
-	return r
 }

@@ -16,15 +16,15 @@ func TestLiveAvailabilityGatesDownloads(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, c := range res.Chunks {
-		if c.StartTime < float64(i)*v.ChunkDur-1e-9 {
-			t.Fatalf("chunk %d started at %.2f, before it existed (%.2f)", i, c.StartTime, float64(i)*v.ChunkDur)
+		if c.StartTime < float64(i)*v.ChunkDurSec-1e-9 {
+			t.Fatalf("chunk %d started at %.2f, before it existed (%.2f)", i, c.StartTime, float64(i)*v.ChunkDurSec)
 		}
 	}
 	if res.AvailabilityWaitSec <= 0 {
 		t.Error("edge-limited client never waited for the encoder")
 	}
 	// Session duration ~ video duration (paced by the encoder).
-	if res.SessionSec < v.Duration()-2*v.ChunkDur {
+	if res.SessionSec < v.Duration()-2*v.ChunkDurSec {
 		t.Errorf("session %.1fs shorter than encoder pacing allows", res.SessionSec)
 	}
 }
@@ -40,7 +40,7 @@ func TestLiveBufferBoundedByEdge(t *testing.T) {
 	// the startup worth of buffer and cannot accumulate more than the gap
 	// to the live edge.
 	for _, c := range res.Chunks[5:] {
-		if c.BufferAfter > DefaultConfig().StartupSec+2*v.ChunkDur {
+		if c.BufferAfter > DefaultConfig().StartupSec+2*v.ChunkDurSec {
 			t.Fatalf("chunk %d buffer %.1f exceeds live-edge bound", c.Index, c.BufferAfter)
 		}
 	}
@@ -78,7 +78,7 @@ func TestLiveStallsRaiseLatency(t *testing.T) {
 			samples[i] = 5e6
 		}
 	}
-	tr := &trace.Trace{ID: "collapse", Interval: 1, Samples: samples}
+	tr := &trace.Trace{ID: "collapse", IntervalSec: 1, Samples: samples}
 	res, err := SimulateLive(v, tr, fixedAlgo(v, 3), DefaultConfig(), LiveConfig{EncoderDelaySec: 0})
 	if err != nil {
 		t.Fatal(err)
@@ -99,24 +99,14 @@ func TestLiveEncoderDelayDefault(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Default encoder delay is one chunk duration: chunk 0 available at Δ.
-	if res.Chunks[0].StartTime < v.ChunkDur-1e-9 {
+	if res.Chunks[0].StartTime < v.ChunkDurSec-1e-9 {
 		t.Errorf("chunk 0 started at %.2f; default encoder delay ignored", res.Chunks[0].StartTime)
 	}
 }
 
 func TestLiveValidatesInputs(t *testing.T) {
 	v := testVideo()
-	if _, err := SimulateLive(v, &trace.Trace{Interval: 0}, fixedAlgo(v, 0), DefaultConfig(), LiveConfig{}); err == nil {
+	if _, err := SimulateLive(v, &trace.Trace{IntervalSec: 0}, fixedAlgo(v, 0), DefaultConfig(), LiveConfig{}); err == nil {
 		t.Error("bad trace accepted")
 	}
-}
-
-func TestMustSimulateLivePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic")
-		}
-	}()
-	v := testVideo()
-	MustSimulateLive(v, &trace.Trace{Interval: 0}, fixedAlgo(v, 0), DefaultConfig(), LiveConfig{})
 }

@@ -9,8 +9,6 @@
 package player
 
 import (
-	"fmt"
-
 	"cava/internal/abr"
 	"cava/internal/bandwidth"
 	"cava/internal/telemetry"
@@ -56,8 +54,8 @@ type ChunkRecord struct {
 	StartTime float64
 	// DownloadSec is how long the download took.
 	DownloadSec float64
-	// Throughput is SizeBits/DownloadSec in bits/sec.
-	Throughput float64
+	// ThroughputBps is SizeBits/DownloadSec in bits/sec.
+	ThroughputBps float64
 	// BufferBefore and BufferAfter bracket the download (video seconds).
 	BufferBefore, BufferAfter float64
 	// RebufferSec is the stall time incurred while this chunk downloaded.
@@ -87,8 +85,8 @@ type Result struct {
 	VideoID, TraceID, Scheme string
 	// Chunks has one record per downloaded chunk, in playback order.
 	Chunks []ChunkRecord
-	// StartupDelay is when playback began (seconds since session start).
-	StartupDelay float64
+	// StartupDelaySec is when playback began (seconds since session start).
+	StartupDelaySec float64
 	// TotalRebufferSec is the total mid-playback stall time.
 	TotalRebufferSec float64
 	// TotalBits is the total data downloaded.
@@ -184,13 +182,13 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 		rec := ChunkRecord{Index: i, BufferBefore: buffer}
 
 		st := abr.State{
-			ChunkIndex:     i,
-			Now:            now,
-			Buffer:         buffer,
-			Playing:        playing,
-			PrevLevel:      prevLevel,
-			Est:            pred.Predict(now),
-			LastThroughput: lastThroughput,
+			ChunkIndex:        i,
+			Now:               now,
+			Buffer:            buffer,
+			Playing:           playing,
+			PrevLevel:         prevLevel,
+			Est:               pred.Predict(now),
+			LastThroughputBps: lastThroughput,
 		}
 
 		// Algorithm-requested pause (e.g. BOLA above its buffer ceiling).
@@ -204,8 +202,8 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 		}
 
 		// Full buffer: wait until the next chunk fits.
-		if playing && buffer+v.ChunkDur > cfg.MaxBufferSec {
-			wait := buffer + v.ChunkDur - cfg.MaxBufferSec
+		if playing && buffer+v.ChunkDurSec > cfg.MaxBufferSec {
+			wait := buffer + v.ChunkDurSec - cfg.MaxBufferSec
 			rec.WaitSec += wait
 			drain(wait) // cannot stall: buffer is at its maximum
 		}
@@ -235,17 +233,17 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 		rec.StartTime = now
 		rec.DownloadSec = dl
 		if dl > 0 {
-			rec.Throughput = size / dl
+			rec.ThroughputBps = size / dl
 		}
 
 		stall := drain(dl)
 		res.TotalRebufferSec += stall
 		rec.RebufferSec += stall
-		buffer += v.ChunkDur
+		buffer += v.ChunkDurSec
 		rec.BufferAfter = buffer
 
 		pred.ObserveDownload(size, dl)
-		lastThroughput = rec.Throughput
+		lastThroughput = rec.ThroughputBps
 		res.Chunks = append(res.Chunks, rec)
 		res.TotalBits += size
 		if trc != nil {
@@ -256,7 +254,7 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 				Session: session, TimeSec: now, Kind: telemetry.KindDownload,
 				Chunk: i, Level: level, PrevLevel: prevLevel,
 				BufferSec: buffer, EstBps: st.Est,
-				SizeBits: size, DownloadSec: dl, ThroughputBps: rec.Throughput,
+				SizeBits: size, DownloadSec: dl, ThroughputBps: rec.ThroughputBps,
 				RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
 			})
 		}
@@ -264,7 +262,7 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 
 		if !playing && (buffer >= cfg.StartupSec || i == n-1) {
 			playing = true
-			res.StartupDelay = now
+			res.StartupDelaySec = now
 			if trc != nil {
 				trc.Record(telemetry.Event{
 					Session: session, TimeSec: now, Kind: telemetry.KindStartup,
@@ -281,14 +279,4 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 // the same abr.ClampLevel rule as the live DASH client.
 func st2level(algo abr.Algorithm, st abr.State, numTracks int) int {
 	return abr.ClampLevel(algo.Select(st), numTracks)
-}
-
-// MustSimulate is Simulate that panics on error, for examples and benches
-// operating on known-good generated inputs.
-func MustSimulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) *Result {
-	r, err := Simulate(v, tr, algo, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("player: %v", err))
-	}
-	return r
 }

@@ -33,7 +33,7 @@ func TestAmpleBandwidthNoRebuffer(t *testing.T) {
 	}
 	// Data accounting: total equals the sum of top-track chunk sizes.
 	want := 0.0
-	for _, s := range v.Tracks[5].ChunkSizes {
+	for _, s := range v.Tracks[5].ChunkSizesBits {
 		want += s
 	}
 	if math.Abs(res.TotalBits-want) > 1 {
@@ -64,8 +64,8 @@ func TestStartupDelay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.StartupDelay <= 0 || res.StartupDelay > 5 {
-		t.Errorf("startup delay = %v, want ~1s", res.StartupDelay)
+	if res.StartupDelaySec <= 0 || res.StartupDelaySec > 5 {
+		t.Errorf("startup delay = %v, want ~1s", res.StartupDelaySec)
 	}
 	// Startup latency config is honored: no playback before 10 s of video
 	// is buffered, so no stall can occur during the first two downloads.
@@ -147,7 +147,7 @@ func TestSessionDeterministic(t *testing.T) {
 
 func TestValidatesInputs(t *testing.T) {
 	v := testVideo()
-	badTrace := &trace.Trace{ID: "bad", Interval: 0}
+	badTrace := &trace.Trace{ID: "bad", IntervalSec: 0}
 	if _, err := Simulate(v, badTrace, fixedAlgo(v, 0), DefaultConfig()); err == nil {
 		t.Error("bad trace accepted")
 	}
@@ -166,7 +166,7 @@ func TestConfigDefaultsApplied(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.StartupDelay <= 0 {
+	if res.StartupDelaySec <= 0 {
 		t.Error("zero-value config broke startup accounting")
 	}
 }
@@ -207,8 +207,8 @@ func TestThroughputRecorded(t *testing.T) {
 	tr := trace.Constant("c", 2e6, 1200, 1)
 	res, _ := Simulate(v, tr, fixedAlgo(v, 3), DefaultConfig())
 	for _, c := range res.Chunks {
-		if c.DownloadSec > 0 && math.Abs(c.Throughput-2e6) > 1 {
-			t.Fatalf("chunk %d throughput %v, want 2e6", c.Index, c.Throughput)
+		if c.DownloadSec > 0 && math.Abs(c.ThroughputBps-2e6) > 1 {
+			t.Fatalf("chunk %d throughput %v, want 2e6", c.Index, c.ThroughputBps)
 		}
 	}
 }
@@ -267,14 +267,16 @@ func TestLevelsHelper(t *testing.T) {
 	}
 }
 
-func TestMustSimulatePanicsOnBadInput(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustSimulate did not panic")
-		}
-	}()
+func TestSimulateErrorsOnBadInput(t *testing.T) {
+	// Regression: invalid inputs must surface as returned errors, not
+	// panics (the former MustSimulate crashed the process here).
 	v := testVideo()
-	MustSimulate(v, &trace.Trace{ID: "bad", Interval: 0}, fixedAlgo(v, 0), DefaultConfig())
+	if _, err := Simulate(v, &trace.Trace{ID: "bad", IntervalSec: 0}, fixedAlgo(v, 0), DefaultConfig()); err == nil {
+		t.Error("Simulate accepted a trace with a zero interval")
+	}
+	if _, err := Simulate(&video.Video{}, trace.Constant("c", 5e6, 1200, 1), fixedAlgo(v, 0), DefaultConfig()); err == nil {
+		t.Error("Simulate accepted an empty video")
+	}
 }
 
 // oscillator alternates between two track levels every chunk, so consecutive

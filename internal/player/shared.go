@@ -99,13 +99,13 @@ func SimulateShared(tr *trace.Trace, clients []SharedClient) ([]*Result, error) 
 			return
 		}
 		s := abr.State{
-			ChunkIndex:     st.chunk,
-			Now:            now,
-			Buffer:         st.buffer,
-			Playing:        st.playing,
-			PrevLevel:      st.prevLevel,
-			Est:            st.pred.Predict(now),
-			LastThroughput: st.lastTput,
+			ChunkIndex:        st.chunk,
+			Now:               now,
+			Buffer:            st.buffer,
+			Playing:           st.playing,
+			PrevLevel:         st.prevLevel,
+			Est:               st.pred.Predict(now),
+			LastThroughputBps: st.lastTput,
 		}
 		if d, ok := st.sc.Algo.(abr.Delayer); ok {
 			if w := d.Delay(s); w > 0 {
@@ -113,8 +113,8 @@ func SimulateShared(tr *trace.Trace, clients []SharedClient) ([]*Result, error) 
 				return
 			}
 		}
-		if st.playing && st.buffer+v.ChunkDur > st.sc.Config.MaxBufferSec {
-			st.wakeAt = now + (st.buffer + v.ChunkDur - st.sc.Config.MaxBufferSec)
+		if st.playing && st.buffer+v.ChunkDurSec > st.sc.Config.MaxBufferSec {
+			st.wakeAt = now + (st.buffer + v.ChunkDurSec - st.sc.Config.MaxBufferSec)
 			return
 		}
 		level := st2level(st.sc.Algo, s, v.NumTracks())
@@ -158,7 +158,7 @@ func SimulateShared(tr *trace.Trace, clients []SharedClient) ([]*Result, error) 
 			break
 		}
 		// Trace boundary bounds the constant-rate span.
-		boundary := (math.Floor(now/tr.Interval) + 1) * tr.Interval
+		boundary := (math.Floor(now/tr.IntervalSec) + 1) * tr.IntervalSec
 		if boundary < next {
 			next = boundary
 		}
@@ -215,12 +215,12 @@ func SimulateShared(tr *trace.Trace, clients []SharedClient) ([]*Result, error) 
 				rec := st.inflight
 				rec.DownloadSec = now - rec.StartTime
 				if rec.DownloadSec > 0 {
-					rec.Throughput = rec.SizeBits / rec.DownloadSec
+					rec.ThroughputBps = rec.SizeBits / rec.DownloadSec
 				}
-				st.buffer += v.ChunkDur
+				st.buffer += v.ChunkDurSec
 				rec.BufferAfter = st.buffer
 				st.pred.ObserveDownload(rec.SizeBits, rec.DownloadSec)
-				st.lastTput = rec.Throughput
+				st.lastTput = rec.ThroughputBps
 				st.prevLevel = rec.Level
 				st.res.Chunks = append(st.res.Chunks, rec)
 				st.res.TotalBits += rec.SizeBits
@@ -228,7 +228,7 @@ func SimulateShared(tr *trace.Trace, clients []SharedClient) ([]*Result, error) 
 				st.chunk++
 				if !st.playing && (st.buffer >= st.sc.Config.StartupSec || st.chunk == v.NumChunks()) {
 					st.playing = true
-					st.res.StartupDelay = now
+					st.res.StartupDelaySec = now
 				}
 				decide(st)
 			} else if st.remaining <= 0 && st.wakeAt <= now {

@@ -21,7 +21,10 @@ func sharedClients(n int, level int) []SharedClient {
 func TestSharedSingleClientMatchesSolo(t *testing.T) {
 	v := video.YouTubeVideo(video.Title{Name: "BBB", Genre: video.Animation})
 	tr := trace.Constant("c", 3e6, 2000, 1)
-	solo := MustSimulate(v, tr, abr.Fixed(3)(v), DefaultConfig())
+	solo, err := Simulate(v, tr, abr.Fixed(3)(v), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	shared, err := SimulateShared(tr, []SharedClient{{Video: v, Algo: abr.Fixed(3)(v)}})
 	if err != nil {
 		t.Fatal(err)
@@ -105,7 +108,7 @@ func TestSharedAdaptiveClientsComplete(t *testing.T) {
 }
 
 func TestSharedValidatesInputs(t *testing.T) {
-	if _, err := SimulateShared(&trace.Trace{Interval: 0}, sharedClients(1, 0)); err == nil {
+	if _, err := SimulateShared(&trace.Trace{IntervalSec: 0}, sharedClients(1, 0)); err == nil {
 		t.Error("bad trace accepted")
 	}
 	if _, err := SimulateShared(trace.Constant("c", 1e6, 10, 1), nil); err == nil {

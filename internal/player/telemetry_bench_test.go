@@ -27,7 +27,9 @@ func benchSession(rec telemetry.Recorder) {
 	})
 	cfg := DefaultConfig()
 	cfg.Recorder = rec
-	MustSimulate(benchFixture.v, benchFixture.tr, core.New(benchFixture.v), cfg)
+	if _, err := Simulate(benchFixture.v, benchFixture.tr, core.New(benchFixture.v), cfg); err != nil {
+		panic(err) // bench fixture is valid by construction
+	}
 }
 
 // BenchmarkTelemetryDisabled is the player step path with a nil recorder —

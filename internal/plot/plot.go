@@ -79,6 +79,7 @@ func CDF(series []Series, width, height int) string {
 	if !valid {
 		return "(no data)\n"
 	}
+	//lint:allow floateq degenerate-range guard wants exact equality
 	if hi == lo {
 		hi = lo + 1
 	}

@@ -64,7 +64,7 @@ func LinearBitrate(res *player.Result, w Weights) Score {
 		mbps := 0.0
 		if c.DownloadSec >= 0 && c.SizeBits > 0 {
 			// Chunk bitrate: size over playback duration.
-			mbps = c.SizeBits / 1e6 / chunkDur(res)
+			mbps = c.SizeBits / 1e6 / chunkDurSec(res)
 		}
 		s.Quality += mbps
 		if !math.IsNaN(prev) {
@@ -73,17 +73,17 @@ func LinearBitrate(res *player.Result, w Weights) Score {
 		prev = mbps
 	}
 	s.Rebuffer = w.MuRebuffer * res.TotalRebufferSec
-	s.Startup = w.MuStartup * res.StartupDelay
+	s.Startup = w.MuStartup * res.StartupDelaySec
 	s.Total = s.Quality - s.Switching - s.Rebuffer - s.Startup
 	return s
 }
 
-// chunkDur recovers the chunk playback duration from the session record
+// chunkDurSec recovers the chunk playback duration from the session record
 // (BufferAfter − BufferBefore of a stall-free, wait-free chunk equals
 // Δ − downloadTime; the robust estimate is the modal buffer gain plus
 // download time). The player stores no explicit duration, so derive it
 // from the first chunk: buffer gain during startup equals Δ exactly.
-func chunkDur(res *player.Result) float64 {
+func chunkDurSec(res *player.Result) float64 {
 	if len(res.Chunks) == 0 {
 		return 1
 	}
@@ -109,7 +109,7 @@ func Perceptual(res *player.Result, qt *quality.Table, w Weights) Score {
 		prev = q
 	}
 	s.Rebuffer = w.MuRebuffer * res.TotalRebufferSec
-	s.Startup = w.MuStartup * res.StartupDelay
+	s.Startup = w.MuStartup * res.StartupDelaySec
 	s.Total = s.Quality - s.Switching - s.Rebuffer - s.Startup
 	return s
 }

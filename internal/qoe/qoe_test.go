@@ -12,15 +12,27 @@ import (
 	"cava/internal/video"
 )
 
-func session(level int) (*player.Result, *quality.Table) {
+func session(tb testing.TB, level int) (*player.Result, *quality.Table) {
+	tb.Helper()
 	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
 	tr := trace.Constant("c", 50e6, 1200, 1)
-	res := player.MustSimulate(v, tr, abr.Fixed(level)(v), player.DefaultConfig())
+	res := mustSimulate(tb, v, tr, abr.Fixed(level)(v), player.DefaultConfig())
 	return res, quality.NewTable(v, quality.VMAFPhone)
 }
 
+// mustSimulate fails the test on a simulation error; QoE fixtures are
+// valid by construction.
+func mustSimulate(tb testing.TB, v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg player.Config) *player.Result {
+	tb.Helper()
+	res, err := player.Simulate(v, tr, algo, cfg)
+	if err != nil {
+		tb.Fatalf("Simulate: %v", err)
+	}
+	return res
+}
+
 func TestPerceptualDecomposition(t *testing.T) {
-	res, qt := session(3)
+	res, qt := session(t, 3)
 	s := Perceptual(res, qt, VMAFWeights())
 	if math.Abs(s.Total-(s.Quality-s.Switching-s.Rebuffer-s.Startup)) > 1e-9 {
 		t.Error("decomposition does not sum")
@@ -34,8 +46,8 @@ func TestPerceptualDecomposition(t *testing.T) {
 }
 
 func TestPerceptualOrdersLevels(t *testing.T) {
-	lo, qt := session(1)
-	hi, _ := session(4)
+	lo, qt := session(t, 1)
+	hi, _ := session(t, 4)
 	w := VMAFWeights()
 	if Perceptual(hi, qt, w).Total <= Perceptual(lo, qt, w).Total {
 		t.Error("higher track not scored higher on an ample link")
@@ -43,8 +55,8 @@ func TestPerceptualOrdersLevels(t *testing.T) {
 }
 
 func TestLinearBitrateOrdersLevels(t *testing.T) {
-	lo, _ := session(1)
-	hi, _ := session(5)
+	lo, _ := session(t, 1)
+	hi, _ := session(t, 5)
 	w := MPCWeights()
 	if LinearBitrate(hi, w).Total <= LinearBitrate(lo, w).Total {
 		t.Error("higher bitrate not scored higher")
@@ -54,9 +66,9 @@ func TestLinearBitrateOrdersLevels(t *testing.T) {
 func TestRebufferPenalized(t *testing.T) {
 	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
 	qt := quality.NewTable(v, quality.VMAFPhone)
-	good := player.MustSimulate(v, trace.Constant("f", 50e6, 1200, 1), abr.Fixed(3)(v), player.DefaultConfig())
+	good := mustSimulate(t, v, trace.Constant("f", 50e6, 1200, 1), abr.Fixed(3)(v), player.DefaultConfig())
 	// Starved link at the same fixed level: heavy stalls.
-	bad := player.MustSimulate(v, trace.Constant("s", 5e5, 5000, 1), abr.Fixed(3)(v), player.DefaultConfig())
+	bad := mustSimulate(t, v, trace.Constant("s", 5e5, 5000, 1), abr.Fixed(3)(v), player.DefaultConfig())
 	w := VMAFWeights()
 	if Perceptual(bad, qt, w).Total >= Perceptual(good, qt, w).Total {
 		t.Error("stalling session not penalized")
@@ -85,8 +97,8 @@ func TestCAVAQoECompetitive(t *testing.T) {
 	var cava, rba float64
 	for i := 0; i < 10; i++ {
 		tr := trace.GenLTE(i)
-		cres := player.MustSimulate(v, tr, core.New(v), player.DefaultConfig())
-		rres := player.MustSimulate(v, tr, abr.NewRBA(v, 4), player.DefaultConfig())
+		cres := mustSimulate(t, v, tr, core.New(v), player.DefaultConfig())
+		rres := mustSimulate(t, v, tr, abr.NewRBA(v, 4), player.DefaultConfig())
 		cava += Perceptual(cres, qt, w).Total
 		rba += Perceptual(rres, qt, w).Total
 	}
@@ -96,11 +108,11 @@ func TestCAVAQoECompetitive(t *testing.T) {
 }
 
 func TestChunkDurRecovery(t *testing.T) {
-	res, _ := session(0)
-	if d := chunkDur(res); math.Abs(d-5) > 0.5 {
+	res, _ := session(t, 0)
+	if d := chunkDurSec(res); math.Abs(d-5) > 0.5 {
 		t.Errorf("recovered chunk duration %v, want ~5", d)
 	}
-	if chunkDur(&player.Result{}) != 1 {
+	if chunkDurSec(&player.Result{}) != 1 {
 		t.Error("empty session fallback wrong")
 	}
 }

@@ -97,8 +97,8 @@ func compressionScore(bppEff, c float64) float64 {
 // frame-level measurement scatter.
 func chunkScore(v *video.Video, level, chunk int) float64 {
 	t := &v.Tracks[level]
-	px := float64(t.Res.Width) * float64(t.Res.Height) * v.FPS * v.ChunkDur
-	bpp := t.ChunkSizes[chunk] / px
+	px := float64(t.Res.Width) * float64(t.Res.Height) * v.FPS * v.ChunkDurSec
+	bpp := t.ChunkSizesBits[chunk] / px
 	bppEff := bpp / codecBppFactor(v.Codec)
 	s := compressionScore(bppEff, v.Complexity[chunk])
 	// ±0.02 deterministic scatter.

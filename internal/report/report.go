@@ -17,21 +17,21 @@ import (
 
 // Row is one session's metric record in flat, export-friendly form.
 type Row struct {
-	Scheme        string  `json:"scheme"`
-	Video         string  `json:"video"`
-	Trace         string  `json:"trace"`
-	Q4Quality     float64 `json:"q4_quality"`
-	Q13Quality    float64 `json:"q13_quality"`
-	AvgQuality    float64 `json:"avg_quality"`
-	LowQualityPct float64 `json:"low_quality_pct"`
-	RebufferSec   float64 `json:"rebuffer_sec"`
-	QualityChange float64 `json:"quality_change"`
-	DataMB        float64 `json:"data_mb"`
-	StartupDelay  float64 `json:"startup_delay_sec"`
-	Retries       int     `json:"retries"`
-	Truncations   int     `json:"truncations"`
-	Abandonments  int     `json:"abandonments"`
-	SkippedChunks int     `json:"skipped_chunks"`
+	Scheme          string  `json:"scheme"`
+	Video           string  `json:"video"`
+	Trace           string  `json:"trace"`
+	Q4Quality       float64 `json:"q4_quality"`
+	Q13Quality      float64 `json:"q13_quality"`
+	AvgQuality      float64 `json:"avg_quality"`
+	LowQualityPct   float64 `json:"low_quality_pct"`
+	RebufferSec     float64 `json:"rebuffer_sec"`
+	QualityChange   float64 `json:"quality_change"`
+	DataMB          float64 `json:"data_mb"`
+	StartupDelaySec float64 `json:"startup_delay_sec"`
+	Retries         int     `json:"retries"`
+	Truncations     int     `json:"truncations"`
+	Abandonments    int     `json:"abandonments"`
+	SkippedChunks   int     `json:"skipped_chunks"`
 }
 
 // Flatten converts sweep results into rows sorted by (scheme, video, trace).
@@ -40,21 +40,21 @@ func Flatten(res *sim.Results) []Row {
 	for key, summaries := range res.Cells {
 		for _, s := range summaries {
 			rows = append(rows, Row{
-				Scheme:        key.Scheme,
-				Video:         key.Video,
-				Trace:         s.TraceID,
-				Q4Quality:     s.Q4Quality,
-				Q13Quality:    s.Q13Quality,
-				AvgQuality:    s.AvgQuality,
-				LowQualityPct: s.LowQualityPct,
-				RebufferSec:   s.RebufferSec,
-				QualityChange: s.QualityChange,
-				DataMB:        s.DataMB,
-				StartupDelay:  s.StartupDelay,
-				Retries:       s.Retries,
-				Truncations:   s.Truncations,
-				Abandonments:  s.Abandonments,
-				SkippedChunks: s.SkippedChunks,
+				Scheme:          key.Scheme,
+				Video:           key.Video,
+				Trace:           s.TraceID,
+				Q4Quality:       s.Q4Quality,
+				Q13Quality:      s.Q13Quality,
+				AvgQuality:      s.AvgQuality,
+				LowQualityPct:   s.LowQualityPct,
+				RebufferSec:     s.RebufferSec,
+				QualityChange:   s.QualityChange,
+				DataMB:          s.DataMB,
+				StartupDelaySec: s.StartupDelaySec,
+				Retries:         s.Retries,
+				Truncations:     s.Truncations,
+				Abandonments:    s.Abandonments,
+				SkippedChunks:   s.SkippedChunks,
 			})
 		}
 	}
@@ -91,7 +91,7 @@ func WriteCSV(w io.Writer, rows []Row) error {
 			r.Scheme, r.Video, r.Trace,
 			f(r.Q4Quality), f(r.Q13Quality), f(r.AvgQuality),
 			f(r.LowQualityPct), f(r.RebufferSec), f(r.QualityChange),
-			f(r.DataMB), f(r.StartupDelay),
+			f(r.DataMB), f(r.StartupDelaySec),
 			d(r.Retries), d(r.Truncations), d(r.Abandonments), d(r.SkippedChunks),
 		}
 		if err := cw.Write(rec); err != nil {
@@ -138,7 +138,7 @@ func ReadCSV(r io.Reader) ([]Row, error) {
 		}
 		row.Q4Quality, row.Q13Quality, row.AvgQuality = vals[0], vals[1], vals[2]
 		row.LowQualityPct, row.RebufferSec, row.QualityChange = vals[3], vals[4], vals[5]
-		row.DataMB, row.StartupDelay = vals[6], vals[7]
+		row.DataMB, row.StartupDelaySec = vals[6], vals[7]
 		row.Retries, row.Truncations, row.Abandonments, row.SkippedChunks = ints[0], ints[1], ints[2], ints[3]
 		rows = append(rows, row)
 	}
@@ -187,21 +187,21 @@ func Summaries(rows []Row) []metrics.Summary {
 	out := make([]metrics.Summary, len(rows))
 	for i, r := range rows {
 		out[i] = metrics.Summary{
-			Scheme:        r.Scheme,
-			VideoID:       r.Video,
-			TraceID:       r.Trace,
-			Q4Quality:     r.Q4Quality,
-			Q13Quality:    r.Q13Quality,
-			AvgQuality:    r.AvgQuality,
-			LowQualityPct: r.LowQualityPct,
-			RebufferSec:   r.RebufferSec,
-			QualityChange: r.QualityChange,
-			DataMB:        r.DataMB,
-			StartupDelay:  r.StartupDelay,
-			Retries:       r.Retries,
-			Truncations:   r.Truncations,
-			Abandonments:  r.Abandonments,
-			SkippedChunks: r.SkippedChunks,
+			Scheme:          r.Scheme,
+			VideoID:         r.Video,
+			TraceID:         r.Trace,
+			Q4Quality:       r.Q4Quality,
+			Q13Quality:      r.Q13Quality,
+			AvgQuality:      r.AvgQuality,
+			LowQualityPct:   r.LowQualityPct,
+			RebufferSec:     r.RebufferSec,
+			QualityChange:   r.QualityChange,
+			DataMB:          r.DataMB,
+			StartupDelaySec: r.StartupDelaySec,
+			Retries:         r.Retries,
+			Truncations:     r.Truncations,
+			Abandonments:    r.Abandonments,
+			SkippedChunks:   r.SkippedChunks,
 		}
 	}
 	return out

@@ -18,7 +18,7 @@ func DetectSceneCuts(v *video.Video, refLevel int, threshold float64) []int {
 	if threshold <= 0 {
 		threshold = 0.35
 	}
-	sizes := v.Tracks[refLevel].ChunkSizes
+	sizes := v.Tracks[refLevel].ChunkSizesBits
 	cuts := []int{0}
 	for i := 1; i < len(sizes); i++ {
 		prev := sizes[i-1]

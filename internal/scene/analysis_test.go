@@ -66,7 +66,7 @@ func TestComplexRunStats(t *testing.T) {
 	}
 	// The worst burst must exceed MaxLength x the track's average chunk:
 	// Q4 chunks are the big ones.
-	avgChunk := v.AvgBitrate(3) * v.ChunkDur
+	avgChunk := v.AvgBitrateBps(3) * v.ChunkDurSec
 	if st.BurstBits <= st.MaxLength*avgChunk {
 		t.Errorf("burst %.0f bits not above %0.f (max-run x avg chunk)", st.BurstBits, st.MaxLength*avgChunk)
 	}

@@ -42,7 +42,7 @@ func DefaultReferenceTrack(numTracks int) int { return numTracks / 2 }
 // category regardless of track, which is sound because relative chunk sizes
 // are strongly correlated across tracks (verified by CategoryCorrelation).
 func Classify(v *video.Video, refLevel, nClasses int) []Category {
-	sizes := v.Tracks[refLevel].ChunkSizes
+	sizes := v.Tracks[refLevel].ChunkSizesBits
 	return ClassifySizes(sizes, nClasses)
 }
 
@@ -94,8 +94,8 @@ func IsComplex(c Category) bool { return c == Q4 }
 // sequences obtained independently from two tracks. The paper verifies
 // these are all close to 1 (Property 2 in §3.1.1).
 func CategoryCorrelation(v *video.Video, levelA, levelB, nClasses int) float64 {
-	a := ClassifySizes(v.Tracks[levelA].ChunkSizes, nClasses)
-	b := ClassifySizes(v.Tracks[levelB].ChunkSizes, nClasses)
+	a := ClassifySizes(v.Tracks[levelA].ChunkSizesBits, nClasses)
+	b := ClassifySizes(v.Tracks[levelB].ChunkSizesBits, nClasses)
 	return pearsonCategories(a, b)
 }
 

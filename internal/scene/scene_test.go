@@ -59,7 +59,7 @@ func TestClassifyScaleInvariant(t *testing.T) {
 	// Quantile classification must be invariant to positive scaling — it
 	// is what lets one reference track classify all tracks.
 	v := edVideo()
-	sizes := v.Tracks[3].ChunkSizes
+	sizes := v.Tracks[3].ChunkSizesBits
 	f := func(scaleMilli uint16) bool {
 		scale := 0.001 * (float64(scaleMilli) + 1)
 		scaled := make([]float64, len(sizes))

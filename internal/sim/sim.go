@@ -6,6 +6,7 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"cava/internal/abr"
@@ -69,13 +70,19 @@ func (r *Results) Summaries(scheme, videoID string) []metrics.Summary {
 	return r.Cells[CellKey{Scheme: scheme, Video: videoID}]
 }
 
-// SchemeAll concatenates a scheme's summaries across all videos.
+// SchemeAll concatenates a scheme's summaries across all videos, in video
+// order (map iteration order would leak into aggregates otherwise).
 func (r *Results) SchemeAll(scheme string) []metrics.Summary {
-	var out []metrics.Summary
-	for k, ss := range r.Cells {
+	var vids []string
+	for k := range r.Cells {
 		if k.Scheme == scheme {
-			out = append(out, ss...)
+			vids = append(vids, k.Video)
 		}
+	}
+	sort.Strings(vids)
+	var out []metrics.Summary
+	for _, v := range vids {
+		out = append(out, r.Cells[CellKey{Scheme: scheme, Video: v}]...)
 	}
 	return out
 }

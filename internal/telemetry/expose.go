@@ -37,7 +37,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 }
 
 // writeHistogram emits the cumulative bucket series for one histogram.
-func writeHistogram(w io.Writer, e *entry) {
+func writeHistogram(w *bufio.Writer, e *entry) {
 	h := e.h
 	cum := uint64(0)
 	for i, ub := range h.bounds {

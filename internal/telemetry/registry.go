@@ -243,6 +243,7 @@ func (r *Registry) lookup(name, help string, labels []Label, k kind, mk func(*en
 	defer r.mu.Unlock()
 	if e, ok := r.entries[key]; ok {
 		if e.kind != k {
+			//lint:allow nopanic kind mismatch on re-registration is a programmer error
 			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, k, e.kind))
 		}
 		return e

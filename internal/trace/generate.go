@@ -11,13 +11,14 @@ import (
 // per-second throughput, and 200 FCC fixed-broadband traces recorded as
 // per-5-second throughput, each at least 18 minutes long.
 const (
-	// LTEInterval is the sampling interval of LTE traces in seconds.
-	LTEInterval = 1.0
-	// FCCInterval is the sampling interval of FCC traces in seconds.
-	FCCInterval = 5.0
-	// MinTraceDuration is the minimum trace length in seconds (18 minutes).
-	MinTraceDuration = 18 * 60
+	// LTEIntervalSec is the sampling interval of LTE traces in seconds.
+	LTEIntervalSec = 1.0
+	// FCCIntervalSec is the sampling interval of FCC traces in seconds.
+	FCCIntervalSec = 5.0
+	// MinTraceDurationSec is the minimum trace length in seconds (18 minutes).
+	MinTraceDurationSec = 18 * 60
 	// DefaultSetSize is the number of traces in each generated set.
+	//lint:allow units DefaultSetSize counts traces, not a data size
 	DefaultSetSize = 200
 )
 
@@ -46,7 +47,7 @@ var lteStates = []lteState{
 // given index. The same index always yields the same trace.
 func GenLTE(index int) *Trace {
 	rng := rand.New(rand.NewSource(int64(0x17e0000) + int64(index)))
-	n := int(MinTraceDuration/LTEInterval) + rng.Intn(240)
+	n := int(MinTraceDurationSec/LTEIntervalSec) + rng.Intn(240)
 	samples := make([]float64, n)
 
 	// Each trace has its own coverage bias so the set spans poorly- and
@@ -86,7 +87,7 @@ func GenLTE(index int) *Trace {
 		}
 		samples[i] = bw
 	}
-	return &Trace{ID: fmt.Sprintf("lte-%03d", index), Interval: LTEInterval, Samples: samples}
+	return &Trace{ID: fmt.Sprintf("lte-%03d", index), IntervalSec: LTEIntervalSec, Samples: samples}
 }
 
 // GenFCC deterministically generates an FCC fixed-broadband-like trace for
@@ -94,7 +95,7 @@ func GenLTE(index int) *Trace {
 // mild AR(1) variation and rare congestion dips.
 func GenFCC(index int) *Trace {
 	rng := rand.New(rand.NewSource(int64(0xfcc0000) + int64(index)))
-	n := int(MinTraceDuration/FCCInterval) + rng.Intn(48)
+	n := int(MinTraceDurationSec/FCCIntervalSec) + rng.Intn(48)
 	samples := make([]float64, n)
 
 	// Provisioned line rate: lognormal between roughly 1.5 and 20 Mbps.
@@ -120,7 +121,7 @@ func GenFCC(index int) *Trace {
 		}
 		samples[i] = bw
 	}
-	return &Trace{ID: fmt.Sprintf("fcc-%03d", index), Interval: FCCInterval, Samples: samples}
+	return &Trace{ID: fmt.Sprintf("fcc-%03d", index), IntervalSec: FCCIntervalSec, Samples: samples}
 }
 
 // GenLTESet generates n LTE traces (indices 0..n-1).
@@ -143,8 +144,8 @@ func GenFCCSet(n int) []*Trace {
 
 // Constant returns a trace with a single constant bandwidth, useful in tests
 // and examples.
-func Constant(id string, bps, duration, interval float64) *Trace {
-	n := int(math.Ceil(duration / interval))
+func Constant(id string, bps, durationSec, intervalSec float64) *Trace {
+	n := int(math.Ceil(durationSec / intervalSec))
 	if n < 1 {
 		n = 1
 	}
@@ -152,21 +153,21 @@ func Constant(id string, bps, duration, interval float64) *Trace {
 	for i := range s {
 		s[i] = bps
 	}
-	return &Trace{ID: id, Interval: interval, Samples: s}
+	return &Trace{ID: id, IntervalSec: intervalSec, Samples: s}
 }
 
 // Step returns a trace that switches between two bandwidths every `period`
 // seconds, useful for exercising adaptation transients in tests.
-func Step(id string, low, high, period, duration, interval float64) *Trace {
-	n := int(math.Ceil(duration / interval))
+func Step(id string, low, high, period, durationSec, intervalSec float64) *Trace {
+	n := int(math.Ceil(durationSec / intervalSec))
 	s := make([]float64, n)
 	for i := range s {
-		t := float64(i) * interval
+		t := float64(i) * intervalSec
 		if int(t/period)%2 == 0 {
 			s[i] = high
 		} else {
 			s[i] = low
 		}
 	}
-	return &Trace{ID: id, Interval: interval, Samples: s}
+	return &Trace{ID: id, IntervalSec: intervalSec, Samples: s}
 }

@@ -12,14 +12,14 @@ import (
 // "time_s,bandwidth_bps" with one row per sample, preceded by a header row.
 func WriteCSV(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# trace %s interval %g\n", t.ID, t.Interval); err != nil {
+	if _, err := fmt.Fprintf(bw, "# trace %s interval %g\n", t.ID, t.IntervalSec); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintln(bw, "time_s,bandwidth_bps"); err != nil {
 		return err
 	}
 	for i, s := range t.Samples {
-		if _, err := fmt.Fprintf(bw, "%.3f,%.0f\n", float64(i)*t.Interval, s); err != nil {
+		if _, err := fmt.Fprintf(bw, "%.3f,%.0f\n", float64(i)*t.IntervalSec, s); err != nil {
 			return err
 		}
 	}
@@ -31,7 +31,7 @@ func WriteCSV(w io.Writer, t *Trace) error {
 // ID is taken from the header comment when present.
 func ReadCSV(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
-	t := &Trace{ID: "csv", Interval: 1}
+	t := &Trace{ID: "csv", IntervalSec: 1}
 	var times []float64
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -46,7 +46,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 					t.ID = fields[i+1]
 				case "interval":
 					if v, err := strconv.ParseFloat(fields[i+1], 64); err == nil && v > 0 {
-						t.Interval = v
+						t.IntervalSec = v
 					}
 				}
 			}
@@ -75,7 +75,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	}
 	if len(times) >= 2 {
 		if dt := times[1] - times[0]; dt > 0 {
-			t.Interval = dt
+			t.IntervalSec = dt
 		}
 	}
 	if err := t.Validate(); err != nil {

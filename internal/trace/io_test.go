@@ -20,8 +20,8 @@ func TestCSVRoundTrip(t *testing.T) {
 	if got.ID != orig.ID {
 		t.Errorf("ID = %q, want %q", got.ID, orig.ID)
 	}
-	if got.Interval != orig.Interval {
-		t.Errorf("Interval = %v, want %v", got.Interval, orig.Interval)
+	if got.IntervalSec != orig.IntervalSec {
+		t.Errorf("IntervalSec = %v, want %v", got.IntervalSec, orig.IntervalSec)
 	}
 	if len(got.Samples) != len(orig.Samples) {
 		t.Fatalf("sample count = %d, want %d", len(got.Samples), len(orig.Samples))
@@ -40,8 +40,8 @@ func TestReadCSVInfersInterval(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadCSV: %v", err)
 	}
-	if tr.Interval != 5 {
-		t.Errorf("inferred interval = %v, want 5", tr.Interval)
+	if tr.IntervalSec != 5 {
+		t.Errorf("inferred interval = %v, want 5", tr.IntervalSec)
 	}
 	if len(tr.Samples) != 3 || tr.Samples[2] != 300 {
 		t.Errorf("samples = %v", tr.Samples)
@@ -69,7 +69,7 @@ func TestReadCSVSkipsBlankLines(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadCSV: %v", err)
 	}
-	if tr.ID != "abc" || tr.Interval != 2 || len(tr.Samples) != 2 {
+	if tr.ID != "abc" || tr.IntervalSec != 2 || len(tr.Samples) != 2 {
 		t.Errorf("parsed trace = %+v", tr)
 	}
 }

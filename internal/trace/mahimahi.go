@@ -24,14 +24,14 @@ const MahimahiMTUBytes = 1500
 const maxMahimahiMs = 48 * 3600 * 1000
 
 // ReadMahimahi parses an mm-link packet-delivery log into a Trace sampled
-// at the given interval (seconds; 1.0 when non-positive). Short logs are
+// at the given sampling interval in seconds (1.0 when non-positive). Short logs are
 // looped by Trace replay semantics, matching mm-link's own behaviour.
-func ReadMahimahi(r io.Reader, id string, interval float64) (*Trace, error) {
-	if interval <= 0 {
-		interval = 1.0
+func ReadMahimahi(r io.Reader, id string, intervalSec float64) (*Trace, error) {
+	if intervalSec <= 0 {
+		intervalSec = 1.0
 	}
-	if interval < 0.05 {
-		interval = 0.05 // finer bins than 50ms are measurement noise
+	if intervalSec < 0.05 {
+		intervalSec = 0.05 // finer bins than 50ms are measurement noise
 	}
 	sc := bufio.NewScanner(r)
 	buf := make([]byte, 0, 1<<16)
@@ -58,7 +58,7 @@ func ReadMahimahi(r io.Reader, id string, interval float64) (*Trace, error) {
 			return nil, fmt.Errorf("trace: mahimahi line %d: timestamp %dms exceeds the %dh bound", lineNo, ms, maxMahimahiMs/3600000)
 		}
 		lastMs = ms
-		bin := int64(float64(ms) / 1000 / interval)
+		bin := int64(float64(ms) / 1000 / intervalSec)
 		bytesPerBin[bin] += MahimahiMTUBytes
 		if bin > maxBin {
 			maxBin = bin
@@ -72,9 +72,9 @@ func ReadMahimahi(r io.Reader, id string, interval float64) (*Trace, error) {
 	}
 	samples := make([]float64, maxBin+1)
 	for bin, b := range bytesPerBin {
-		samples[bin] = b * 8 / interval // bits per second
+		samples[bin] = b * 8 / intervalSec // bits per second
 	}
-	t := &Trace{ID: id, Interval: interval, Samples: samples}
+	t := &Trace{ID: id, IntervalSec: intervalSec, Samples: samples}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,11 +91,11 @@ func WriteMahimahi(w io.Writer, t *Trace) error {
 	}
 	bw := bufio.NewWriter(w)
 	for i, bps := range t.Samples {
-		windowStartMs := float64(i) * t.Interval * 1000
-		bytes := bps * t.Interval / 8
+		windowStartMs := float64(i) * t.IntervalSec * 1000
+		bytes := bps * t.IntervalSec / 8
 		packets := int(bytes / MahimahiMTUBytes)
 		for p := 0; p < packets; p++ {
-			ms := windowStartMs + float64(p)*t.Interval*1000/float64(packets)
+			ms := windowStartMs + float64(p)*t.IntervalSec*1000/float64(packets)
 			if _, err := fmt.Fprintf(bw, "%d\n", int64(ms)); err != nil {
 				return err
 			}

@@ -79,7 +79,7 @@ func TestMahimahiRoundTrip(t *testing.T) {
 	if err := WriteMahimahi(&buf, orig); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadMahimahi(&buf, orig.ID, orig.Interval)
+	got, err := ReadMahimahi(&buf, orig.ID, orig.IntervalSec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestMahimahiRoundTrip(t *testing.T) {
 
 func TestWriteMahimahiRejectsBadTrace(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteMahimahi(&buf, &Trace{Interval: 0}); err == nil {
+	if err := WriteMahimahi(&buf, &Trace{IntervalSec: 0}); err == nil {
 		t.Error("bad trace accepted")
 	}
 }
@@ -116,7 +116,7 @@ func TestMahimahiIntervalCoerced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Interval != 1 {
-		t.Errorf("interval = %v, want coerced 1", tr.Interval)
+	if tr.IntervalSec != 1 {
+		t.Errorf("interval = %v, want coerced 1", tr.IntervalSec)
 	}
 }

@@ -13,7 +13,7 @@ import (
 )
 
 // Trace is a bandwidth time series sampled at a fixed interval. Sample i
-// covers the half-open time window [i*Interval, (i+1)*Interval). When the
+// covers the half-open time window [i*IntervalSec, (i+1)*IntervalSec). When the
 // simulation runs past the end of the series the trace wraps around, so a
 // Trace behaves as an infinite bandwidth process; the generated traces are
 // at least 18 minutes long (longer than any 10-minute video session), so
@@ -21,15 +21,15 @@ import (
 type Trace struct {
 	// ID identifies the trace within its set (e.g. "lte-017").
 	ID string
-	// Interval is the sampling interval in seconds (1 for LTE, 5 for FCC).
-	Interval float64
+	// IntervalSec is the sampling interval in seconds (1 for LTE, 5 for FCC).
+	IntervalSec float64
 	// Samples holds the per-interval average bandwidth in bits/second.
 	Samples []float64
 }
 
 // Duration returns the total covered time in seconds.
 func (t *Trace) Duration() float64 {
-	return float64(len(t.Samples)) * t.Interval
+	return float64(len(t.Samples)) * t.IntervalSec
 }
 
 // BandwidthAt returns the bandwidth in effect at absolute time tm (seconds).
@@ -41,7 +41,7 @@ func (t *Trace) BandwidthAt(tm float64) float64 {
 	if tm < 0 {
 		tm = 0
 	}
-	i := int(tm/t.Interval) % len(t.Samples)
+	i := int(tm/t.IntervalSec) % len(t.Samples)
 	return t.Samples[i]
 }
 
@@ -71,16 +71,16 @@ func (t *Trace) DownloadTime(start, bits float64) float64 {
 	remaining := bits
 	now := start
 	for remaining > 0 {
-		idx := int(now/t.Interval) % len(t.Samples)
+		idx := int(now/t.IntervalSec) % len(t.Samples)
 		if idx < 0 {
 			idx += len(t.Samples)
 		}
 		bw := t.Samples[idx]
 		// Time left inside the current sample window.
-		windowEnd := (math.Floor(now/t.Interval) + 1) * t.Interval
+		windowEnd := (math.Floor(now/t.IntervalSec) + 1) * t.IntervalSec
 		slot := windowEnd - now
 		if slot <= 0 {
-			slot = t.Interval
+			slot = t.IntervalSec
 		}
 		if bw > 0 {
 			need := remaining / bw
@@ -150,7 +150,7 @@ func (t *Trace) Max() float64 {
 // Scale returns a copy of the trace with every sample multiplied by f.
 // It is used to derive easier/harder variants of a trace set.
 func (t *Trace) Scale(f float64) *Trace {
-	out := &Trace{ID: t.ID, Interval: t.Interval, Samples: make([]float64, len(t.Samples))}
+	out := &Trace{ID: t.ID, IntervalSec: t.IntervalSec, Samples: make([]float64, len(t.Samples))}
 	for i, s := range t.Samples {
 		out.Samples[i] = s * f
 	}
@@ -160,8 +160,8 @@ func (t *Trace) Scale(f float64) *Trace {
 // Validate reports whether the trace is usable for replay: a positive
 // interval, at least one sample, and no negative samples.
 func (t *Trace) Validate() error {
-	if t.Interval <= 0 {
-		return fmt.Errorf("trace %s: non-positive interval %v", t.ID, t.Interval)
+	if t.IntervalSec <= 0 {
+		return fmt.Errorf("trace %s: non-positive interval %v", t.ID, t.IntervalSec)
 	}
 	if len(t.Samples) == 0 {
 		return errors.New("trace " + t.ID + ": no samples")

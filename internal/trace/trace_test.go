@@ -9,7 +9,7 @@ import (
 func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestBandwidthAt(t *testing.T) {
-	tr := &Trace{ID: "t", Interval: 2, Samples: []float64{10, 20, 30}}
+	tr := &Trace{ID: "t", IntervalSec: 2, Samples: []float64{10, 20, 30}}
 	cases := []struct {
 		time float64
 		want float64
@@ -27,7 +27,7 @@ func TestBandwidthAt(t *testing.T) {
 }
 
 func TestBandwidthAtEmpty(t *testing.T) {
-	tr := &Trace{Interval: 1}
+	tr := &Trace{IntervalSec: 1}
 	if got := tr.BandwidthAt(5); got != 0 {
 		t.Errorf("empty trace bandwidth = %v, want 0", got)
 	}
@@ -55,7 +55,7 @@ func TestDownloadTimeStep(t *testing.T) {
 }
 
 func TestDownloadTimeMidSample(t *testing.T) {
-	tr := &Trace{ID: "m", Interval: 1, Samples: []float64{1e6, 3e6}}
+	tr := &Trace{ID: "m", IntervalSec: 1, Samples: []float64{1e6, 3e6}}
 	// Start at t=0.5: 0.5s left at 1 Mbps (0.5e6 bits), then 3 Mbps.
 	// Download 2e6 bits: 0.5e6 in 0.5s, then 1.5e6 at 3e6 -> 0.5s. Total 1s.
 	if got := tr.DownloadTime(0.5, 2e6); !almostEqual(got, 1.0, 1e-9) {
@@ -64,7 +64,7 @@ func TestDownloadTimeMidSample(t *testing.T) {
 }
 
 func TestDownloadTimeOutage(t *testing.T) {
-	tr := &Trace{ID: "o", Interval: 1, Samples: []float64{1e6, 0, 0, 1e6}}
+	tr := &Trace{ID: "o", IntervalSec: 1, Samples: []float64{1e6, 0, 0, 1e6}}
 	// 1.5e6 bits from t=0: 1e6 in 1s, two outage seconds, then 0.5e6 in
 	// 0.5s. Total 3.5s.
 	if got := tr.DownloadTime(0, 1.5e6); !almostEqual(got, 3.5, 1e-9) {
@@ -73,7 +73,7 @@ func TestDownloadTimeOutage(t *testing.T) {
 }
 
 func TestDownloadTimeWraps(t *testing.T) {
-	tr := &Trace{ID: "w", Interval: 1, Samples: []float64{1e6}}
+	tr := &Trace{ID: "w", IntervalSec: 1, Samples: []float64{1e6}}
 	// One-second trace: 10e6 bits wraps around ten times.
 	if got := tr.DownloadTime(0, 10e6); !almostEqual(got, 10, 1e-9) {
 		t.Errorf("DownloadTime wrap = %v, want 10", got)
@@ -88,11 +88,11 @@ func TestDownloadTimeEdgeCases(t *testing.T) {
 	if got := tr.DownloadTime(0, -5); got != 0 {
 		t.Errorf("negative-size download took %v", got)
 	}
-	empty := &Trace{Interval: 1}
+	empty := &Trace{IntervalSec: 1}
 	if got := empty.DownloadTime(0, 1); !math.IsInf(got, 1) {
 		t.Errorf("empty trace download = %v, want +Inf", got)
 	}
-	allZero := &Trace{Interval: 1, Samples: []float64{0, 0}}
+	allZero := &Trace{IntervalSec: 1, Samples: []float64{0, 0}}
 	if got := allZero.DownloadTime(0, 1); !math.IsInf(got, 1) {
 		t.Errorf("all-zero trace download = %v, want +Inf", got)
 	}
@@ -129,7 +129,7 @@ func TestDownloadTimeAdditive(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	tr := &Trace{ID: "s", Interval: 1, Samples: []float64{2, 4, 6}}
+	tr := &Trace{ID: "s", IntervalSec: 1, Samples: []float64{2, 4, 6}}
 	if got := tr.Mean(); !almostEqual(got, 4, 1e-12) {
 		t.Errorf("Mean = %v, want 4", got)
 	}
@@ -149,14 +149,14 @@ func TestStats(t *testing.T) {
 }
 
 func TestStatsEmpty(t *testing.T) {
-	tr := &Trace{Interval: 1}
+	tr := &Trace{IntervalSec: 1}
 	if tr.Mean() != 0 || tr.CoV() != 0 || tr.Min() != 0 || tr.Max() != 0 {
 		t.Error("empty trace stats should all be 0")
 	}
 }
 
 func TestScale(t *testing.T) {
-	tr := &Trace{ID: "x", Interval: 1, Samples: []float64{1, 2}}
+	tr := &Trace{ID: "x", IntervalSec: 1, Samples: []float64{1, 2}}
 	s := tr.Scale(2.5)
 	if s.Samples[0] != 2.5 || s.Samples[1] != 5 {
 		t.Errorf("Scale result = %v", s.Samples)
@@ -172,11 +172,11 @@ func TestValidate(t *testing.T) {
 		t.Errorf("valid trace rejected: %v", err)
 	}
 	cases := []*Trace{
-		{ID: "bad-interval", Interval: 0, Samples: []float64{1}},
-		{ID: "no-samples", Interval: 1},
-		{ID: "negative", Interval: 1, Samples: []float64{1, -2}},
-		{ID: "nan", Interval: 1, Samples: []float64{math.NaN()}},
-		{ID: "inf", Interval: 1, Samples: []float64{math.Inf(1)}},
+		{ID: "bad-interval", IntervalSec: 0, Samples: []float64{1}},
+		{ID: "no-samples", IntervalSec: 1},
+		{ID: "negative", IntervalSec: 1, Samples: []float64{1, -2}},
+		{ID: "nan", IntervalSec: 1, Samples: []float64{math.NaN()}},
+		{ID: "inf", IntervalSec: 1, Samples: []float64{math.Inf(1)}},
 	}
 	for _, c := range cases {
 		if err := c.Validate(); err == nil {
@@ -211,11 +211,11 @@ func TestGeneratedTraceProperties(t *testing.T) {
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("LTE trace invalid: %v", err)
 		}
-		if tr.Interval != LTEInterval {
-			t.Errorf("%s interval = %v", tr.ID, tr.Interval)
+		if tr.IntervalSec != LTEIntervalSec {
+			t.Errorf("%s interval = %v", tr.ID, tr.IntervalSec)
 		}
-		if tr.Duration() < MinTraceDuration {
-			t.Errorf("%s duration %v < %v", tr.ID, tr.Duration(), MinTraceDuration)
+		if tr.Duration() < MinTraceDurationSec {
+			t.Errorf("%s duration %v < %v", tr.ID, tr.Duration(), MinTraceDurationSec)
 		}
 		if m := tr.Mean(); m < 0.2*Mbps || m > 15*Mbps {
 			t.Errorf("%s mean %v outside plausible LTE band", tr.ID, m)
@@ -225,10 +225,10 @@ func TestGeneratedTraceProperties(t *testing.T) {
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("FCC trace invalid: %v", err)
 		}
-		if tr.Interval != FCCInterval {
-			t.Errorf("%s interval = %v", tr.ID, tr.Interval)
+		if tr.IntervalSec != FCCIntervalSec {
+			t.Errorf("%s interval = %v", tr.ID, tr.IntervalSec)
 		}
-		if tr.Duration() < MinTraceDuration {
+		if tr.Duration() < MinTraceDurationSec {
 			t.Errorf("%s too short", tr.ID)
 		}
 		if m := tr.Mean(); m < 0.8*Mbps || m > 30*Mbps {

@@ -13,19 +13,19 @@ import (
 // Resample returns the trace re-sampled at a new interval, preserving the
 // byte volume of every span (each output sample is the time-weighted mean
 // of the inputs it covers).
-func (t *Trace) Resample(newInterval float64) (*Trace, error) {
-	if newInterval <= 0 {
+func (t *Trace) Resample(newIntervalSec float64) (*Trace, error) {
+	if newIntervalSec <= 0 {
 		return nil, fmt.Errorf("trace %s: non-positive resample interval", t.ID)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	dur := t.Duration()
-	n := int(math.Ceil(dur / newInterval))
+	n := int(math.Ceil(dur / newIntervalSec))
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		start := float64(i) * newInterval
-		end := start + newInterval
+		start := float64(i) * newIntervalSec
+		end := start + newIntervalSec
 		if end > dur {
 			end = dur
 		}
@@ -33,11 +33,11 @@ func (t *Trace) Resample(newInterval float64) (*Trace, error) {
 		bits := 0.0
 		pos := start
 		for pos < end-1e-12 {
-			idx := int(pos / t.Interval)
+			idx := int(pos / t.IntervalSec)
 			if idx >= len(t.Samples) {
 				break
 			}
-			sliceEnd := math.Min(end, float64(idx+1)*t.Interval)
+			sliceEnd := math.Min(end, float64(idx+1)*t.IntervalSec)
 			bits += t.Samples[idx] * (sliceEnd - pos)
 			pos = sliceEnd
 		}
@@ -46,7 +46,7 @@ func (t *Trace) Resample(newInterval float64) (*Trace, error) {
 			out[i] = bits / span
 		}
 	}
-	return &Trace{ID: t.ID + "-rs", Interval: newInterval, Samples: out}, nil
+	return &Trace{ID: t.ID + "-rs", IntervalSec: newIntervalSec, Samples: out}, nil
 }
 
 // Slice returns the sub-trace covering [from, to) seconds, clamped to the
@@ -64,15 +64,15 @@ func (t *Trace) Slice(from, to float64) (*Trace, error) {
 	if to <= from {
 		return nil, fmt.Errorf("trace %s: empty slice [%g, %g)", t.ID, from, to)
 	}
-	lo := int(from / t.Interval)
-	hi := int(math.Ceil(to / t.Interval))
+	lo := int(from / t.IntervalSec)
+	hi := int(math.Ceil(to / t.IntervalSec))
 	if hi > len(t.Samples) {
 		hi = len(t.Samples)
 	}
 	return &Trace{
-		ID:       fmt.Sprintf("%s[%g:%g]", t.ID, from, to),
-		Interval: t.Interval,
-		Samples:  append([]float64(nil), t.Samples[lo:hi]...),
+		ID:          fmt.Sprintf("%s[%g:%g]", t.ID, from, to),
+		IntervalSec: t.IntervalSec,
+		Samples:     append([]float64(nil), t.Samples[lo:hi]...),
 	}, nil
 }
 
@@ -81,24 +81,25 @@ func Concat(id string, traces ...*Trace) (*Trace, error) {
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("trace: Concat of nothing")
 	}
-	interval := traces[0].Interval
+	interval := traces[0].IntervalSec
 	var samples []float64
 	for _, t := range traces {
 		if err := t.Validate(); err != nil {
 			return nil, err
 		}
-		if t.Interval != interval {
-			return nil, fmt.Errorf("trace: Concat interval mismatch (%g vs %g)", t.Interval, interval)
+		//lint:allow floateq intervals are copied verbatim, never computed
+		if t.IntervalSec != interval {
+			return nil, fmt.Errorf("trace: Concat interval mismatch (%g vs %g)", t.IntervalSec, interval)
 		}
 		samples = append(samples, t.Samples...)
 	}
-	return &Trace{ID: id, Interval: interval, Samples: samples}, nil
+	return &Trace{ID: id, IntervalSec: interval, Samples: samples}, nil
 }
 
 // Shift returns a copy with every sample offset by delta bits/sec, floored
 // at zero.
 func (t *Trace) Shift(delta float64) *Trace {
-	out := &Trace{ID: t.ID + "-sh", Interval: t.Interval, Samples: make([]float64, len(t.Samples))}
+	out := &Trace{ID: t.ID + "-sh", IntervalSec: t.IntervalSec, Samples: make([]float64, len(t.Samples))}
 	for i, s := range t.Samples {
 		v := s + delta
 		if v < 0 {

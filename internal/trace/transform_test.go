@@ -13,8 +13,8 @@ func TestResamplePreservesVolume(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rs.Interval != newIv {
-			t.Errorf("interval = %v", rs.Interval)
+		if rs.IntervalSec != newIv {
+			t.Errorf("interval = %v", rs.IntervalSec)
 		}
 		// Total bits must be preserved (last partial window included).
 		origBits := orig.Mean() * orig.Duration()
@@ -50,13 +50,13 @@ func TestResampleErrors(t *testing.T) {
 	if _, err := tr.Resample(0); err == nil {
 		t.Error("zero interval accepted")
 	}
-	if _, err := (&Trace{Interval: 1}).Resample(2); err == nil {
+	if _, err := (&Trace{IntervalSec: 1}).Resample(2); err == nil {
 		t.Error("invalid trace accepted")
 	}
 }
 
 func TestSlice(t *testing.T) {
-	tr := &Trace{ID: "t", Interval: 1, Samples: []float64{1, 2, 3, 4, 5}}
+	tr := &Trace{ID: "t", IntervalSec: 1, Samples: []float64{1, 2, 3, 4, 5}}
 	s, err := tr.Slice(1, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestConcat(t *testing.T) {
 }
 
 func TestShift(t *testing.T) {
-	tr := &Trace{ID: "t", Interval: 1, Samples: []float64{1e6, 2e6}}
+	tr := &Trace{ID: "t", IntervalSec: 1, Samples: []float64{1e6, 2e6}}
 	up := tr.Shift(5e5)
 	if up.Samples[0] != 1.5e6 {
 		t.Error("shift up wrong")
@@ -124,7 +124,7 @@ func TestResampleDownloadEquivalence(t *testing.T) {
 		a := orig.DownloadTime(10, bits)
 		b := rs.DownloadTime(10, bits)
 		// Allow one original sampling interval of divergence.
-		return math.Abs(a-b) <= orig.Interval+1e-9
+		return math.Abs(a-b) <= orig.IntervalSec+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)

@@ -19,11 +19,11 @@ import (
 // with only small encoder jitter (real CBR still breathes a little within
 // the VBV window).
 func GenerateCBR(cfg GenConfig) *Video {
-	if cfg.ChunkDur <= 0 {
-		cfg.ChunkDur = 2
+	if cfg.ChunkDurSec <= 0 {
+		cfg.ChunkDurSec = 2
 	}
-	if cfg.Duration <= 0 {
-		cfg.Duration = 600
+	if cfg.DurationSec <= 0 {
+		cfg.DurationSec = 600
 	}
 	if cfg.FPS <= 0 {
 		cfg.FPS = 24
@@ -34,21 +34,21 @@ func GenerateCBR(cfg GenConfig) *Video {
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	n := int(math.Round(cfg.Duration / cfg.ChunkDur))
+	n := int(math.Round(cfg.DurationSec / cfg.ChunkDurSec))
 	if n < 1 {
 		n = 1
 	}
-	complexity := ComplexityFor(cfg.Name, cfg.Genre, n, cfg.ChunkDur)
+	complexity := ComplexityFor(cfg.Name, cfg.Genre, n, cfg.ChunkDurSec)
 
 	v := &Video{
-		Name:       cfg.Name + "-cbr",
-		Genre:      cfg.Genre,
-		Codec:      cfg.Codec,
-		Source:     cfg.Source,
-		ChunkDur:   cfg.ChunkDur,
-		Cap:        1.0,
-		FPS:        cfg.FPS,
-		Complexity: complexity,
+		Name:        cfg.Name + "-cbr",
+		Genre:       cfg.Genre,
+		Codec:       cfg.Codec,
+		Source:      cfg.Source,
+		ChunkDurSec: cfg.ChunkDurSec,
+		Cap:         1.0,
+		FPS:         cfg.FPS,
+		Complexity:  complexity,
 	}
 	codecF := 1.0
 	if cfg.Codec == H265 {
@@ -61,20 +61,20 @@ func GenerateCBR(cfg GenConfig) *Video {
 		for i := range sizes {
 			// ±4% VBV breathing.
 			jitter := 1 + 0.04*(2*rng.Float64()-1)
-			sizes[i] = target * cfg.ChunkDur * jitter
+			sizes[i] = target * cfg.ChunkDurSec * jitter
 			avg += sizes[i]
-			if br := sizes[i] / cfg.ChunkDur; br > peak {
+			if br := sizes[i] / cfg.ChunkDurSec; br > peak {
 				peak = br
 			}
 		}
-		avg /= float64(n) * cfg.ChunkDur
+		avg /= float64(n) * cfg.ChunkDurSec
 		v.Tracks = append(v.Tracks, Track{
-			ID:              li,
-			Res:             res,
-			AvgBitrate:      avg,
-			PeakBitrate:     peak,
-			DeclaredBitrate: target,
-			ChunkSizes:      sizes,
+			ID:                 li,
+			Res:                res,
+			AvgBitrateBps:      avg,
+			PeakBitrateBps:     peak,
+			DeclaredBitrateBps: target,
+			ChunkSizesBits:     sizes,
 		})
 	}
 	return v
@@ -83,12 +83,12 @@ func GenerateCBR(cfg GenConfig) *Video {
 // CBRCounterpart returns the CBR encode matching a generated VBR video.
 func CBRCounterpart(v *Video) *Video {
 	return GenerateCBR(GenConfig{
-		Name:     v.Name,
-		Genre:    v.Genre,
-		Codec:    v.Codec,
-		Source:   v.Source,
-		ChunkDur: v.ChunkDur,
-		Duration: v.Duration(),
-		FPS:      v.FPS,
+		Name:        v.Name,
+		Genre:       v.Genre,
+		Codec:       v.Codec,
+		Source:      v.Source,
+		ChunkDurSec: v.ChunkDurSec,
+		DurationSec: v.Duration(),
+		FPS:         v.FPS,
 	})
 }

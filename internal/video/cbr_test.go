@@ -28,7 +28,7 @@ func TestCBRNearConstantBitrate(t *testing.T) {
 }
 
 func TestCBRSharesComplexityWithVBR(t *testing.T) {
-	cfg := GenConfig{Name: "ED", Genre: SciFi, Codec: H264, Source: FFmpeg, ChunkDur: 2}
+	cfg := GenConfig{Name: "ED", Genre: SciFi, Codec: H264, Source: FFmpeg, ChunkDurSec: 2}
 	vbr := Generate(cfg)
 	cbr := GenerateCBR(cfg)
 	if len(vbr.Complexity) != len(cbr.Complexity) {
@@ -64,7 +64,7 @@ func TestCBRCounterpartMatchesLadder(t *testing.T) {
 		t.Fatal("CBR counterpart dimensions differ")
 	}
 	for li := range vbr.Tracks {
-		rel := math.Abs(cbr.AvgBitrate(li)-vbr.AvgBitrate(li)) / vbr.AvgBitrate(li)
+		rel := math.Abs(cbr.AvgBitrateBps(li)-vbr.AvgBitrateBps(li)) / vbr.AvgBitrateBps(li)
 		if rel > 0.03 {
 			t.Errorf("track %d average bitrate differs by %.1f%%", li, rel*100)
 		}

@@ -40,14 +40,14 @@ var YouTubeOnlyTitles = []Title{
 // deterministic input without generating.
 func FFmpegConfig(t Title, codec Codec) GenConfig {
 	return GenConfig{
-		Name:     t.Name,
-		Genre:    t.Genre,
-		Codec:    codec,
-		Source:   FFmpeg,
-		ChunkDur: 2,
-		Cap:      2.0,
-		Duration: 600,
-		FPS:      24,
+		Name:        t.Name,
+		Genre:       t.Genre,
+		Codec:       codec,
+		Source:      FFmpeg,
+		ChunkDurSec: 2,
+		Cap:         2.0,
+		DurationSec: 600,
+		FPS:         24,
 	}
 }
 
@@ -60,14 +60,14 @@ func FFmpegVideo(t Title, codec Codec) *Video {
 // encode (5-second chunks, H.264, 30 fps).
 func YouTubeConfig(t Title) GenConfig {
 	return GenConfig{
-		Name:     t.Name,
-		Genre:    t.Genre,
-		Codec:    H264,
-		Source:   YouTube,
-		ChunkDur: 5,
-		Cap:      2.0,
-		Duration: 600,
-		FPS:      30,
+		Name:        t.Name,
+		Genre:       t.Genre,
+		Codec:       H264,
+		Source:      YouTube,
+		ChunkDurSec: 5,
+		Cap:         2.0,
+		DurationSec: 600,
+		FPS:         30,
 	}
 }
 
@@ -82,14 +82,14 @@ func YouTubeVideo(t Title) *Video {
 // differs — so configurations, not IDs, are the cache key for generation.
 func Cap4xConfig() GenConfig {
 	return GenConfig{
-		Name:     "ED",
-		Genre:    SciFi,
-		Codec:    H264,
-		Source:   FFmpeg,
-		ChunkDur: 2,
-		Cap:      4.0,
-		Duration: 600,
-		FPS:      24,
+		Name:        "ED",
+		Genre:       SciFi,
+		Codec:       H264,
+		Source:      FFmpeg,
+		ChunkDurSec: 2,
+		Cap:         4.0,
+		DurationSec: 600,
+		FPS:         24,
 	}
 }
 

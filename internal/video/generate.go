@@ -16,13 +16,13 @@ type GenConfig struct {
 	Codec Codec
 	// Source selects the encoding pipeline defaults.
 	Source Source
-	// ChunkDur is the chunk duration in seconds (2 for FFmpeg, ~5 for YouTube).
-	ChunkDur float64
+	// ChunkDurSec is the chunk duration in seconds (2 for FFmpeg, ~5 for YouTube).
+	ChunkDurSec float64
 	// Cap is the peak/average bitrate cap (2.0 per current HLS guidance;
 	// 4.0 for the §6.6 high-variability study).
 	Cap float64
-	// Duration is the content length in seconds (~600 in the paper).
-	Duration float64
+	// DurationSec is the content length in seconds (~600 in the paper).
+	DurationSec float64
 	// FPS is the frame rate (24 for film content, 30 for YouTube captures).
 	FPS float64
 	// Seed overrides the derived deterministic seed when non-zero.
@@ -72,11 +72,11 @@ func variabilityShrink(level, numTracks int) float64 {
 // Generate synthesizes one VBR video from the config. The result is fully
 // deterministic for a given config.
 func Generate(cfg GenConfig) *Video {
-	if cfg.ChunkDur <= 0 {
-		cfg.ChunkDur = 2
+	if cfg.ChunkDurSec <= 0 {
+		cfg.ChunkDurSec = 2
 	}
-	if cfg.Duration <= 0 {
-		cfg.Duration = 600
+	if cfg.DurationSec <= 0 {
+		cfg.DurationSec = 600
 	}
 	if cfg.Cap <= 0 {
 		cfg.Cap = 2.0
@@ -87,11 +87,11 @@ func Generate(cfg GenConfig) *Video {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = seedFor(cfg.Name, cfg.Codec.String(), cfg.Source.String(),
-			fmt.Sprintf("%g/%g", cfg.ChunkDur, cfg.Cap))
+			fmt.Sprintf("%g/%g", cfg.ChunkDurSec, cfg.Cap))
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	n := int(math.Round(cfg.Duration / cfg.ChunkDur))
+	n := int(math.Round(cfg.DurationSec / cfg.ChunkDurSec))
 	if n < 1 {
 		n = 1
 	}
@@ -99,17 +99,17 @@ func Generate(cfg GenConfig) *Video {
 	// same raw footage yields the same complexity series regardless of
 	// codec or cap (chunk duration changes the sampling granularity, so it
 	// stays part of the content key).
-	complexity := ComplexityFor(cfg.Name, cfg.Genre, n, cfg.ChunkDur)
+	complexity := ComplexityFor(cfg.Name, cfg.Genre, n, cfg.ChunkDurSec)
 
 	v := &Video{
-		Name:       cfg.Name,
-		Genre:      cfg.Genre,
-		Codec:      cfg.Codec,
-		Source:     cfg.Source,
-		ChunkDur:   cfg.ChunkDur,
-		Cap:        cfg.Cap,
-		FPS:        cfg.FPS,
-		Complexity: complexity,
+		Name:        cfg.Name,
+		Genre:       cfg.Genre,
+		Codec:       cfg.Codec,
+		Source:      cfg.Source,
+		ChunkDurSec: cfg.ChunkDurSec,
+		Cap:         cfg.Cap,
+		FPS:         cfg.FPS,
+		Complexity:  complexity,
 	}
 
 	codecF := 1.0
@@ -118,23 +118,23 @@ func Generate(cfg GenConfig) *Video {
 	}
 	for li, res := range Ladder {
 		target := h264LadderBitrate[li] * codecF
-		sizes := allocate(rng, complexity, target, cfg.ChunkDur, cfg.Cap,
+		sizes := allocate(rng, complexity, target, cfg.ChunkDurSec, cfg.Cap,
 			variabilityShrink(li, len(Ladder)))
 		avg, peak := 0.0, 0.0
 		for _, s := range sizes {
 			avg += s
-			if br := s / cfg.ChunkDur; br > peak {
+			if br := s / cfg.ChunkDurSec; br > peak {
 				peak = br
 			}
 		}
-		avg /= float64(len(sizes)) * cfg.ChunkDur
+		avg /= float64(len(sizes)) * cfg.ChunkDurSec
 		v.Tracks = append(v.Tracks, Track{
-			ID:              li,
-			Res:             res,
-			AvgBitrate:      avg,
-			PeakBitrate:     peak,
-			DeclaredBitrate: target,
-			ChunkSizes:      sizes,
+			ID:                 li,
+			Res:                res,
+			AvgBitrateBps:      avg,
+			PeakBitrateBps:     peak,
+			DeclaredBitrateBps: target,
+			ChunkSizesBits:     sizes,
 		})
 	}
 	return v
@@ -143,15 +143,15 @@ func Generate(cfg GenConfig) *Video {
 // ComplexityFor deterministically produces the latent per-chunk scene
 // complexity of a title: the content ground truth shared by every encode
 // of that title (H.264/H.265, any cap, CBR or VBR).
-func ComplexityFor(name string, g Genre, n int, chunkDur float64) []float64 {
-	seed := seedFor("complexity", name, g.String(), fmt.Sprintf("%g", chunkDur))
-	return genComplexity(rand.New(rand.NewSource(seed)), g, n, chunkDur)
+func ComplexityFor(name string, g Genre, n int, chunkDurSec float64) []float64 {
+	seed := seedFor("complexity", name, g.String(), fmt.Sprintf("%g", chunkDurSec))
+	return genComplexity(rand.New(rand.NewSource(seed)), g, n, chunkDurSec)
 }
 
 // genComplexity produces the latent per-chunk scene complexity series:
 // scenes of geometric length with per-scene complexity drawn around the
 // genre mean, plus small within-scene AR(1) jitter.
-func genComplexity(rng *rand.Rand, g Genre, n int, chunkDur float64) []float64 {
+func genComplexity(rng *rand.Rand, g Genre, n int, chunkDurSec float64) []float64 {
 	p, ok := genreProfiles[g]
 	if !ok {
 		p = genreProfiles[Animation]
@@ -161,7 +161,7 @@ func genComplexity(rng *rand.Rand, g Genre, n int, chunkDur float64) []float64 {
 	jit := 0.0
 	for i < n {
 		// Scene length in chunks (at least one chunk).
-		meanChunks := p.meanSceneSec / chunkDur
+		meanChunks := p.meanSceneSec / chunkDurSec
 		length := 1 + int(rng.ExpFloat64()*meanChunks)
 		if length < 1 {
 			length = 1
@@ -189,7 +189,7 @@ func genComplexity(rng *rand.Rand, g Genre, n int, chunkDur float64) []float64 {
 // trims peaks and a renormalization pass redistributes the trimmed bits,
 // which lets a few chunks exceed the nominal cap slightly, exactly as the
 // paper observes for FFmpeg's -maxrate/-bufsize output.
-func allocate(rng *rand.Rand, complexity []float64, targetAvg, chunkDur, cap, shrink float64) []float64 {
+func allocate(rng *rand.Rand, complexity []float64, targetAvg, chunkDurSec, cap, shrink float64) []float64 {
 	n := len(complexity)
 	d := make([]float64, n)
 	sum := 0.0
@@ -225,7 +225,7 @@ func allocate(rng *rand.Rand, complexity []float64, targetAvg, chunkDur, cap, sh
 	}
 	out := make([]float64, n)
 	for i := range d {
-		out[i] = targetAvg * chunkDur * d[i]
+		out[i] = targetAvg * chunkDurSec * d[i]
 	}
 	return out
 }

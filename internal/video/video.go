@@ -140,50 +140,50 @@ type Track struct {
 	ID int
 	// Res is the track's encoded resolution.
 	Res Resolution
-	// AvgBitrate is the achieved average bitrate in bits/sec.
-	AvgBitrate float64
-	// PeakBitrate is the highest per-chunk bitrate in bits/sec.
-	PeakBitrate float64
-	// DeclaredBitrate is the bitrate advertised in the manifest, which for
+	// AvgBitrateBps is the achieved average bitrate in bits/sec.
+	AvgBitrateBps float64
+	// PeakBitrateBps is the highest per-chunk bitrate in bits/sec.
+	PeakBitrateBps float64
+	// DeclaredBitrateBps is the bitrate advertised in the manifest, which for
 	// VBR encodes is the encoder's target average.
-	DeclaredBitrate float64
-	// ChunkSizes holds the per-chunk size in bits.
-	ChunkSizes []float64
+	DeclaredBitrateBps float64
+	// ChunkSizesBits holds the per-chunk size in bits.
+	ChunkSizesBits []float64
 }
 
 // ChunkBitrate returns the bitrate (bits/sec) of chunk i given the chunk
 // playback duration.
-func (t *Track) ChunkBitrate(i int, chunkDur float64) float64 {
-	return t.ChunkSizes[i] / chunkDur
+func (t *Track) ChunkBitrate(i int, chunkDurSec float64) float64 {
+	return t.ChunkSizesBits[i] / chunkDurSec
 }
 
 // CoV returns the coefficient of variation of the track's chunk sizes.
 func (t *Track) CoV() float64 {
-	if len(t.ChunkSizes) == 0 {
+	if len(t.ChunkSizesBits) == 0 {
 		return 0
 	}
 	mean := 0.0
-	for _, s := range t.ChunkSizes {
+	for _, s := range t.ChunkSizesBits {
 		mean += s
 	}
-	mean /= float64(len(t.ChunkSizes))
+	mean /= float64(len(t.ChunkSizesBits))
 	if mean == 0 {
 		return 0
 	}
 	ss := 0.0
-	for _, s := range t.ChunkSizes {
+	for _, s := range t.ChunkSizesBits {
 		d := s - mean
 		ss += d * d
 	}
-	return math.Sqrt(ss/float64(len(t.ChunkSizes))) / mean
+	return math.Sqrt(ss/float64(len(t.ChunkSizesBits))) / mean
 }
 
 // PeakToAvg returns the ratio of peak chunk bitrate to average bitrate.
 func (t *Track) PeakToAvg() float64 {
-	if t.AvgBitrate == 0 {
+	if t.AvgBitrateBps == 0 {
 		return 0
 	}
-	return t.PeakBitrate / t.AvgBitrate
+	return t.PeakBitrateBps / t.AvgBitrateBps
 }
 
 // Video is a complete ABR-ready VBR video: several tracks of the same
@@ -202,8 +202,8 @@ type Video struct {
 	Codec Codec
 	// Source is the encoding pipeline.
 	Source Source
-	// ChunkDur is the chunk playback duration in seconds.
-	ChunkDur float64
+	// ChunkDurSec is the chunk playback duration in seconds.
+	ChunkDurSec float64
 	// Cap is the configured peak/average bitrate cap (e.g. 2.0).
 	Cap float64
 	// FPS is the frame rate, used by the quality models.
@@ -227,21 +227,21 @@ func (v *Video) NumTracks() int { return len(v.Tracks) }
 
 // Duration returns the playback duration in seconds.
 func (v *Video) Duration() float64 {
-	return float64(v.NumChunks()) * v.ChunkDur
+	return float64(v.NumChunks()) * v.ChunkDurSec
 }
 
 // ChunkSize returns the size in bits of chunk i at track level.
 func (v *Video) ChunkSize(level, i int) float64 {
-	return v.Tracks[level].ChunkSizes[i]
+	return v.Tracks[level].ChunkSizesBits[i]
 }
 
 // ChunkBitrate returns the bitrate in bits/sec of chunk i at track level.
 func (v *Video) ChunkBitrate(level, i int) float64 {
-	return v.Tracks[level].ChunkSizes[i] / v.ChunkDur
+	return v.Tracks[level].ChunkSizesBits[i] / v.ChunkDurSec
 }
 
-// AvgBitrate returns track level's average bitrate in bits/sec.
-func (v *Video) AvgBitrate(level int) float64 { return v.Tracks[level].AvgBitrate }
+// AvgBitrateBps returns track level's average bitrate in bits/sec.
+func (v *Video) AvgBitrateBps(level int) float64 { return v.Tracks[level].AvgBitrateBps }
 
 // Validate checks the structural invariants every generated video must
 // satisfy: at least one track, equal chunk counts across tracks, ascending
@@ -250,7 +250,7 @@ func (v *Video) Validate() error {
 	if len(v.Tracks) == 0 {
 		return fmt.Errorf("video %s: no tracks", v.ID())
 	}
-	if v.ChunkDur <= 0 {
+	if v.ChunkDurSec <= 0 {
 		return fmt.Errorf("video %s: non-positive chunk duration", v.ID())
 	}
 	n := v.NumChunks()
@@ -259,14 +259,14 @@ func (v *Video) Validate() error {
 	}
 	prev := 0.0
 	for li, t := range v.Tracks {
-		if len(t.ChunkSizes) != n {
-			return fmt.Errorf("video %s: track %d has %d chunks, want %d", v.ID(), li, len(t.ChunkSizes), n)
+		if len(t.ChunkSizesBits) != n {
+			return fmt.Errorf("video %s: track %d has %d chunks, want %d", v.ID(), li, len(t.ChunkSizesBits), n)
 		}
-		if t.AvgBitrate <= prev {
-			return fmt.Errorf("video %s: track %d average bitrate %.0f not above previous %.0f", v.ID(), li, t.AvgBitrate, prev)
+		if t.AvgBitrateBps <= prev {
+			return fmt.Errorf("video %s: track %d average bitrate %.0f not above previous %.0f", v.ID(), li, t.AvgBitrateBps, prev)
 		}
-		prev = t.AvgBitrate
-		for ci, s := range t.ChunkSizes {
+		prev = t.AvgBitrateBps
+		for ci, s := range t.ChunkSizesBits {
 			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
 				return fmt.Errorf("video %s: track %d chunk %d has bad size %v", v.ID(), li, ci, s)
 			}

@@ -21,13 +21,13 @@ func TestDatasetComposition(t *testing.T) {
 		switch v.Source {
 		case FFmpeg:
 			ffmpeg++
-			if v.ChunkDur != 2 {
-				t.Errorf("%s: FFmpeg chunk duration %v, want 2", v.ID(), v.ChunkDur)
+			if v.ChunkDurSec != 2 {
+				t.Errorf("%s: FFmpeg chunk duration %v, want 2", v.ID(), v.ChunkDurSec)
 			}
 		case YouTube:
 			youtube++
-			if v.ChunkDur != 5 {
-				t.Errorf("%s: YouTube chunk duration %v, want 5", v.ID(), v.ChunkDur)
+			if v.ChunkDurSec != 5 {
+				t.Errorf("%s: YouTube chunk duration %v, want 5", v.ID(), v.ChunkDurSec)
 			}
 			if v.Codec != H264 {
 				t.Errorf("%s: YouTube encode must be H.264", v.ID())
@@ -84,8 +84,8 @@ func TestGenerateDeterministic(t *testing.T) {
 	a := FFmpegVideo(OpenTitles[0], H264)
 	b := FFmpegVideo(OpenTitles[0], H264)
 	for li := range a.Tracks {
-		for ci := range a.Tracks[li].ChunkSizes {
-			if a.Tracks[li].ChunkSizes[ci] != b.Tracks[li].ChunkSizes[ci] {
+		for ci := range a.Tracks[li].ChunkSizesBits {
+			if a.Tracks[li].ChunkSizesBits[ci] != b.Tracks[li].ChunkSizesBits[ci] {
 				t.Fatalf("chunk sizes differ at track %d chunk %d", li, ci)
 			}
 		}
@@ -96,8 +96,8 @@ func TestDifferentTitlesDiffer(t *testing.T) {
 	a := FFmpegVideo(OpenTitles[0], H264)
 	b := FFmpegVideo(OpenTitles[1], H264)
 	same := 0
-	for ci := range a.Tracks[3].ChunkSizes {
-		if a.Tracks[3].ChunkSizes[ci] == b.Tracks[3].ChunkSizes[ci] {
+	for ci := range a.Tracks[3].ChunkSizesBits {
+		if a.Tracks[3].ChunkSizesBits[ci] == b.Tracks[3].ChunkSizesBits[ci] {
 			same++
 		}
 	}
@@ -138,9 +138,9 @@ func TestBitrateVariabilityBands(t *testing.T) {
 func TestAverageBitrateNearTarget(t *testing.T) {
 	v := FFmpegVideo(OpenTitles[0], H264)
 	for li, tr := range v.Tracks {
-		if rel := math.Abs(tr.AvgBitrate-tr.DeclaredBitrate) / tr.DeclaredBitrate; rel > 0.02 {
+		if rel := math.Abs(tr.AvgBitrateBps-tr.DeclaredBitrateBps) / tr.DeclaredBitrateBps; rel > 0.02 {
 			t.Errorf("track %d achieved avg %.0f deviates %.1f%% from target %.0f",
-				li, tr.AvgBitrate, 100*rel, tr.DeclaredBitrate)
+				li, tr.AvgBitrateBps, 100*rel, tr.DeclaredBitrateBps)
 		}
 	}
 }
@@ -149,7 +149,7 @@ func TestH265LowerBitrate(t *testing.T) {
 	h4 := FFmpegVideo(OpenTitles[0], H264)
 	h5 := FFmpegVideo(OpenTitles[0], H265)
 	for li := range h4.Tracks {
-		r := h5.Tracks[li].AvgBitrate / h4.Tracks[li].AvgBitrate
+		r := h5.Tracks[li].AvgBitrateBps / h4.Tracks[li].AvgBitrateBps
 		if math.Abs(r-h265Efficiency) > 0.05 {
 			t.Errorf("track %d H.265/H.264 bitrate ratio %.3f, want ~%.2f", li, r, h265Efficiency)
 		}
@@ -173,8 +173,8 @@ func TestCapBindsOnComplexScenes(t *testing.T) {
 	v := FFmpegVideo(Title{"ED", SciFi}, H264)
 	tr := v.Tracks[3]
 	overCap := 0
-	for _, s := range tr.ChunkSizes {
-		if s/v.ChunkDur > 2.3*tr.AvgBitrate {
+	for _, s := range tr.ChunkSizesBits {
+		if s/v.ChunkDurSec > 2.3*tr.AvgBitrateBps {
 			overCap++
 		}
 	}
@@ -194,13 +194,13 @@ func TestComplexityDrivesSize(t *testing.T) {
 	n := float64(v.NumChunks())
 	for i := 0; i < v.NumChunks(); i++ {
 		mc += v.Complexity[i]
-		ms += tr.ChunkSizes[i]
+		ms += tr.ChunkSizesBits[i]
 	}
 	mc /= n
 	ms /= n
 	var num, vc, vs float64
 	for i := 0; i < v.NumChunks(); i++ {
-		dc, ds := v.Complexity[i]-mc, tr.ChunkSizes[i]-ms
+		dc, ds := v.Complexity[i]-mc, tr.ChunkSizesBits[i]-ms
 		num += dc * ds
 		vc += dc * dc
 		vs += ds * ds
@@ -220,14 +220,14 @@ func TestValidateRejectsBrokenVideos(t *testing.T) {
 	}
 
 	badDur := *good
-	badDur.ChunkDur = 0
+	badDur.ChunkDurSec = 0
 	if badDur.Validate() == nil {
 		t.Error("zero chunk duration validated")
 	}
 
 	mismatched := *good
 	mismatched.Tracks = append([]Track(nil), good.Tracks...)
-	mismatched.Tracks[1].ChunkSizes = mismatched.Tracks[1].ChunkSizes[:10]
+	mismatched.Tracks[1].ChunkSizesBits = mismatched.Tracks[1].ChunkSizesBits[:10]
 	if mismatched.Validate() == nil {
 		t.Error("mismatched chunk counts validated")
 	}
@@ -262,8 +262,8 @@ func TestByID(t *testing.T) {
 
 func TestGenerateDefaults(t *testing.T) {
 	v := Generate(GenConfig{Name: "X", Genre: Animation})
-	if v.ChunkDur != 2 || v.Cap != 2 || v.FPS != 24 {
-		t.Errorf("defaults not applied: dur=%v cap=%v fps=%v", v.ChunkDur, v.Cap, v.FPS)
+	if v.ChunkDurSec != 2 || v.Cap != 2 || v.FPS != 24 {
+		t.Errorf("defaults not applied: dur=%v cap=%v fps=%v", v.ChunkDurSec, v.Cap, v.FPS)
 	}
 	if err := v.Validate(); err != nil {
 		t.Errorf("default-generated video invalid: %v", err)
@@ -272,13 +272,13 @@ func TestGenerateDefaults(t *testing.T) {
 
 func TestChunkAccessors(t *testing.T) {
 	v := FFmpegVideo(OpenTitles[0], H264)
-	if got, want := v.ChunkBitrate(3, 7), v.ChunkSize(3, 7)/v.ChunkDur; got != want {
+	if got, want := v.ChunkBitrate(3, 7), v.ChunkSize(3, 7)/v.ChunkDurSec; got != want {
 		t.Errorf("ChunkBitrate = %v, want %v", got, want)
 	}
-	if got, want := v.AvgBitrate(2), v.Tracks[2].AvgBitrate; got != want {
-		t.Errorf("AvgBitrate = %v, want %v", got, want)
+	if got, want := v.AvgBitrateBps(2), v.Tracks[2].AvgBitrateBps; got != want {
+		t.Errorf("AvgBitrateBps = %v, want %v", got, want)
 	}
-	if got, want := v.Tracks[3].ChunkBitrate(5, v.ChunkDur), v.ChunkBitrate(3, 5); got != want {
+	if got, want := v.Tracks[3].ChunkBitrate(5, v.ChunkDurSec), v.ChunkBitrate(3, 5); got != want {
 		t.Errorf("Track.ChunkBitrate = %v, want %v", got, want)
 	}
 }
@@ -293,9 +293,9 @@ func TestQuickGeneratedVideosAlwaysValid(t *testing.T) {
 			Cap:   2,
 		}
 		if dur2 {
-			cfg.ChunkDur = 2
+			cfg.ChunkDurSec = 2
 		} else {
-			cfg.ChunkDur = 5
+			cfg.ChunkDurSec = 5
 		}
 		if cap4 {
 			cfg.Cap = 4

@@ -5,7 +5,16 @@
 # environments without make.
 set -eu
 cd "$(dirname "$0")/.."
+# Static analysis first: formatting, go vet, then abrlint (the project
+# analyzer suite — determinism, units, nopanic, floateq, errdrop).
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go vet ./...
+go run ./cmd/abrlint ./...
 go build ./...
 go test -race ./...
 # Hammer the concurrency-heavy packages a second time under the race

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short
+.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak
 
 # check is the one-command tier-1 gate every PR must pass.
-check: lint build race bench-telemetry bench-sweep-short
+check: lint build race bench-telemetry bench-sweep-short soak
 
 # lint is the static-analysis gate: formatting, go vet, and abrlint (the
 # project analyzer suite in internal/lint — determinism, units, nopanic,
@@ -45,3 +45,10 @@ bench-sweep:
 # artifact written.
 bench-sweep-short:
 	$(GO) test -short -run='TestSweepColdWarm$$' -count=1 .
+
+# Chaos soak: 32 concurrent resilient sessions against a fault-injected,
+# overload-protected server under the race detector. Deterministic fault
+# schedule (seeded); asserts no livelock, bounded honest shedding, and
+# goroutine count back to baseline.
+soak:
+	$(GO) test -race -run='TestChaosSoak$$' -count=1 -v ./internal/chaos

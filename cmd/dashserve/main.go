@@ -58,6 +58,9 @@ func main() {
 		resilient = flag.Bool("resilient", true, "client: retry/abandon/skip through faults instead of aborting")
 		debugAddr = flag.String("debug-addr", "", "listen address for /metrics and /debug/pprof (empty = off)")
 		traceOut  = flag.String("trace-out", "", "write the session's decision trace as JSONL ('-' = stdout)")
+		maxSess   = flag.Int("max-sessions", 0, "admit at most N concurrent client sessions (0 = unbounded)")
+		shed      = flag.Bool("shed", false, "shed excess sessions immediately (503 + Retry-After) instead of queueing")
+		breaker   = flag.Bool("breaker", false, "wrap the serving path in a circuit breaker")
 	)
 	flag.Parse()
 
@@ -106,7 +109,21 @@ func main() {
 	if faultCfg.Active() {
 		fmt.Printf("injecting faults: profile %s, seed %d\n", *faults, *faultSeed)
 	}
-	srv := &http.Server{Handler: injector}
+	// Overload protection wraps the whole serving path (health endpoints,
+	// session admission, optional breaker) even when unconfigured, so
+	// /healthz and /readyz are always available on the main listener.
+	pcfg := dash.ProtectionConfig{MaxSessions: *maxSess, ShedImmediately: *shed}
+	if *breaker {
+		b := dash.DefaultBreakerConfig()
+		pcfg.Breaker = &b
+	}
+	protection := dash.Protect(pcfg, injector)
+	protection.SetMetrics(reg)
+	if *maxSess > 0 || *breaker {
+		fmt.Printf("overload protection: max-sessions %d, shed-immediately %v, breaker %v\n",
+			*maxSess, *shed, *breaker)
+	}
+	srv := dash.NewHTTPServer(protection.Handler())
 	fmt.Printf("serving %s on http://%s\n", v.ID(), ln.Addr())
 
 	if *debugAddr != "" {
@@ -122,7 +139,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		dbg := &http.Server{Handler: mux}
+		dbg := dash.NewHTTPServer(mux)
 		go dbg.Serve(dln)
 		defer dbg.Close()
 		fmt.Printf("debug endpoints on http://%s/metrics and /debug/pprof/\n", dln.Addr())

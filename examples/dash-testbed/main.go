@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"time"
 
 	"cava/internal/abr"
@@ -54,7 +53,7 @@ func main() {
 			log.Fatal(err)
 		}
 		shaped := dash.NewShapedListener(ln, dash.NewShaper(tr, *scale))
-		srv := &http.Server{Handler: dash.NewServer(v).Handler()}
+		srv := dash.NewHTTPServer(dash.NewServer(v).Handler())
 		go srv.Serve(shaped)
 
 		client, err := dash.NewClient(dash.ClientConfig{

@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/chaos/leakcheck"
+	"cava/internal/core"
+	"cava/internal/dash"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func testConfig() Config {
+	return Config{
+		Video: video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, video.H264),
+		// An ample shared link: contention and faults stress the system,
+		// not raw starvation.
+		Trace:  trace.Constant("link", 40e6, 1200, 1),
+		Scheme: abr.Scheme{Name: "CAVA", Key: "cava", New: core.Factory()},
+		Seed:   7,
+	}
+}
+
+func TestChaosConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run accepted an empty config")
+	}
+	cfg := testConfig()
+	cfg.FaultProfile = "no-such-profile"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted an unknown fault profile")
+	}
+}
+
+func TestChaosCleanRunAllComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real sockets and sessions")
+	}
+	defer leakcheck.Check(t)()
+	cfg := testConfig()
+	cfg.Sessions = 4
+	cfg.TimeScale = 240
+	cfg.MaxChunks = 4
+	p := dash.DefaultProtection(4) // every session fits
+	p.SessionIdleSec = 300
+	cfg.Protection = &p
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 4 || rep.Failed != 0 {
+		t.Fatalf("clean run: %d completed / %d failed, want 4 / 0 (results %+v)",
+			rep.Completed, rep.Failed, rep.Results)
+	}
+	if shed := rep.Admission.ShedTotal(); shed != 0 {
+		t.Errorf("clean run shed %d requests, want 0", shed)
+	}
+	for _, e := range rep.Invariants() {
+		t.Errorf("invariant violated: %v", e)
+	}
+	for _, s := range rep.Results {
+		if s.Chunks != 4 || s.DataMB <= 0 {
+			t.Errorf("session %s: %d chunks, %.2f MB; want 4 chunks of data", s.ID, s.Chunks, s.DataMB)
+		}
+	}
+}
+
+// TestChaosSoak is the acceptance soak: 32 concurrent sessions against the
+// "lossy" profile with room for only 12, on one shared link. No session may
+// livelock, the goroutine count must return to baseline, and ≥ 99% of shed
+// requests must be answered 503 + Retry-After.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak run")
+	}
+	defer leakcheck.Check(t)()
+	cfg := testConfig()
+	cfg.Sessions = 32
+	cfg.FaultProfile = "lossy"
+	cfg.TimeScale = 240
+	cfg.MaxChunks = 6
+	p := dash.DefaultProtection(12)
+	p.QueueTimeoutSec = 0.05 // rejected sessions fail fast
+	p.SessionIdleSec = 300   // no slot churn inside the run
+	cfg.Protection = &p
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d completed, %d failed, %d shed (%d observed 503+Retry-After), breaker opens %d, wall %.1fs",
+		rep.Completed, rep.Failed, rep.Admission.ShedTotal(), rep.ObservedShed, rep.Breaker.Opens, rep.WallSec)
+
+	for _, e := range rep.Invariants() {
+		t.Errorf("invariant violated: %v", e)
+	}
+	if rep.Livelocked != 0 {
+		t.Errorf("%d sessions livelocked, want 0", rep.Livelocked)
+	}
+	if rep.LeakErr != nil {
+		t.Errorf("goroutines did not return to baseline: %v", rep.LeakErr)
+	}
+	// The run must actually exercise shedding: 32 sessions into 12 slots.
+	shed := rep.Admission.ShedTotal()
+	if shed == 0 {
+		t.Error("soak shed nothing; overload path not exercised")
+	}
+	if rep.ObservedShed*100 < shed*99 {
+		t.Errorf("only %d of %d shed requests observed as 503 + Retry-After", rep.ObservedShed, shed)
+	}
+	// Admitted sessions ride out the faults; most of the table completes.
+	if rep.Completed < 10 {
+		t.Errorf("only %d sessions completed, want ≥ 10 of the 12 admitted", rep.Completed)
+	}
+	if rep.Admission.PeakSessions > 12 {
+		t.Errorf("peak sessions %d exceeded the MaxSessions=12 bound", rep.Admission.PeakSessions)
+	}
+}
+
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	defer leakcheck.Check(t)()
+	cfg := testConfig()
+	cfg.TimeScale = 240
+	cfg.MaxChunks = 3
+	cfg.SessionWallTimeoutSec = 30
+
+	reps, err := Sweep(cfg, []string{"none", "transient"}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 4 {
+		t.Fatalf("sweep produced %d reports, want 4", len(reps))
+	}
+	for _, rep := range reps {
+		for _, e := range rep.Invariants() {
+			t.Errorf("cell %s×%d: invariant violated: %v", rep.Profile, rep.Sessions, e)
+		}
+		if rep.Completed == 0 {
+			t.Errorf("cell %s×%d: no session completed", rep.Profile, rep.Sessions)
+		}
+	}
+}
+
+func TestInvariantsCatchViolations(t *testing.T) {
+	rep := &Report{
+		Profile:  "lossy",
+		Sessions: 2,
+		Results: []SessionResult{
+			{ID: "chaos-00", Chunks: 4, SkippedChunks: 3}, // collapsed
+		},
+		Livelocked: 1,
+		Completed:  1,
+		ShedBudget: 1,
+	}
+	rep.Admission.ShedQueueFull = 5 // over budget, none observed
+	errs := rep.Invariants()
+	if len(errs) != 4 {
+		t.Fatalf("got %d violations, want 4 (livelock, budget, honesty, collapse): %v", len(errs), errs)
+	}
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	for _, want := range []string{"livelocked", "budget", "Retry-After", "collapsed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations missing %q:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package leakcheck is a small stdlib-only goroutine-leak guard for tests
+// and the chaos harness. Snapshot the goroutine count before starting
+// servers and clients; after tearing everything down, Settle polls until
+// the count returns to the baseline or a timeout expires, and on failure
+// reports a full stack dump so the leaked goroutine is identifiable.
+//
+// The check is count-based, not identity-based: it cannot distinguish one
+// leaked goroutine from an unrelated one that started meanwhile, so use it
+// in tests that own their concurrency (no t.Parallel) and snapshot as
+// close to the setup as possible.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settlePollInterval is how often Settle re-samples the goroutine count.
+const settlePollInterval = 10 * time.Millisecond
+
+// DefaultSettleTimeout bounds how long Settle waits for goroutines to
+// drain. Connection teardown (TIME_WAIT readers, transport idle loops)
+// takes real time even when everything is closed correctly.
+const DefaultSettleTimeout = 5 * time.Second
+
+// Baseline is a goroutine-count snapshot.
+type Baseline struct {
+	n int
+}
+
+// Snapshot records the current goroutine count.
+func Snapshot() Baseline {
+	return Baseline{n: runtime.NumGoroutine()}
+}
+
+// Count returns the snapshot's goroutine count.
+func (b Baseline) Count() int { return b.n }
+
+// Settle waits up to timeout (non-positive selects DefaultSettleTimeout)
+// for the goroutine count to return to the baseline, polling as it drains.
+// It returns nil on success and an error carrying the surplus count and a
+// stack dump otherwise.
+func (b Baseline) Settle(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultSettleTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= b.n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leakcheck: %d goroutines, baseline %d (%d leaked)\n%s",
+				now, b.n, now-b.n, stacks())
+		}
+		time.Sleep(settlePollInterval)
+	}
+}
+
+// Check snapshots the goroutine count now and returns a function that
+// asserts the count has settled back; use it at the top of a test:
+//
+//	defer leakcheck.Check(t)()
+func Check(t testing.TB) func() {
+	t.Helper()
+	b := Snapshot()
+	return func() {
+		t.Helper()
+		if err := b.Settle(0); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// stacks dumps every goroutine's stack (truncated to a sane size).
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return string(buf[:n])
+}

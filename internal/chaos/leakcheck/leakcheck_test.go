@@ -1,0 +1,52 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSettleCleanBaseline(t *testing.T) {
+	b := Snapshot()
+	if err := b.Settle(time.Second); err != nil {
+		t.Fatalf("clean baseline reported a leak: %v", err)
+	}
+}
+
+func TestSettleDetectsLeak(t *testing.T) {
+	b := Snapshot()
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	err := b.Settle(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Settle missed a live goroutine")
+	}
+	if !strings.Contains(err.Error(), "leaked") || !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("error lacks diagnostics: %v", err)
+	}
+	close(stop)
+	if err := b.Settle(time.Second); err != nil {
+		t.Fatalf("leak persisted after the goroutine exited: %v", err)
+	}
+}
+
+func TestSettleWaitsForDrain(t *testing.T) {
+	b := Snapshot()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine outlives the first poll but drains inside the window.
+	if err := b.Settle(2 * time.Second); err != nil {
+		t.Fatalf("Settle did not wait for the drain: %v", err)
+	}
+	<-done
+}
+
+func TestCheckHelper(t *testing.T) {
+	defer Check(t)()
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	close(ch)
+}

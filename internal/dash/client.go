@@ -46,7 +46,9 @@ type ClientConfig struct {
 	// schema as player.Simulate (nil disables tracing).
 	Recorder telemetry.Recorder
 	// SessionID overrides the trace event session identifier; empty uses
-	// video|live|scheme.
+	// video|live|scheme. When set it is also stamped on every request as
+	// the X-Session-Id header, which server-side admission control and
+	// per-session rate limiting key on (see Protection).
 	SessionID string
 	// Metrics registers the client's fetch-pipeline counters (retries,
 	// abandonments, deadline hits, download latency) on the given registry;
@@ -125,6 +127,27 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}, nil
 }
 
+// newRequest builds a GET for path with the client's session identity
+// stamped (when known), so server-side admission control and rate limiting
+// key on sessions rather than connections.
+func (c *Client) newRequest(ctx context.Context, path string) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.SessionID != "" {
+		req.Header.Set(SessionIDHeader, c.cfg.SessionID)
+	}
+	return req, nil
+}
+
+// Close releases the client's idle transport connections. Call when the
+// client will issue no further requests; tests rely on it to return the
+// process to its goroutine baseline.
+func (c *Client) Close() {
+	c.cfg.HTTPClient.CloseIdleConnections()
+}
+
 // FetchManifest retrieves and validates the manifest: the native JSON
 // format first, falling back to a DASH MPD (so the client can stream from
 // any server that publishes /manifest.mpd with the segment-size
@@ -144,7 +167,7 @@ func (c *Client) FetchManifest(ctx context.Context) (*Manifest, error) {
 // fetchManifestAs retrieves one manifest representation.
 func (c *Client) fetchManifestAs(ctx context.Context, path string,
 	decode func(io.Reader) (*Manifest, error)) (*Manifest, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+path, nil)
+	req, err := c.newRequest(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -427,7 +450,7 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 // body must error, not masquerade as a smaller, faster download (which
 // would corrupt the throughput estimate feeding the ABR loop).
 func (c *Client) fetchSegment(ctx context.Context, track, index int) (int64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+SegmentURL(track, index), nil)
+	req, err := c.newRequest(ctx, SegmentURL(track, index))
 	if err != nil {
 		return 0, err
 	}

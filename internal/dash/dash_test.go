@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cava/internal/abr"
+	"cava/internal/chaos/leakcheck"
 	"cava/internal/core"
 	"cava/internal/trace"
 	"cava/internal/video"
@@ -174,6 +175,7 @@ func TestEndToEndStreaming(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live streaming test")
 	}
+	defer leakcheck.Check(t)()
 	v := testVideo()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -181,7 +183,7 @@ func TestEndToEndStreaming(t *testing.T) {
 	}
 	const scale = 120
 	shaped := NewShapedListener(ln, NewShaper(trace.Constant("c", 3e6, 1200, 1), scale))
-	hsrv := &http.Server{Handler: NewServer(v).Handler()}
+	hsrv := NewHTTPServer(NewServer(v).Handler())
 	go hsrv.Serve(shaped)
 	defer hsrv.Close()
 
@@ -194,6 +196,7 @@ func TestEndToEndStreaming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer client.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	res, err := client.Run(ctx)

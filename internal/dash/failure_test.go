@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cava/internal/abr"
+	"cava/internal/chaos/leakcheck"
 	"cava/internal/core"
 	"cava/internal/player"
 	"cava/internal/trace"
@@ -90,7 +91,7 @@ func TestClientContextCancellation(t *testing.T) {
 	}
 	// A glacial link so the session cannot finish quickly.
 	shaped := NewShapedListener(ln, NewShaper(trace.Constant("slow", 5e4, 1200, 1), 1))
-	srv := &http.Server{Handler: NewServer(v).Handler()}
+	srv := NewHTTPServer(NewServer(v).Handler())
 	go srv.Serve(shaped)
 	defer srv.Close()
 
@@ -211,6 +212,7 @@ func testResilience() *ResilienceConfig {
 // legacy client aborts; the resilient client completes the session and
 // records the retries.
 func TestClientRetryThenSucceed(t *testing.T) {
+	defer leakcheck.Check(t)()
 	v := testVideo()
 	fail503 := func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "injected", http.StatusServiceUnavailable)
@@ -220,6 +222,7 @@ func TestClientRetryThenSucceed(t *testing.T) {
 	srvA := httptest.NewServer(&flakyOnce{inner: NewServer(v).Handler(), fail: fail503})
 	defer srvA.Close()
 	legacy, _ := NewClient(ClientConfig{BaseURL: srvA.URL, NewAlgorithm: core.Factory(), MaxChunks: 4})
+	defer legacy.Close()
 	if _, err := legacy.Run(context.Background()); err == nil {
 		t.Fatal("legacy client survived a 503 first attempt; want abort")
 	}
@@ -230,6 +233,7 @@ func TestClientRetryThenSucceed(t *testing.T) {
 		BaseURL: srvB.URL, NewAlgorithm: core.Factory(), MaxChunks: 4,
 		TimeScale: 20, Resilience: testResilience(),
 	})
+	defer c.Close()
 	res, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatalf("resilient client aborted: %v", err)
@@ -305,6 +309,7 @@ func TestClientTruncationDetected(t *testing.T) {
 // retries for the first segments; the client skips them (accounting the
 // gap as stall) and recovers when the window lifts.
 func TestClientOutageDegradation(t *testing.T) {
+	defer leakcheck.Check(t)()
 	const scale = 50
 	v := testVideo()
 	inj := NewFaultInjector(FaultConfig{
@@ -321,6 +326,7 @@ func TestClientOutageDegradation(t *testing.T) {
 		BaseURL: srv.URL, NewAlgorithm: core.Factory(), MaxChunks: 10,
 		TimeScale: scale, Resilience: rc,
 	})
+	defer c.Close()
 	res, err := c.Run(context.Background())
 	if err != nil {
 		t.Fatalf("session aborted under outage: %v", err)

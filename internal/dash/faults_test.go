@@ -110,6 +110,66 @@ func TestInjectorOutageWindow(t *testing.T) {
 	}
 }
 
+func TestInjectorOutageWindowBoundaries(t *testing.T) {
+	// The window is half-open [StartSec, EndSec): a request at exactly
+	// StartSec is refused, a request at exactly EndSec is served. Pinned on
+	// a FakeClock so the boundary instants are exact, not sleep-raced.
+	fc := NewFakeClock(time.Unix(50, 0))
+	inj := NewFaultInjector(FaultConfig{
+		Outages:   []OutageWindow{{StartSec: 10, EndSec: 20}},
+		TimeScale: 1,
+	}, payloadHandler(8)).WithClock(fc)
+	get := func() int {
+		rr := httptest.NewRecorder()
+		inj.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/seg/0/0", nil))
+		return rr.Code
+	}
+
+	// The first request anchors virtual time zero — before the window.
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("before window got %d, want 200", code)
+	}
+	fc.Advance(10 * time.Second) // vt == StartSec: first faulted instant
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("at window start got %d, want 503", code)
+	}
+	fc.Advance(9999 * time.Millisecond) // vt = 19.999: last instant inside
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("just before window end got %d, want 503", code)
+	}
+	fc.Advance(time.Millisecond) // vt == EndSec: first clean instant
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("at window end got %d, want 200", code)
+	}
+	if st := inj.Stats(); st.OutageRejections != 2 || st.Requests != 4 {
+		t.Errorf("stats = %+v, want 2 outage rejections of 4 requests", st)
+	}
+}
+
+func TestInjectorZeroLengthOutageWindow(t *testing.T) {
+	// [x, x) is empty: Validate rejects it as misconfiguration, and even an
+	// unvalidated injector must never match it.
+	if (&FaultConfig{Outages: []OutageWindow{{StartSec: 2, EndSec: 2}}}).Validate() == nil {
+		t.Error("zero-length outage window validated")
+	}
+	fc := NewFakeClock(time.Unix(50, 0))
+	inj := NewFaultInjector(FaultConfig{
+		Outages:   []OutageWindow{{StartSec: 2, EndSec: 2}},
+		TimeScale: 1,
+	}, payloadHandler(8)).WithClock(fc)
+	rr := httptest.NewRecorder()
+	inj.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/seg/0/0", nil))
+	fc.Advance(2 * time.Second) // vt exactly at the empty window's instant
+	rr2 := httptest.NewRecorder()
+	inj.ServeHTTP(rr2, httptest.NewRequest(http.MethodGet, "/seg/0/0", nil))
+	if rr.Code != http.StatusOK || rr2.Code != http.StatusOK {
+		t.Errorf("codes = %d, %d; want 200, 200", rr.Code, rr2.Code)
+	}
+	if st := inj.Stats(); st.OutageRejections != 0 {
+		t.Errorf("empty window rejected %d requests", st.OutageRejections)
+	}
+}
+
 func TestInjectorTruncationShortensBody(t *testing.T) {
 	const size = 100 << 10
 	srv := httptest.NewServer(NewFaultInjector(FaultConfig{

@@ -271,8 +271,7 @@ func (f *fetcher) fetch(ctx context.Context, level, index int,
 // fetchOnce performs a single monitored download attempt.
 func (f *fetcher) fetchOnce(ctx context.Context, level, index int,
 	buffer, est float64, playing bool) (int64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		f.c.cfg.BaseURL+SegmentURL(level, index), nil)
+	req, err := f.c.newRequest(ctx, SegmentURL(level, index))
 	if err != nil {
 		return 0, err
 	}

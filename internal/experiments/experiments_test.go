@@ -11,8 +11,8 @@ import (
 var tinyOpt = Options{Traces: 3}
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"alpha", "autotune", "baselines", "cap4x", "cbrvbr", "chunkdur", "codec", "fig1",
-		"fig10", "fig11", "fig2", "fig3", "fig4", "fig7", "fig7b", "fig8", "fig9",
+	want := []string{"alpha", "autotune", "baselines", "cap4x", "cbrvbr", "chaos", "chunkdur", "codec",
+		"fig1", "fig10", "fig11", "fig2", "fig3", "fig4", "fig7", "fig7b", "fig8", "fig9",
 		"live", "liveext", "multiclient", "oracle", "prederr", "robustness", "startup", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -37,10 +37,10 @@ func TestUnknownID(t *testing.T) {
 }
 
 func TestRunAllFastExperiments(t *testing.T) {
-	// "live" and "robustness" open real sockets and sleep in wall time;
-	// they have their own tests. Everything else must run at tiny scale.
+	// "live", "robustness" and "chaos" open real sockets and sleep in wall
+	// time; they have their own tests. Everything else must run at tiny scale.
 	for _, id := range IDs() {
-		if id == "live" || id == "robustness" {
+		if id == "live" || id == "robustness" || id == "chaos" {
 			continue
 		}
 		id := id
@@ -136,6 +136,24 @@ func TestRobustnessExperiment(t *testing.T) {
 		if !strings.Contains(res.Text, want) {
 			t.Errorf("robustness output missing %q:\n%s", want, res.Text)
 		}
+	}
+}
+
+func TestChaosExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live HTTP experiment")
+	}
+	res, err := Run("chaos", Options{Traces: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"transient", "lossy", "invariants", "shed seen"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, res.Text)
+		}
+	}
+	if strings.Contains(res.Text, "VIOLATED") {
+		t.Errorf("chaos sweep violated invariants:\n%s", res.Text)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"net/http"
 	"strings"
 	"time"
 
@@ -183,7 +182,7 @@ func testbedSession(v *video.Video, tr *trace.Trace, sc abr.Scheme,
 	}
 	shaped := dash.NewShapedListener(ln, dash.NewShaper(tr, scale))
 	inj := dash.NewFaultInjector(faults, dash.NewServer(v).Handler())
-	srv := &http.Server{Handler: inj}
+	srv := dash.NewHTTPServer(inj)
 	go srv.Serve(shaped)
 	defer srv.Close()
 

@@ -63,6 +63,34 @@ func TestReadCSVErrors(t *testing.T) {
 	}
 }
 
+func TestReadCSVRejectsGarbageRows(t *testing.T) {
+	// Each malformed input must be rejected at read time with the offending
+	// line number, not propagated into the shaper.
+	cases := map[string]struct{ in, wantSub string }{
+		"nan bandwidth":        {"time_s,bandwidth_bps\n0,NaN\n", "csv:2"},
+		"inf bandwidth":        {"time_s,bandwidth_bps\n0,+Inf\n", "csv:2"},
+		"negative bandwidth":   {"time_s,bandwidth_bps\n0,10\n1,-3\n", "csv:3"},
+		"nan time":             {"time_s,bandwidth_bps\nNaN,10\n", "csv:2"},
+		"inf time":             {"time_s,bandwidth_bps\nInf,10\n", "csv:2"},
+		"negative time":        {"time_s,bandwidth_bps\n-1,10\n", "csv:2"},
+		"non-increasing time":  {"time_s,bandwidth_bps\n0,10\n0,20\n", "csv:3"},
+		"decreasing time":      {"time_s,bandwidth_bps\n0,10\n2,20\n1,30\n", "csv:4"},
+		"bad header interval":  {"# trace x interval bogus\n0,10\n", "csv:1"},
+		"zero header interval": {"# trace x interval 0\n0,10\n", "csv:1"},
+		"nan header interval":  {"# trace x interval NaN\n0,10\n", "csv:1"},
+	}
+	for name, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q missing line reference %q", name, err, tc.wantSub)
+		}
+	}
+}
+
 func TestReadCSVSkipsBlankLines(t *testing.T) {
 	in := "# trace abc interval 2\ntime_s,bandwidth_bps\n\n0,10\n\n2,20\n"
 	tr, err := ReadCSV(strings.NewReader(in))

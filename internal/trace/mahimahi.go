@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -24,9 +25,14 @@ const MahimahiMTUBytes = 1500
 const maxMahimahiMs = 48 * 3600 * 1000
 
 // ReadMahimahi parses an mm-link packet-delivery log into a Trace sampled
-// at the given sampling interval in seconds (1.0 when non-positive). Short logs are
-// looped by Trace replay semantics, matching mm-link's own behaviour.
+// at the given sampling interval in seconds (1.0 when non-positive; NaN and
+// ±Inf are rejected rather than coerced — they would bin packets into
+// garbage indices). Short logs are looped by Trace replay semantics,
+// matching mm-link's own behaviour.
 func ReadMahimahi(r io.Reader, id string, intervalSec float64) (*Trace, error) {
+	if math.IsNaN(intervalSec) || math.IsInf(intervalSec, 0) {
+		return nil, fmt.Errorf("trace: mahimahi log %q: non-finite sampling interval %v", id, intervalSec)
+	}
 	if intervalSec <= 0 {
 		intervalSec = 1.0
 	}

@@ -120,3 +120,13 @@ func TestMahimahiIntervalCoerced(t *testing.T) {
 		t.Errorf("interval = %v, want coerced 1", tr.IntervalSec)
 	}
 }
+
+func TestMahimahiRejectsNonFiniteInterval(t *testing.T) {
+	// NaN slips past both the <= 0 coercion and the 0.05 floor, then turns
+	// packet binning into garbage; it must be rejected, not coerced.
+	for _, iv := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := ReadMahimahi(strings.NewReader("0\n100\n"), "x", iv); err == nil {
+			t.Errorf("interval %v accepted", iv)
+		}
+	}
+}

@@ -26,4 +26,8 @@ go test -bench=Telemetry -benchtime=100x -run='TestZeroAllocUpdates|TestTelemetr
 # Sweep-memoization gate: warm replay must do zero sim work and reproduce
 # the cold output byte-for-byte (short mode; `make bench-sweep` for timings).
 go test -short -run='TestSweepColdWarm$' -count=1 .
+# Chaos soak: 32 concurrent sessions vs the lossy fault profile behind
+# admission control, race-enabled. Asserts no livelock, bounded honest
+# shedding (503 + Retry-After), and goroutines back to baseline.
+go test -race -run='TestChaosSoak$' -count=1 ./internal/chaos
 echo "check: OK"

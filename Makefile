@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak
+.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak soak-edge bench-edge
 
 # check is the one-command tier-1 gate every PR must pass.
-check: lint build race bench-telemetry bench-sweep-short soak
+check: lint build race bench-telemetry bench-sweep-short soak soak-edge
 
 # lint is the static-analysis gate: formatting, go vet, and abrlint (the
 # project analyzer suite in internal/lint — determinism, units, nopanic,
@@ -52,3 +52,16 @@ bench-sweep-short:
 # goroutine count back to baseline.
 soak:
 	$(GO) test -race -run='TestChaosSoak$$' -count=1 -v ./internal/chaos
+
+# Edge-tier chaos soak: 24 staggered sessions stream through the edge
+# (consistent-hash origins, segment cache, SWR manifests) while the primary
+# origin of 3 is killed and restarted mid-run, race-enabled. Asserts ≥ 99%
+# session completion via failover + stale serving, cache-hit recovery after
+# the restart, and goroutines back to baseline. Seeded fault schedule.
+soak-edge:
+	$(GO) test -race -run='TestEdgeChaosSoak$$' -count=1 -v ./internal/chaos
+
+# Edge-tier benchmark: a fixed seeded multi-video workload through the edge;
+# writes cache-hit ratio and bytes-served-per-origin to BENCH_edge.json.
+bench-edge:
+	BENCH_EDGE_OUT=BENCH_edge.json $(GO) test -run='TestEdgeBench$$' -count=1 -v .

@@ -33,6 +33,7 @@ import (
 
 	"cava/internal/cliutil"
 	"cava/internal/dash"
+	"cava/internal/edge"
 	"cava/internal/metrics"
 	"cava/internal/quality"
 	"cava/internal/scene"
@@ -61,6 +62,9 @@ func main() {
 		maxSess   = flag.Int("max-sessions", 0, "admit at most N concurrent client sessions (0 = unbounded)")
 		shed      = flag.Bool("shed", false, "shed excess sessions immediately (503 + Retry-After) instead of queueing")
 		breaker   = flag.Bool("breaker", false, "wrap the serving path in a circuit breaker")
+		edgeMode  = flag.Bool("edge", false, "serve through the edge tier: consistent-hash origins, segment cache, failover")
+		originsN  = flag.Int("origins", 3, "edge: number of origin replicas")
+		edgeCache = flag.Int64("edge-cache-bytes", 64<<20, "edge: segment cache byte budget")
 	)
 	flag.Parse()
 
@@ -99,15 +103,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
 		os.Exit(2)
 	}
-	server := dash.NewServer(v)
-	server.SetMetrics(reg)
-	injector := dash.NewFaultInjector(faultCfg, server.Handler())
-	injector.SetMetrics(reg)
-	if ring != nil {
-		injector.SetRecorder(ring, session)
-	}
-	if faultCfg.Active() {
-		fmt.Printf("injecting faults: profile %s, seed %d\n", *faults, *faultSeed)
+	// The serving path is either one fault-injected origin, or the edge
+	// tier fanned out over N such origins (each with its own listener and
+	// seeded fault schedule).
+	var inner http.Handler
+	var injector *dash.FaultInjector
+	var eg *edge.Edge
+	if *edgeMode {
+		originURLs := make([]string, *originsN)
+		for i := 0; i < *originsN; i++ {
+			ocfg, err := dash.FaultProfile(*faults, *faultSeed+int64(i)*101, *scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+				os.Exit(2)
+			}
+			osrv := dash.NewServer(v)
+			osrv.SetMetrics(reg)
+			oinj := dash.NewFaultInjector(ocfg, osrv.Handler())
+			oln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dashserve: origin listener: %v\n", err)
+				os.Exit(1)
+			}
+			ohsrv := dash.NewHTTPServer(oinj)
+			go func() { _ = ohsrv.Serve(oln) }()
+			defer ohsrv.Close()
+			originURLs[i] = "http://" + oln.Addr().String()
+		}
+		var err error
+		eg, err = edge.New(edge.Config{
+			Origins:    originURLs,
+			VideoID:    v.ID(),
+			CacheBytes: *edgeCache,
+			JitterSeed: *faultSeed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dashserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer eg.Close()
+		eg.SetMetrics(reg)
+		inner = eg.Handler()
+		fmt.Printf("edge tier: %d origins, %d MiB segment cache\n", *originsN, *edgeCache>>20)
+		if faultCfg.Active() {
+			fmt.Printf("injecting faults at every origin: profile %s, base seed %d\n", *faults, *faultSeed)
+		}
+	} else {
+		server := dash.NewServer(v)
+		server.SetMetrics(reg)
+		injector = dash.NewFaultInjector(faultCfg, server.Handler())
+		injector.SetMetrics(reg)
+		if ring != nil {
+			injector.SetRecorder(ring, session)
+		}
+		if faultCfg.Active() {
+			fmt.Printf("injecting faults: profile %s, seed %d\n", *faults, *faultSeed)
+		}
+		inner = injector
 	}
 	// Overload protection wraps the whole serving path (health endpoints,
 	// session admission, optional breaker) even when unconfigured, so
@@ -117,7 +169,7 @@ func main() {
 		b := dash.DefaultBreakerConfig()
 		pcfg.Breaker = &b
 	}
-	protection := dash.Protect(pcfg, injector)
+	protection := dash.Protect(pcfg, inner)
 	protection.SetMetrics(reg)
 	if *maxSess > 0 || *breaker {
 		fmt.Printf("overload protection: max-sessions %d, shed-immediately %v, breaker %v\n",
@@ -209,12 +261,19 @@ func main() {
 		res.Scheme, len(res.Chunks), time.Since(start).Seconds(), res.SessionSec)
 	fmt.Printf("  Q4 quality %.1f | low-quality %.1f%% | rebuffer %.1fs | quality change %.2f | data %.1f MB\n",
 		s.Q4Quality, s.LowQualityPct, s.RebufferSec, s.QualityChange, s.DataMB)
-	if faultCfg.Active() {
+	if faultCfg.Active() && injector != nil {
 		fs := injector.Stats()
 		fmt.Printf("  faults injected: %d errors, %d resets, %d truncations, %d outage rejections (of %d requests)\n",
 			fs.Errors, fs.Resets, fs.Truncations, fs.OutageRejections, fs.Requests)
+	}
+	if faultCfg.Active() {
 		fmt.Printf("  client resilience: %d retries, %d truncations detected, %d abandonments, %d skipped chunks, %.2f MB wasted\n",
 			res.TotalRetries, res.TotalTruncations, res.TotalAbandonments, res.SkippedChunks, res.WastedBits/8/1e6)
+	}
+	if eg != nil {
+		es := eg.Stats()
+		fmt.Printf("  edge: %.0f%% cache hit ratio (%d hits, %d misses, %d coalesced), %d failovers, %d stale served, %d shed\n",
+			100*es.HitRatio(), es.Hits, es.Misses, es.Coalesced, es.Failovers, es.StaleServed, es.Shed)
 	}
 	dumpTrace(*traceOut, ring)
 }

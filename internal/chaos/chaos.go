@@ -34,6 +34,7 @@ import (
 	"cava/internal/abr"
 	"cava/internal/chaos/leakcheck"
 	"cava/internal/dash"
+	"cava/internal/edge"
 	"cava/internal/telemetry"
 	"cava/internal/trace"
 	"cava/internal/video"
@@ -76,6 +77,9 @@ type Config struct {
 	SettleWallTimeoutSec float64
 	// Registry optionally collects server and client telemetry.
 	Registry *telemetry.Registry
+	// Edge, when non-nil, puts the edge/CDN tier between the clients and a
+	// set of origin replicas (RunEdge only; Run ignores it).
+	Edge *EdgeTierConfig
 }
 
 // withDefaults validates the config and fills defaulted fields.
@@ -168,6 +172,14 @@ type Report struct {
 	LeakErr            error
 	// WallSec is the run's wall-clock duration.
 	WallSec float64
+	// Edge snapshots the edge tier's counters (RunEdge only; nil for Run).
+	Edge *edge.Stats
+	// OriginKills and OriginRestarts count the origin-lifecycle controller's
+	// actions; EdgeHitsAfterRestart counts cache hits accrued after the
+	// killed origin came back (the cache-recovery signal).
+	OriginKills          int
+	OriginRestarts       int
+	EdgeHitsAfterRestart uint64
 }
 
 // countingTransport counts 503 responses (and the Retry-After subset)
@@ -360,6 +372,7 @@ func (r *Report) Invariants() []error {
 				s.ID, s.SkippedChunks, s.Chunks))
 		}
 	}
+	out = append(out, r.edgeInvariants()...)
 	return out
 }
 

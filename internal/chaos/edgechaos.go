@@ -1,0 +1,344 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"cava/internal/chaos/leakcheck"
+	"cava/internal/dash"
+	"cava/internal/edge"
+)
+
+// OriginKillPlan schedules the origin-lifecycle fault: one origin is killed
+// mid-run (its HTTP server and listener close, aborting in-flight
+// responses) and optionally restarted on the same address, exercising the
+// edge tier's failover, breaker, and cache-recovery paths.
+type OriginKillPlan struct {
+	// Target is the origin index to kill; -1 targets the primary origin for
+	// the run's video (the one whose death hurts the most).
+	Target int
+	// KillAfterSec is when the origin dies, in wall seconds after run start.
+	KillAfterSec float64
+	// DownForSec is how long it stays down before restarting on the same
+	// address; <= 0 means it never comes back.
+	DownForSec float64
+}
+
+// EdgeTierConfig puts the edge/CDN tier between the chaos clients and a set
+// of origin replicas. Clients speak to the edge through the shared shaped
+// bottleneck; the edge fans out to unshaped local origins.
+type EdgeTierConfig struct {
+	// Origins is the number of origin replicas (default 3).
+	Origins int
+	// CacheBytes bounds the edge's segment cache (default 64 MiB).
+	CacheBytes int64
+	// ManifestSoftTTLSec / ManifestHardTTLSec tune the edge's
+	// stale-while-revalidate window (defaults 1 and 120 wall seconds; the
+	// soak sets a tiny soft TTL so staggered sessions exercise stale
+	// serving).
+	ManifestSoftTTLSec float64
+	ManifestHardTTLSec float64
+	// AttemptTimeoutSec bounds each edge→origin attempt (default 5).
+	AttemptTimeoutSec float64
+	// Breaker is the per-origin breaker policy (zero value = defaults).
+	Breaker dash.BreakerConfig
+	// OriginKill, when non-nil, schedules the origin-lifecycle fault.
+	OriginKill *OriginKillPlan
+	// SessionStaggerSec spreads session starts over a wall-clock window
+	// (default 0: all at once), so manifest requests arrive at distinct
+	// cache ages.
+	SessionStaggerSec float64
+}
+
+// withDefaults fills zero fields.
+func (c EdgeTierConfig) withDefaults() EdgeTierConfig {
+	if c.Origins <= 0 {
+		c.Origins = 3
+	}
+	return c
+}
+
+// originInstance is one restartable origin replica: a fixed address whose
+// HTTP server can be killed and brought back, while the edge keeps the
+// address in its ring throughout.
+type originInstance struct {
+	addr    string
+	handler http.Handler
+
+	mu   sync.Mutex
+	hsrv *http.Server
+}
+
+// startOrigin binds a fresh loopback port and starts serving.
+func startOrigin(handler http.Handler) (*originInstance, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	o := &originInstance{addr: ln.Addr().String(), handler: handler}
+	o.serve(ln)
+	return o, nil
+}
+
+// serve runs an HTTP server on ln until killed.
+func (o *originInstance) serve(ln net.Listener) {
+	hsrv := dash.NewHTTPServer(o.handler)
+	o.mu.Lock()
+	o.hsrv = hsrv
+	o.mu.Unlock()
+	go func() { _ = hsrv.Serve(ln) }()
+}
+
+// kill closes the origin's server and every connection it holds.
+func (o *originInstance) kill() {
+	o.mu.Lock()
+	hsrv := o.hsrv
+	o.hsrv = nil
+	o.mu.Unlock()
+	if hsrv != nil {
+		_ = hsrv.Close()
+	}
+}
+
+// restart rebinds the SAME address, so the edge's ring entry points at the
+// revived replica. It fails if the port was reclaimed in the down window.
+func (o *originInstance) restart() error {
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return fmt.Errorf("chaos: restarting origin %s: %w", o.addr, err)
+	}
+	o.serve(ln)
+	return nil
+}
+
+// RunEdge executes one chaos run with the edge tier in front of a set of
+// origin replicas, optionally killing and restarting an origin mid-run.
+// cfg.Edge selects the topology; the remaining Config fields keep their
+// Run semantics. Unlike Run, the default protection admits every session:
+// the quantity under test is completion through failover, not shedding.
+func RunEdge(cfg Config) (*Report, error) {
+	if cfg.Edge == nil {
+		return nil, errors.New("chaos: RunEdge needs Config.Edge")
+	}
+	if cfg.Protection == nil {
+		sessions := cfg.Sessions
+		if sessions <= 0 {
+			sessions = 8
+		}
+		p := dash.DefaultProtection(sessions)
+		p.QueueTimeoutSec = 0.5
+		p.SessionIdleSec = 300
+		cfg.Protection = &p
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	et := cfg.Edge.withDefaults()
+
+	baseline := leakcheck.Snapshot()
+	start := time.Now()
+
+	// Origin replicas: each runs the full single-video server behind its
+	// own fault injector (distinct seeds, same profile), on its own
+	// unshaped loopback listener.
+	origins := make([]*originInstance, et.Origins)
+	for i := range origins {
+		faultCfg, ferr := dash.FaultProfile(cfg.FaultProfile, cfg.Seed+int64(i)*101, cfg.TimeScale)
+		if ferr != nil {
+			return nil, ferr
+		}
+		server := dash.NewServer(cfg.Video)
+		server.SetMetrics(cfg.Registry)
+		injector := dash.NewFaultInjector(faultCfg, server.Handler())
+		origins[i], err = startOrigin(injector)
+		if err != nil {
+			for _, o := range origins {
+				if o != nil {
+					o.kill()
+				}
+			}
+			return nil, fmt.Errorf("chaos: origin listen: %w", err)
+		}
+	}
+	originURLs := make([]string, len(origins))
+	for i, o := range origins {
+		originURLs[i] = "http://" + o.addr
+	}
+
+	eg, err := edge.New(edge.Config{
+		Origins:            originURLs,
+		VideoID:            cfg.Video.ID(),
+		CacheBytes:         et.CacheBytes,
+		ManifestSoftTTLSec: et.ManifestSoftTTLSec,
+		ManifestHardTTLSec: et.ManifestHardTTLSec,
+		AttemptTimeoutSec:  et.AttemptTimeoutSec,
+		Breaker:            et.Breaker,
+		JitterSeed:         cfg.Seed,
+	})
+	if err != nil {
+		for _, o := range origins {
+			o.kill()
+		}
+		return nil, err
+	}
+	eg.SetMetrics(cfg.Registry)
+
+	// The client-facing stack mirrors Run: overload protection in front,
+	// the trace-shaped bottleneck underneath — but the protected handler is
+	// the edge, not a single origin.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		eg.Close()
+		for _, o := range origins {
+			o.kill()
+		}
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	shaper := dash.NewShaper(cfg.Trace, cfg.TimeScale)
+	shaper.SetMetrics(cfg.Registry)
+	protection := dash.Protect(*cfg.Protection, eg.Handler())
+	protection.SetMetrics(cfg.Registry)
+	hsrv := dash.NewHTTPServer(protection.Handler())
+	go func() { _ = hsrv.Serve(dash.NewShapedListener(ln, shaper)) }()
+
+	transport := &countingTransport{inner: &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 10 * time.Second}).DialContext,
+		ResponseHeaderTimeout: 30 * time.Second,
+		MaxIdleConnsPerHost:   cfg.Sessions,
+	}}
+	httpClient := &http.Client{Timeout: 5 * time.Minute, Transport: transport}
+
+	// Origin-lifecycle controller: kill the target origin mid-run, bring it
+	// back after the down window, and snapshot the edge's hit counter at
+	// restart so the report can show the cache recovering.
+	var (
+		kills, restarts int
+		hitsAtRestart   uint64
+		restartErr      error
+		ctrlWG          sync.WaitGroup
+	)
+	if plan := et.OriginKill; plan != nil {
+		target := plan.Target
+		if target < 0 || target >= len(origins) {
+			target = eg.OriginOrder("")[0] // the primary takes the hit
+		}
+		ctrlWG.Add(1)
+		go func() {
+			defer ctrlWG.Done()
+			time.Sleep(wallSeconds(plan.KillAfterSec))
+			origins[target].kill()
+			kills++
+			if plan.DownForSec <= 0 {
+				return
+			}
+			time.Sleep(wallSeconds(plan.DownForSec))
+			if err := origins[target].restart(); err != nil {
+				restartErr = err
+				return
+			}
+			restarts++
+			hitsAtRestart = eg.Stats().Hits
+		}()
+	}
+
+	results := make([]SessionResult, cfg.Sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if et.SessionStaggerSec > 0 && cfg.Sessions > 1 {
+				time.Sleep(wallSeconds(et.SessionStaggerSec * float64(i) / float64(cfg.Sessions)))
+			}
+			results[i] = runSession(cfg, i, "http://"+ln.Addr().String(), httpClient)
+		}(i)
+	}
+	wg.Wait()
+	ctrlWG.Wait()
+	if restartErr != nil {
+		// A failed rebind leaves the run unable to test recovery; that is a
+		// harness failure, not a system-under-test finding.
+		_ = hsrv.Close()
+		eg.Close()
+		for _, o := range origins {
+			o.kill()
+		}
+		httpClient.CloseIdleConnections()
+		return nil, restartErr
+	}
+
+	rep := &Report{
+		Profile:            cfg.FaultProfile,
+		Sessions:           cfg.Sessions,
+		Results:            results,
+		Admission:          protection.AdmissionStats(),
+		GoroutinesBaseline: baseline.Count(),
+		ShedBudget:         shedBudget(cfg),
+		OriginKills:        kills,
+		OriginRestarts:     restarts,
+	}
+	if b := protection.Breaker(); b != nil {
+		rep.Breaker = b.Stats()
+	}
+	rep.Observed503, rep.ObservedShed = transport.counts()
+	for _, r := range results {
+		switch {
+		case r.Completed():
+			rep.Completed++
+		case r.Livelocked:
+			rep.Livelocked++
+			rep.Failed++
+		default:
+			rep.Failed++
+		}
+	}
+
+	// Teardown order matters for the leak check: stop accepting client
+	// traffic, drain the edge's background refreshers, then drop the
+	// origins and idle connections before requiring the baseline back.
+	_ = hsrv.Close()
+	es := eg.Stats()
+	rep.Edge = &es
+	if rep.OriginRestarts > 0 && es.Hits > hitsAtRestart {
+		rep.EdgeHitsAfterRestart = es.Hits - hitsAtRestart
+	}
+	eg.Close()
+	for _, o := range origins {
+		o.kill()
+	}
+	httpClient.CloseIdleConnections()
+	rep.LeakErr = baseline.Settle(wallSeconds(cfg.SettleWallTimeoutSec))
+	rep.GoroutinesAfter = leakcheck.Snapshot().Count()
+	rep.WallSec = time.Since(start).Seconds()
+	return rep, nil
+}
+
+// edgeInvariants extends Invariants for edge-tier runs: sessions must ride
+// out the origin kill through failover and stale serving, and the cache
+// must warm back up after the restart.
+func (r *Report) edgeInvariants() []error {
+	var out []error
+	if r.Edge == nil {
+		return nil
+	}
+	// ≥ 99% of sessions complete through the edge despite the origin kill.
+	if r.Completed*100 < r.Sessions*99 {
+		out = append(out, fmt.Errorf("chaos: only %d of %d sessions completed through the edge",
+			r.Completed, r.Sessions))
+	}
+	if r.OriginKills > 0 && r.Edge.Failovers+r.Edge.BreakerSkips == 0 {
+		out = append(out, errors.New("chaos: origin was killed but the edge never failed over"))
+	}
+	if r.OriginKills > 0 && r.Sessions > 1 && r.Edge.StaleServed == 0 {
+		out = append(out, errors.New("chaos: no manifest was served stale while revalidating"))
+	}
+	if r.OriginRestarts > 0 && r.EdgeHitsAfterRestart == 0 {
+		out = append(out, errors.New("chaos: cache hits did not resume after the origin restart"))
+	}
+	return out
+}

@@ -126,6 +126,30 @@ func NewBreaker(cfg BreakerConfig, inner http.Handler) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults(), inner: inner, clock: RealClock()}
 }
 
+// NewOriginBreaker returns a breaker for client-side (outbound) use: there
+// is no inner handler, so it never serves HTTP itself. Callers gate each
+// outbound attempt with Allow and report the outcome with Observe; the
+// edge tier keeps one per origin so a dead replica is skipped immediately
+// and recovery is probed with bounded concurrency.
+func NewOriginBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), clock: RealClock()}
+}
+
+// Allow reports whether an outbound attempt may proceed. When pass is
+// false the attempt must be skipped; retryAfterSec is the remaining
+// cool-down to advertise. When probe is true the breaker is half-open and
+// this attempt is one of its bounded probes — the caller MUST report the
+// outcome via Observe with the same probe flag.
+func (b *Breaker) Allow() (pass, probe bool, retryAfterSec float64) {
+	return b.admit()
+}
+
+// Observe records the outcome of an attempt admitted by Allow, driving the
+// closed/open/half-open state machine exactly as served requests do.
+func (b *Breaker) Observe(probe, failed bool) {
+	b.report(probe, failed)
+}
+
 // WithClock substitutes the breaker's clock (tests use a FakeClock). Call
 // before serving.
 func (b *Breaker) WithClock(c Clock) *Breaker {

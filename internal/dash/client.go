@@ -82,13 +82,14 @@ type Client struct {
 
 	// Fetch-pipeline telemetry handles (nil-safe, resolved once here so
 	// the download loop never touches the registry map).
-	mRetries   *telemetry.Counter
-	mTruncs    *telemetry.Counter
-	mAbandons  *telemetry.Counter
-	mSkips     *telemetry.Counter
-	mDeadlines *telemetry.Counter
-	mBytes     *telemetry.Counter
-	mFetchSec  *telemetry.Histogram
+	mRetries    *telemetry.Counter
+	mTruncs     *telemetry.Counter
+	mAbandons   *telemetry.Counter
+	mSkips      *telemetry.Counter
+	mDeadlines  *telemetry.Counter
+	mRetryAfter *telemetry.Counter
+	mBytes      *telemetry.Counter
+	mFetchSec   *telemetry.Histogram
 }
 
 // NewClient validates the config and returns a client.
@@ -116,14 +117,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	reg := cfg.Metrics
 	return &Client{
-		cfg:        cfg,
-		mRetries:   reg.Counter("dash_client_retries_total", "failed segment attempts that were retried"),
-		mTruncs:    reg.Counter("dash_client_truncations_total", "segment attempts rejected for a short body"),
-		mAbandons:  reg.Counter("dash_client_abandonments_total", "mid-flight downloads abandoned for a lower track"),
-		mSkips:     reg.Counter("dash_client_skips_total", "segments skipped after exhausting retries"),
-		mDeadlines: reg.Counter("dash_client_deadline_hits_total", "segment attempts cancelled by the per-attempt deadline"),
-		mBytes:     reg.Counter("dash_client_bytes_total", "segment payload bytes delivered"),
-		mFetchSec:  reg.Histogram("dash_client_fetch_virtual_seconds", "per-segment fetch time in virtual seconds", nil),
+		cfg:         cfg,
+		mRetries:    reg.Counter("dash_client_retries_total", "failed segment attempts that were retried"),
+		mTruncs:     reg.Counter("dash_client_truncations_total", "segment attempts rejected for a short body"),
+		mAbandons:   reg.Counter("dash_client_abandonments_total", "mid-flight downloads abandoned for a lower track"),
+		mSkips:      reg.Counter("dash_client_skips_total", "segments skipped after exhausting retries"),
+		mDeadlines:  reg.Counter("dash_client_deadline_hits_total", "segment attempts cancelled by the per-attempt deadline"),
+		mRetryAfter: reg.Counter("dash_client_retry_after_waits_total", "retry delays floored by a server Retry-After hint"),
+		mBytes:      reg.Counter("dash_client_bytes_total", "segment payload bytes delivered"),
+		mFetchSec:   reg.Histogram("dash_client_fetch_virtual_seconds", "per-segment fetch time in virtual seconds", nil),
 	}, nil
 }
 
@@ -161,7 +163,9 @@ func (c *Client) FetchManifest(ctx context.Context) (*Manifest, error) {
 	if mpdErr == nil {
 		return m, nil
 	}
-	return nil, fmt.Errorf("dash: fetching manifest: %v (MPD fallback: %v)", jsonErr, mpdErr)
+	// Wrap (not flatten) the primary error so a Retry-After hint on a shed
+	// response survives for the resilient retry loop to honor.
+	return nil, fmt.Errorf("dash: fetching manifest: %w (MPD fallback: %v)", jsonErr, mpdErr)
 }
 
 // fetchManifestAs retrieves one manifest representation.
@@ -177,7 +181,11 @@ func (c *Client) fetchManifestAs(ctx context.Context, path string,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %s", resp.Status)
+		return nil, &statusError{
+			msg:           fmt.Sprintf("status %s", resp.Status),
+			code:          resp.StatusCode,
+			retryAfterSec: parseRetryAfterSec(resp.Header),
+		}
 	}
 	return decode(resp.Body)
 }

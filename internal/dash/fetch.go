@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 
 	"cava/internal/abr"
 	"cava/internal/telemetry"
@@ -111,6 +112,41 @@ func (rc ResilienceConfig) withDefaults() ResilienceConfig {
 // errTruncated marks a download whose body fell short of Content-Length.
 var errTruncated = errors.New("dash: truncated segment body")
 
+// statusError reports a non-200 response, carrying the server's
+// Retry-After hint (wall seconds; 0 when absent) so the retry loop can
+// honor server-paced backoff instead of guessing.
+type statusError struct {
+	msg           string
+	code          int
+	retryAfterSec float64
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+// retryAfterSecOf extracts the wall-seconds Retry-After hint from an
+// attempt error (0 when the error carries none).
+func retryAfterSecOf(err error) float64 {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.retryAfterSec
+	}
+	return 0
+}
+
+// parseRetryAfterSec reads the delay-seconds form of a Retry-After header
+// (the only form the testbed emits); 0 means absent or unparseable.
+func parseRetryAfterSec(h http.Header) float64 {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return float64(sec)
+}
+
 // errAbandoned marks a download given up mid-flight for being too slow.
 var errAbandoned = errors.New("dash: segment download abandoned")
 
@@ -163,9 +199,15 @@ func newFetcher(c *Client, m *Manifest, rc ResilienceConfig,
 	}
 }
 
-// backoff returns the jittered capped-exponential wait before retry r
-// (0-based), in virtual seconds.
-func (f *fetcher) backoff(r int) float64 {
+// retryWait returns the virtual-seconds wait before retry r (0-based).
+// The base is a capped exponential with seeded FULL jitter — uniform in
+// [0, cap) rather than [cap/2, cap) — so concurrent sessions that failed
+// together spread their retries across the whole window instead of
+// re-colliding in lockstep. When the failed attempt carried a server
+// Retry-After hint (wall seconds, from load shedding or an open breaker),
+// the hint is honored as a floor: the client never returns before the
+// server asked it to, with the jitter decorrelating arrivals beyond it.
+func (f *fetcher) retryWait(r int, retryAfterWallSec float64) float64 {
 	d := f.rc.BaseBackoffSec
 	for i := 0; i < r && d < f.rc.MaxBackoffSec; i++ {
 		d *= 2
@@ -173,7 +215,13 @@ func (f *fetcher) backoff(r int) float64 {
 	if d > f.rc.MaxBackoffSec {
 		d = f.rc.MaxBackoffSec
 	}
-	return d * (0.5 + 0.5*f.rng.Float64())
+	wait := d * f.rng.Float64()
+	if retryAfterWallSec > 0 {
+		// Retry-After is wall seconds; the wait below is virtual.
+		wait += retryAfterWallSec * f.scale
+		f.c.mRetryAfter.Inc()
+	}
+	return wait
 }
 
 // deadline returns the per-attempt virtual-time budget for a segment of
@@ -262,7 +310,7 @@ func (f *fetcher) fetch(ctx context.Context, level, index int,
 				Attempt: sf.Retries, Detail: err.Error(),
 			})
 		}
-		if err := f.sleep(f.backoff(sf.Retries - 1)); err != nil {
+		if err := f.sleep(f.retryWait(sf.Retries-1, retryAfterSecOf(err))); err != nil {
 			return sf, err
 		}
 	}
@@ -281,7 +329,11 @@ func (f *fetcher) fetchOnce(ctx context.Context, level, index int,
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("dash: segment %d/%d status %s", level, index, resp.Status)
+		return 0, &statusError{
+			msg:           fmt.Sprintf("dash: segment %d/%d status %s", level, index, resp.Status),
+			code:          resp.StatusCode,
+			retryAfterSec: parseRetryAfterSec(resp.Header),
+		}
 	}
 
 	declared := resp.ContentLength
@@ -331,12 +383,13 @@ func (f *fetcher) fetchOnce(ctx context.Context, level, index int,
 }
 
 // fetchManifestResilient retries the manifest fetch under the same backoff
-// policy, so a session can start through a transient fault.
+// policy (full jitter, Retry-After honored), so a session can start
+// through a transient fault without piling onto a shedding server.
 func (f *fetcher) fetchManifestResilient(ctx context.Context) (*Manifest, error) {
 	var lastErr error
 	for attempt := 0; attempt <= f.rc.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := f.sleep(f.backoff(attempt - 1)); err != nil {
+			if err := f.sleep(f.retryWait(attempt-1, retryAfterSecOf(lastErr))); err != nil {
 				return nil, err
 			}
 		}

@@ -1,0 +1,174 @@
+package edge
+
+import (
+	"container/list"
+	"sync"
+)
+
+// SegCache is the edge's bounded segment cache: an LRU over response
+// payloads with singleflight request coalescing, the get-or-compute
+// pattern of internal/cache specialized for byte-bounded HTTP bodies.
+// Concurrent requests for one cold key share a single origin fetch —
+// exactly one caller runs the fetch, the rest block and receive the same
+// result (error included) — so a thundering herd of players asking for the
+// same newly-published segment costs one origin round trip, not N.
+//
+// Only complete 200 responses are stored; everything else (origin errors,
+// 404s) is delivered to the waiters of that flight and forgotten, so a
+// transient failure never poisons the cache. Entries larger than the byte
+// budget are served but not stored.
+type SegCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	curBytes int64
+	ll       *list.List // front = most recent
+	items    map[string]*list.Element
+	flights  map[string]*flight
+	stats    SegCacheStats
+}
+
+// SegCacheStats counts cache outcomes.
+type SegCacheStats struct {
+	// Hits are requests served from the stored set.
+	Hits uint64
+	// Misses are requests that ran an origin fetch.
+	Misses uint64
+	// Coalesced are requests that piggybacked on another caller's
+	// in-flight fetch instead of issuing their own.
+	Coalesced uint64
+	// Evictions are entries removed to respect the byte budget.
+	Evictions uint64
+	// StoredBytes is the current resident payload size.
+	StoredBytes int64
+}
+
+// Entry is one cached (or fetched) response payload.
+type Entry struct {
+	// Body is the payload. Treat it as immutable: hits share the slice.
+	Body []byte
+	// ContentType is the origin's Content-Type.
+	ContentType string
+	// Status is the origin's HTTP status; only 200 entries are cached.
+	Status int
+}
+
+// cacheItem is one stored LRU entry.
+type cacheItem struct {
+	key string
+	ent Entry
+}
+
+// flight is one in-progress fetch that waiters coalesce onto.
+type flight struct {
+	done chan struct{}
+	ent  Entry
+	err  error
+}
+
+// Disposition classifies how one request was satisfied.
+type Disposition int
+
+const (
+	// DispHit means the entry was already resident.
+	DispHit Disposition = iota
+	// DispMiss means this caller ran the origin fetch.
+	DispMiss
+	// DispCoalesced means the caller waited on another caller's fetch.
+	DispCoalesced
+)
+
+// NewSegCache returns a cache bounded to maxBytes of payload.
+func NewSegCache(maxBytes int64) *SegCache {
+	return &SegCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *SegCache) Stats() SegCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.StoredBytes = c.curBytes
+	return s
+}
+
+// Len returns the number of resident entries.
+func (c *SegCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// GetOrFetch returns the entry for key, running fetch on a cold key.
+// Concurrent callers for one key share a single fetch. The fetch result is
+// stored only when it is a complete 200 within the byte budget.
+func (c *SegCache) GetOrFetch(key string, fetch func() (Entry, error)) (Entry, Disposition, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		ent := el.Value.(*cacheItem).ent
+		c.mu.Unlock()
+		return ent, DispHit, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.ent, DispCoalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	fl.ent, fl.err = fetch()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if fl.err == nil && fl.ent.Status == 200 {
+		c.storeLocked(key, fl.ent)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.ent, DispMiss, fl.err
+}
+
+// Peek reports whether key is resident, without touching recency or stats.
+func (c *SegCache) Peek(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
+// storeLocked inserts an entry and evicts from the cold end until the
+// budget holds. Oversized entries are not stored at all.
+func (c *SegCache) storeLocked(key string, ent Entry) {
+	size := int64(len(ent.Body))
+	if size > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// A racing flight already stored it; refresh recency only.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, ent: ent})
+	c.curBytes += size
+	for c.curBytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		it := back.Value.(*cacheItem)
+		c.ll.Remove(back)
+		delete(c.items, it.key)
+		c.curBytes -= int64(len(it.ent.Body))
+		c.stats.Evictions++
+	}
+}

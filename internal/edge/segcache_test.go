@@ -1,0 +1,157 @@
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// okEntry builds a 200 entry with an n-byte body.
+func okEntry(n int) Entry {
+	return Entry{Body: make([]byte, n), ContentType: "video/mp4", Status: http.StatusOK}
+}
+
+// TestSegCacheHitMissAndRecency covers the basic LRU contract: a stored key
+// hits, a touch refreshes recency, and eviction removes the coldest entry.
+func TestSegCacheHitMissAndRecency(t *testing.T) {
+	c := NewSegCache(300)
+	fetchFor := func(n int) func() (Entry, error) {
+		return func() (Entry, error) { return okEntry(n), nil }
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if _, disp, err := c.GetOrFetch(key, fetchFor(100)); err != nil || disp != DispMiss {
+			t.Fatalf("cold GetOrFetch(%q) = %v, %v", key, disp, err)
+		}
+	}
+	// Touch "a" so "b" is the coldest, then insert "d": "b" must go.
+	if _, disp, _ := c.GetOrFetch("a", fetchFor(100)); disp != DispHit {
+		t.Fatalf("warm GetOrFetch(a) disposition = %v, want hit", disp)
+	}
+	if _, disp, _ := c.GetOrFetch("d", fetchFor(100)); disp != DispMiss {
+		t.Fatalf("GetOrFetch(d) disposition = %v, want miss", disp)
+	}
+	if c.Peek("b") {
+		t.Error("coldest entry b survived eviction")
+	}
+	for _, key := range []string{"a", "c", "d"} {
+		if !c.Peek(key) {
+			t.Errorf("entry %q missing after eviction of b", key)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.StoredBytes != 300 {
+		t.Errorf("stats = %+v, want 1 eviction and 300 stored bytes", s)
+	}
+}
+
+// TestSegCacheByteBudget checks that the budget is enforced in bytes, not
+// entries, and that an oversized body is served but never stored.
+func TestSegCacheByteBudget(t *testing.T) {
+	c := NewSegCache(250)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.GetOrFetch(key, func() (Entry, error) { return okEntry(100), nil }); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Stats().StoredBytes; got > 250 {
+			t.Fatalf("after %d inserts cache holds %d bytes > budget", i+1, got)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Errorf("cache holds %d entries, want 2 (2x100 <= 250 < 3x100)", got)
+	}
+	ent, disp, err := c.GetOrFetch("huge", func() (Entry, error) { return okEntry(1000), nil })
+	if err != nil || disp != DispMiss || len(ent.Body) != 1000 {
+		t.Fatalf("oversized fetch = %v, %v, body %d", disp, err, len(ent.Body))
+	}
+	if c.Peek("huge") {
+		t.Error("oversized entry was stored")
+	}
+}
+
+// TestSegCacheOnlyStoresOK checks the poisoning guard: non-200 responses and
+// errors are delivered to the caller but never cached, so the next request
+// retries the origin.
+func TestSegCacheOnlyStoresOK(t *testing.T) {
+	c := NewSegCache(1 << 20)
+	ent, _, err := c.GetOrFetch("nf", func() (Entry, error) {
+		return Entry{Body: []byte("gone"), Status: http.StatusNotFound}, nil
+	})
+	if err != nil || ent.Status != http.StatusNotFound {
+		t.Fatalf("404 fetch = %+v, %v", ent, err)
+	}
+	if c.Peek("nf") {
+		t.Error("404 response was cached")
+	}
+	wantErr := errors.New("origin down")
+	if _, _, err := c.GetOrFetch("err", func() (Entry, error) { return Entry{}, wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("error fetch returned %v, want %v", err, wantErr)
+	}
+	if c.Peek("err") {
+		t.Error("failed fetch was cached")
+	}
+	// The retry after a failure runs a fresh fetch (a real miss, not a hit).
+	if _, disp, err := c.GetOrFetch("err", func() (Entry, error) { return okEntry(8), nil }); err != nil || disp != DispMiss {
+		t.Fatalf("retry after failure = %v, %v, want clean miss", disp, err)
+	}
+}
+
+// TestSegCacheCoalesces pins singleflight: N concurrent requests for one
+// cold key run exactly one fetch, and the waiters share its result.
+func TestSegCacheCoalesces(t *testing.T) {
+	c := NewSegCache(1 << 20)
+	const waiters = 16
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var fetches int
+	var once sync.Once
+	fetch := func() (Entry, error) {
+		fetches++ // no lock needed: coalescing admits one fetcher
+		once.Do(func() { close(entered) })
+		<-gate
+		return okEntry(64), nil
+	}
+
+	var wg sync.WaitGroup
+	disps := make([]Disposition, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ent, disp, err := c.GetOrFetch("seg", fetch)
+			if err != nil || len(ent.Body) != 64 {
+				t.Errorf("waiter %d: body %d, err %v", i, len(ent.Body), err)
+			}
+			disps[i] = disp
+		}(i)
+	}
+	<-entered // one fetcher is inside fetch; let the rest pile up
+	for c.Stats().Coalesced < waiters-1 {
+		// Spin until every other goroutine has joined the flight. The loop
+		// terminates because the gate is still closed: nobody can finish.
+	}
+	close(gate)
+	wg.Wait()
+
+	if fetches != 1 {
+		t.Fatalf("fetch ran %d times, want 1", fetches)
+	}
+	var miss, coalesced int
+	for _, d := range disps {
+		switch d {
+		case DispMiss:
+			miss++
+		case DispCoalesced:
+			coalesced++
+		}
+	}
+	if miss != 1 || coalesced != waiters-1 {
+		t.Errorf("dispositions: %d miss / %d coalesced, want 1 / %d", miss, coalesced, waiters-1)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced != waiters-1 {
+		t.Errorf("stats = %+v, want 1 miss, %d coalesced", s, waiters-1)
+	}
+}

@@ -12,7 +12,7 @@ var tinyOpt = Options{Traces: 3}
 
 func TestIDsComplete(t *testing.T) {
 	want := []string{"alpha", "autotune", "baselines", "cap4x", "cbrvbr", "chaos", "chunkdur", "codec",
-		"fig1", "fig10", "fig11", "fig2", "fig3", "fig4", "fig7", "fig7b", "fig8", "fig9",
+		"edge", "fig1", "fig10", "fig11", "fig2", "fig3", "fig4", "fig7", "fig7b", "fig8", "fig9",
 		"live", "liveext", "multiclient", "oracle", "prederr", "robustness", "startup", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -37,10 +37,11 @@ func TestUnknownID(t *testing.T) {
 }
 
 func TestRunAllFastExperiments(t *testing.T) {
-	// "live", "robustness" and "chaos" open real sockets and sleep in wall
-	// time; they have their own tests. Everything else must run at tiny scale.
+	// "live", "robustness", "chaos" and "edge" open real sockets and sleep in
+	// wall time; they have their own tests. Everything else must run at tiny
+	// scale.
 	for _, id := range IDs() {
-		if id == "live" || id == "robustness" || id == "chaos" {
+		if id == "live" || id == "robustness" || id == "chaos" || id == "edge" {
 			continue
 		}
 		id := id

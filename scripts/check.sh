@@ -30,4 +30,9 @@ go test -short -run='TestSweepColdWarm$' -count=1 .
 # admission control, race-enabled. Asserts no livelock, bounded honest
 # shedding (503 + Retry-After), and goroutines back to baseline.
 go test -race -run='TestChaosSoak$' -count=1 ./internal/chaos
+# Edge-tier chaos soak: 24 staggered sessions through the edge (consistent-
+# hash origins, segment cache, SWR manifests) while the primary origin is
+# killed and restarted mid-run, race-enabled. Asserts ≥ 99% completion via
+# failover + stale serving, cache-hit recovery, and no goroutine leak.
+go test -race -run='TestEdgeChaosSoak$' -count=1 ./internal/chaos
 echo "check: OK"

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak soak-edge bench-edge
+.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak soak-edge soak-fleet bench-edge bench-fleet bench-fleet-short
 
 # check is the one-command tier-1 gate every PR must pass.
-check: lint build race bench-telemetry bench-sweep-short soak soak-edge
+check: lint build race bench-telemetry bench-sweep-short bench-fleet-short soak soak-edge soak-fleet
 
 # lint is the static-analysis gate: formatting, go vet, and abrlint (the
 # project analyzer suite in internal/lint — determinism, units, nopanic,
@@ -65,3 +65,21 @@ soak-edge:
 # writes cache-hit ratio and bytes-served-per-origin to BENCH_edge.json.
 bench-edge:
 	BENCH_EDGE_OUT=BENCH_edge.json $(GO) test -run='TestEdgeBench$$' -count=1 -v .
+
+# Fleet-engine chaos smoke: 2000 discrete-event sessions with Poisson
+# arrivals and random trace offsets; asserts the engine's livelock and
+# starvation invariants (exact event accounting, every session finishes
+# within the virtual-time deadline).
+soak-fleet:
+	$(GO) test -run='TestFleetChaosSmoke$$' -count=1 -v ./internal/chaos
+
+# Fleet scaling benchmark: full-length sessions at 10k and the headline
+# 100k-concurrent point (every session live at virtual time 0); writes
+# sessions/sec, events/sec and peak RSS per point to BENCH_fleet.json.
+bench-fleet:
+	BENCH_FLEET_OUT=BENCH_fleet.json $(GO) test -run='TestFleetBench$$' -count=1 -v .
+
+# Short-mode variant wired into `check`: one reduced point under the same
+# sessions/sec floor, no artifact written.
+bench-fleet-short:
+	$(GO) test -short -run='TestFleetBench$$' -count=1 .

@@ -1,0 +1,147 @@
+// Command fleetsim runs the discrete-event fleet simulator: N concurrent
+// ABR sessions in one process over a shared trace corpus, reporting
+// fleet-level QoE distributions and engine throughput.
+//
+// Usage:
+//
+//	fleetsim -sessions 100000 -arrival 50 -trace-corpus lte:40,fcc:20 -scheme cava
+//	fleetsim -sessions 2000 -scheme robustmpc -videos ED-youtube-h264
+//	fleetsim -smoke                              (chaos invariants mode)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"cava/internal/abr"
+	"cava/internal/chaos"
+	"cava/internal/cliutil"
+	"cava/internal/fleet"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func main() {
+	var (
+		sessions   = flag.Int("sessions", 10000, "fleet size (concurrent sessions)")
+		arrival    = flag.Float64("arrival", 50, "session arrival rate per virtual second (0: all at once)")
+		corpusSpec = flag.String("trace-corpus", "lte:40,fcc:20", "trace corpus: lte:<n>,fcc:<n>,const:<mbps>,mahimahi:<path>")
+		schemeName = flag.String("scheme", "cava", "adaptation scheme (see cava-sim -list-schemes)")
+		videoIDs   = flag.String("videos", "ED-youtube-h264,BBB-youtube-h264", "comma-separated dataset video ids")
+		seed       = flag.Int64("seed", 1, "seed for corpus assignment, offsets and arrivals")
+		maxChunks  = flag.Int("max-chunks", 0, "truncate each session after this many chunks (0: full video)")
+		smoke      = flag.Bool("smoke", false, "chaos smoke mode: run the fleet invariant checks and exit non-zero on violation")
+	)
+	flag.Parse()
+
+	videos, err := resolveVideos(*videoIDs)
+	if err != nil {
+		fail(err)
+	}
+	traces, err := cliutil.ParseCorpus(*corpusSpec)
+	if err != nil {
+		fail(err)
+	}
+	factory, err := cliutil.SchemeByName(*schemeName)
+	if err != nil {
+		fail(err)
+	}
+	scheme := abr.Scheme{Name: *schemeName, New: factory}
+
+	if *smoke {
+		runSmoke(videos, traces, scheme, *sessions, *arrival, *seed, *maxChunks)
+		return
+	}
+
+	start := time.Now()
+	res, err := fleet.Run(fleet.Config{
+		Videos:             videos,
+		Traces:             traces,
+		Scheme:             scheme,
+		Player:             player.DefaultConfig(),
+		Sessions:           *sessions,
+		ArrivalRatePerSec:  *arrival,
+		RandomTraceOffsets: true,
+		Seed:               *seed,
+		MaxChunks:          *maxChunks,
+	})
+	if err != nil {
+		fail(err)
+	}
+	wall := time.Since(start).Seconds()
+
+	fmt.Printf("fleet: %d sessions (%s), %d videos × %d traces, arrival %g/s, seed %d\n",
+		res.Sessions, *schemeName, len(videos), len(traces), *arrival, *seed)
+	fmt.Printf("engine: %d events in %.2f s wall — %.0f events/s, %.0f sessions/s (GOMAXPROCS %d)\n",
+		res.Events, wall, float64(res.Events)/wall, float64(res.Sessions)/wall, runtime.GOMAXPROCS(0))
+	fmt.Printf("virtual horizon: %.0f s (last completion)\n\n", res.VirtualSec)
+
+	fmt.Printf("%-16s %10s %10s %10s %10s\n", "per-session", "p10", "p50", "p90", "p99")
+	row := func(name string, s metrics.Sorted) {
+		fmt.Printf("%-16s %10.2f %10.2f %10.2f %10.2f\n",
+			name, s.Percentile(10), s.Percentile(50), s.Percentile(90), s.Percentile(99))
+	}
+	row("rebuffer (s)", res.RebufferSec)
+	row("startup (s)", res.StartupDelaySec)
+	row("avg quality", res.AvgQuality)
+	row("qual change", res.QualityChange)
+	row("avg level", res.AvgLevel)
+	row("switches", res.Switches)
+	row("data (MB)", res.DataMB)
+	row("session (s)", res.SessionLenSec)
+}
+
+// runSmoke executes the chaos -fleet mode: invariant checks against the
+// discrete-event engine, exiting 1 when any invariant is violated.
+func runSmoke(videos []*video.Video, traces []*trace.Trace, scheme abr.Scheme,
+	sessions int, arrival float64, seed int64, maxChunks int) {
+	rep, err := chaos.RunFleet(chaos.FleetConfig{
+		Videos: videos, Traces: traces, Scheme: scheme,
+		Sessions: sessions, ArrivalRatePerSec: arrival,
+		Seed: seed, MaxChunks: maxChunks,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("fleet smoke: %d sessions, %d/%d events, horizon %.0f virtual s, slowest session %.0f s (deadline %.0f), %.2f wall s\n",
+		rep.Sessions, rep.Events, rep.ExpectedEvents, rep.VirtualSec,
+		rep.MaxSessionLenSec, rep.DeadlineVirtualSec, rep.WallSec)
+	if errs := rep.Invariants(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "fleetsim: invariant violated: %v\n", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("invariants: OK")
+}
+
+// resolveVideos maps comma-separated dataset ids to videos.
+func resolveVideos(spec string) ([]*video.Video, error) {
+	var out []*video.Video
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		v := video.ByID(id)
+		if v == nil {
+			return nil, fmt.Errorf("unknown video %q (try cava-sim -list-videos)", id)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no videos in %q", spec)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+	os.Exit(2)
+}

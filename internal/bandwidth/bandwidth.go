@@ -31,9 +31,15 @@ const DefaultWindow = 5
 // HarmonicMean predicts with the harmonic mean of the last W chunk
 // throughputs. The harmonic mean underweights short high-rate bursts, which
 // makes it robust to measurement outliers.
+// The window is a fixed ring: the append-and-reslice history it replaced
+// allocated on every few observations, which the fleet engine's zero-alloc
+// per-event contract (internal/fleet) cannot afford across 10⁵–10⁶
+// concurrent sessions.
 type HarmonicMean struct {
 	window int
-	hist   []float64
+	ring   []float64
+	head   int // index of the oldest observation
+	count  int // observations held (≤ window)
 }
 
 // NewHarmonicMean returns a harmonic-mean predictor over the last window
@@ -42,7 +48,7 @@ func NewHarmonicMean(window int) *HarmonicMean {
 	if window <= 0 {
 		window = DefaultWindow
 	}
-	return &HarmonicMean{window: window}
+	return &HarmonicMean{window: window, ring: make([]float64, window)}
 }
 
 // ObserveDownload implements Predictor.
@@ -50,26 +56,31 @@ func (h *HarmonicMean) ObserveDownload(bits, seconds float64) {
 	if seconds <= 0 || bits <= 0 {
 		return
 	}
-	h.hist = append(h.hist, bits/seconds)
-	if len(h.hist) > h.window {
-		h.hist = h.hist[len(h.hist)-h.window:]
+	if h.count < h.window {
+		h.ring[(h.head+h.count)%h.window] = bits / seconds
+		h.count++
+		return
 	}
+	h.ring[h.head] = bits / seconds
+	h.head = (h.head + 1) % h.window
 }
 
-// Predict implements Predictor.
+// Predict implements Predictor. The inverse sum runs oldest to newest —
+// the same order as the sliced history it replaced — so predictions are
+// bit-identical to the previous implementation.
 func (h *HarmonicMean) Predict(float64) float64 {
-	if len(h.hist) == 0 {
+	if h.count == 0 {
 		return 0
 	}
 	inv := 0.0
-	for _, t := range h.hist {
-		inv += 1 / t
+	for k := 0; k < h.count; k++ {
+		inv += 1 / h.ring[(h.head+k)%h.window]
 	}
-	return float64(len(h.hist)) / inv
+	return float64(h.count) / inv
 }
 
 // Reset implements Predictor.
-func (h *HarmonicMean) Reset() { h.hist = h.hist[:0] }
+func (h *HarmonicMean) Reset() { h.head, h.count = 0, 0 }
 
 // EWMA predicts with an exponentially weighted moving average of chunk
 // throughputs.

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"cava/internal/abr"
+	"cava/internal/fleet"
+	"cava/internal/telemetry"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// FleetConfig describes one fleet smoke run: the chaos harness's -fleet
+// mode, which points the invariant checks at the discrete-event engine
+// instead of the socket testbed. Where Run proves the networked stack
+// survives dozens of goroutine-per-client sessions, RunFleet proves the
+// event engine schedules thousands of virtual sessions without livelock or
+// starvation — the two failure modes a priority-queue simulator can invent
+// on its own (a session rescheduled forever at the same instant, or one
+// whose wakeups drift past any bound).
+type FleetConfig struct {
+	// Videos and Traces form the shared corpus (required).
+	Videos []*video.Video
+	Traces []*trace.Trace
+	// Scheme is the adaptation algorithm every session runs (required).
+	Scheme abr.Scheme
+	// Sessions is the fleet size (default 2000).
+	Sessions int
+	// ArrivalRatePerSec staggers arrivals (default 20/s).
+	ArrivalRatePerSec float64
+	// Seed drives corpus assignment, offsets and arrivals (seeded rand
+	// only, as everywhere in the engine).
+	Seed int64
+	// MaxChunks bounds each session's length (default 0: full video).
+	MaxChunks int
+	// DeadlineVirtualSec is the starvation bound: no session may need more
+	// virtual time than this to finish. The default is 20× the longest
+	// video — generous against slow traces, unreachable by a scheduling
+	// bug that stops draining a session.
+	DeadlineVirtualSec float64
+	// Registry optionally collects the engine's telemetry.
+	Registry *telemetry.Registry
+}
+
+// withDefaults validates the config and fills defaulted fields.
+func (c FleetConfig) withDefaults() (FleetConfig, error) {
+	if len(c.Videos) == 0 || len(c.Traces) == 0 || c.Scheme.New == nil {
+		return c, errors.New("chaos: FleetConfig needs Videos, Traces and Scheme")
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 2000
+	}
+	if c.ArrivalRatePerSec <= 0 {
+		c.ArrivalRatePerSec = 20
+	}
+	if c.DeadlineVirtualSec <= 0 {
+		longest := 0.0
+		for _, v := range c.Videos {
+			if d := float64(v.NumChunks()) * v.ChunkDurSec; d > longest {
+				longest = d
+			}
+		}
+		c.DeadlineVirtualSec = 20 * longest
+	}
+	return c, nil
+}
+
+// FleetReport aggregates one fleet smoke run for invariant checking.
+type FleetReport struct {
+	// Sessions, Events and ExpectedEvents echo the engine's accounting;
+	// Events != ExpectedEvents is the livelock/lost-wakeup signal.
+	Sessions       int
+	Events         int64
+	ExpectedEvents int64
+	// Samples counts sessions that contributed distribution samples; fewer
+	// than Sessions means sessions vanished without finishing.
+	Samples int
+	// VirtualSec is the fleet's virtual-time horizon; MaxSessionLenSec is
+	// the longest single session in virtual seconds, checked against
+	// DeadlineVirtualSec.
+	VirtualSec         float64
+	MaxSessionLenSec   float64
+	DeadlineVirtualSec float64
+	// MedianRebufferSec summarizes fleet health for the log line.
+	MedianRebufferSec float64
+	// WallSec is the run's wall-clock duration (reporting only; every
+	// checked quantity above is virtual-time).
+	WallSec float64
+}
+
+// RunFleet executes one fleet smoke run. An error means the engine itself
+// could not run (bad config); invariant violations land in the report.
+func RunFleet(cfg FleetConfig) (*FleetReport, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := fleet.Run(fleet.Config{
+		Videos:             cfg.Videos,
+		Traces:             cfg.Traces,
+		Scheme:             cfg.Scheme,
+		Sessions:           cfg.Sessions,
+		ArrivalRatePerSec:  cfg.ArrivalRatePerSec,
+		RandomTraceOffsets: true,
+		Seed:               cfg.Seed,
+		MaxChunks:          cfg.MaxChunks,
+		Metrics:            cfg.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FleetReport{
+		Sessions:           res.Sessions,
+		Events:             res.Events,
+		ExpectedEvents:     res.ExpectedEvents,
+		Samples:            res.SessionLenSec.Len(),
+		VirtualSec:         res.VirtualSec,
+		MaxSessionLenSec:   res.SessionLenSec.Percentile(100),
+		DeadlineVirtualSec: cfg.DeadlineVirtualSec,
+		MedianRebufferSec:  res.RebufferSec.Median(),
+		WallSec:            time.Since(start).Seconds(),
+	}, nil
+}
+
+// Invariants checks the report against the fleet engine's robustness
+// invariants and returns every violation (empty means the run passed):
+//
+//   - no livelock or lost wakeups: the engine processed exactly one event
+//     per scheduled chunk, and every session produced its samples;
+//   - no starvation: the longest session finished within the virtual-time
+//     deadline, and the fleet's horizon is finite.
+func (r *FleetReport) Invariants() []error {
+	var out []error
+	if r.Events != r.ExpectedEvents {
+		out = append(out, fmt.Errorf("chaos: fleet processed %d events, expected %d (livelock or lost wakeups)",
+			r.Events, r.ExpectedEvents))
+	}
+	if r.Samples != r.Sessions {
+		out = append(out, fmt.Errorf("chaos: %d of %d fleet sessions never finished",
+			r.Sessions-r.Samples, r.Sessions))
+	}
+	if r.MaxSessionLenSec > r.DeadlineVirtualSec {
+		out = append(out, fmt.Errorf("chaos: slowest fleet session took %.1f virtual s, deadline %.1f (starved)",
+			r.MaxSessionLenSec, r.DeadlineVirtualSec))
+	}
+	if math.IsInf(r.VirtualSec, 0) || math.IsNaN(r.VirtualSec) {
+		out = append(out, fmt.Errorf("chaos: fleet virtual time is %v", r.VirtualSec))
+	}
+	return out
+}

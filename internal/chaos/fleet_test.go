@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cava/internal/abr"
+	"cava/internal/core"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+func fleetTestConfig() FleetConfig {
+	return FleetConfig{
+		Videos: []*video.Video{
+			video.FFmpegVideo(video.Title{Name: "ED", Genre: video.SciFi}, video.H264),
+			video.FFmpegVideo(video.Title{Name: "BBB", Genre: video.Animation}, video.H264),
+		},
+		Traces: []*trace.Trace{
+			trace.GenLTE(0), trace.GenLTE(1), trace.GenLTE(2), trace.GenFCC(0),
+		},
+		Scheme: abr.Scheme{Name: "CAVA", Key: "cava", New: core.Factory()},
+		Seed:   11,
+	}
+}
+
+func TestFleetChaosConfigValidation(t *testing.T) {
+	if _, err := RunFleet(FleetConfig{}); err == nil {
+		t.Fatal("RunFleet accepted an empty config")
+	}
+}
+
+// TestFleetChaosSmoke is the -fleet smoke: two thousand CAVA sessions with
+// Poisson arrivals and random trace offsets over a mixed LTE/FCC corpus,
+// checked against the engine's livelock and starvation invariants.
+func TestFleetChaosSmoke(t *testing.T) {
+	cfg := fleetTestConfig()
+	cfg.MaxChunks = 40 // bounded smoke; the bench runs full-length sessions
+	rep, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 2000 {
+		t.Fatalf("defaulted fleet size = %d, want 2000", rep.Sessions)
+	}
+	for _, e := range rep.Invariants() {
+		t.Errorf("invariant violated: %v", e)
+	}
+	if rep.Events != int64(2000*40) {
+		t.Errorf("processed %d events, want %d", rep.Events, 2000*40)
+	}
+	t.Logf("fleet smoke: %d sessions, %d events, horizon %.0f virtual s, slowest session %.0f s, median rebuffer %.1f s (%.2f wall s)",
+		rep.Sessions, rep.Events, rep.VirtualSec, rep.MaxSessionLenSec, rep.MedianRebufferSec, rep.WallSec)
+}
+
+// TestFleetInvariantsCatchViolations pins that each invariant actually
+// fires: a report with a livelock signature, missing sessions, a starved
+// session and a non-finite horizon must produce one violation apiece.
+func TestFleetInvariantsCatchViolations(t *testing.T) {
+	rep := &FleetReport{
+		Sessions: 10, Events: 99, ExpectedEvents: 100, Samples: 9,
+		VirtualSec: math.Inf(1), MaxSessionLenSec: 5000, DeadlineVirtualSec: 1000,
+	}
+	errs := rep.Invariants()
+	if len(errs) != 4 {
+		t.Fatalf("got %d violations, want 4: %v", len(errs), errs)
+	}
+	for _, want := range []string{"livelock", "never finished", "starved", "virtual time"} {
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentions %q in %v", want, errs)
+		}
+	}
+}

@@ -62,6 +62,50 @@ func ParseTrace(spec string) (*trace.Trace, error) {
 	}
 }
 
+// ParseCorpus resolves a comma-separated trace-corpus spec into a trace
+// set. Each element names a family and a count (unlike ParseTrace, where
+// the number is an index):
+//
+//	lte:<n>          the first n generated LTE traces
+//	fcc:<n>          the first n generated FCC traces
+//	const:<mbps>     one constant-bandwidth trace (20 minutes)
+//	mahimahi:<path>  one mm-link packet log from disk
+//
+// "lte:40,fcc:20" is a 60-trace mixed corpus. Order is preserved, so a
+// spec always produces the same corpus in the same order.
+func ParseCorpus(spec string) ([]*trace.Trace, error) {
+	var out []*trace.Trace
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		fam, arg, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("corpus spec %q: want lte:<n>, fcc:<n>, const:<mbps>, or mahimahi:<path>", part)
+		}
+		switch fam {
+		case "lte", "fcc":
+			n, err := strconv.Atoi(arg)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("corpus spec %q: want a positive trace count", part)
+			}
+			if fam == "lte" {
+				out = append(out, trace.GenLTESet(n)...)
+			} else {
+				out = append(out, trace.GenFCCSet(n)...)
+			}
+		default:
+			tr, err := ParseTrace(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tr)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus spec %q: no traces", spec)
+	}
+	return out, nil
+}
+
 // Schemes maps every CLI scheme name to a factory.
 func Schemes() map[string]abr.Factory {
 	return map[string]abr.Factory{

@@ -55,6 +55,36 @@ func TestParseTraceErrors(t *testing.T) {
 	}
 }
 
+func TestParseCorpus(t *testing.T) {
+	trs, err := ParseCorpus("lte:3,fcc:2,const:2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, len(trs))
+	for i, tr := range trs {
+		ids[i] = tr.ID
+	}
+	want := []string{"lte-000", "lte-001", "lte-002", "fcc-000", "fcc-001", "const:2.5"}
+	if len(ids) != len(want) {
+		t.Fatalf("corpus = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("corpus[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestParseCorpusErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "lte", "lte:0", "lte:-2", "fcc:x", "mars:1", "lte:3,,fcc:1",
+	} {
+		if _, err := ParseCorpus(bad); err == nil {
+			t.Errorf("corpus spec %q accepted", bad)
+		}
+	}
+}
+
 func TestSchemeRegistryComplete(t *testing.T) {
 	v := video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi})
 	for _, name := range SchemeNames() {

@@ -194,6 +194,12 @@ func (c *Client) fetchManifestAs(ctx context.Context, path string,
 // With cfg.Resilience set, transient faults (5xx, resets, truncation, slow
 // segments) are absorbed per the policy and surface as resilience counters
 // on the Result instead of aborting the session.
+//
+// The buffer/startup/telemetry state machine is the shared player.StepState
+// core — the same engine behind player.Simulate and the discrete-event
+// fleet simulator — driven here by measured virtual time: the client
+// supplies real fetch outcomes and clock readings, the core does every
+// piece of session accounting.
 func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 	scale := c.cfg.TimeScale
 	clk := realClockOr(c.cfg.Clock)
@@ -234,116 +240,56 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 	}
 	view := m.ToVideo()
 	algo := c.cfg.NewAlgorithm(view)
-	delayer, canDelay := algo.(abr.Delayer)
-	pred := c.cfg.Predictor
-	pred.Reset()
 
-	// Decision tracing, mirroring player.Simulate: one decide per chunk
-	// (from the algorithm itself when it implements abr.Traced), plus
-	// wait/download/skip/startup step events in the shared schema.
+	var s player.StepState
+	s.Init(view, m.VideoID, "live", algo, player.Config{
+		StartupSec:   c.cfg.StartupSec,
+		MaxBufferSec: c.cfg.MaxBufferSec,
+		Predictor:    c.cfg.Predictor,
+		Recorder:     c.cfg.Recorder,
+		SessionID:    c.cfg.SessionID,
+	}, true)
+	s.LimitChunks(c.cfg.MaxChunks)
+
 	trc := c.cfg.Recorder
-	session := ""
-	algoTraces := false
-	if trc != nil {
-		session = c.cfg.SessionID
-		if session == "" {
-			session = telemetry.SessionID(m.VideoID, "live", algo.Name())
-		}
-		if t, ok := algo.(abr.Traced); ok {
-			t.SetRecorder(trc, session)
-			algoTraces = true
-		}
-	}
 	if fx != nil {
 		fx.trc = trc
-		fx.session = session
+		fx.session = s.Session()
 	}
 
-	n := m.NumSegments()
-	if c.cfg.MaxChunks > 0 && c.cfg.MaxChunks < n {
-		n = c.cfg.MaxChunks
-	}
-
-	res := &player.Result{VideoID: m.VideoID, TraceID: "live", Scheme: algo.Name()}
-
-	buffer := 0.0
-	lastV := 0.0
-	playing := false
-	prevLevel := -1
-	lastThroughput := 0.0
+	res := s.Res()
 	consecSkips := 0
 
-	// advance moves the virtual clock to v, draining the buffer while
-	// playing and returning stall seconds.
-	advance := func(v float64) float64 {
-		dt := v - lastV
-		lastV = v
-		if dt <= 0 || !playing {
-			return 0
-		}
-		if buffer >= dt {
-			buffer -= dt
-			return 0
-		}
-		stall := dt - buffer
-		buffer = 0
-		return stall
-	}
-	for i := 0; i < n; i++ {
+	for !s.Done() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		rec := player.ChunkRecord{Index: i, BufferBefore: buffer}
-		st := abr.State{
-			ChunkIndex:        i,
-			Now:               vnow(),
-			Buffer:            buffer,
-			Playing:           playing,
-			PrevLevel:         prevLevel,
-			Est:               pred.Predict(vnow()),
-			LastThroughputBps: lastThroughput,
-		}
-		if canDelay {
-			if d := delayer.Delay(st); d > 0 {
-				rec.WaitSec += d
-				if err := sleepVirtual(d); err != nil {
-					return nil, err
-				}
-				stall := advance(vnow())
-				res.TotalRebufferSec += stall
-				rec.RebufferSec += stall
+		i := s.Chunk
+		s.SetNow(vnow())
+		st := s.BeginChunk()
+		if d := s.WantDelay(st); d > 0 {
+			s.NoteWait(d)
+			if err := sleepVirtual(d); err != nil {
+				return nil, err
 			}
+			s.AddStall(s.ElapseTo(vnow()))
 		}
-		if playing && buffer+m.ChunkDurSec > c.cfg.MaxBufferSec {
-			wait := buffer + m.ChunkDurSec - c.cfg.MaxBufferSec
-			rec.WaitSec += wait
+		if wait := s.FullBufferWait(); wait > 0 {
+			s.NoteWait(wait)
 			if err := sleepVirtual(wait); err != nil {
 				return nil, err
 			}
-			advance(vnow())
+			s.ElapseTo(vnow()) // cannot stall: buffer is at its maximum
 		}
 
-		st.Now, st.Buffer, st.Est = vnow(), buffer, pred.Predict(vnow())
-		if trc != nil && rec.WaitSec > 0 {
-			trc.Record(telemetry.Event{
-				Session: session, TimeSec: st.Now, Kind: telemetry.KindWait,
-				Chunk: i, Level: prevLevel, PrevLevel: prevLevel,
-				BufferSec: buffer, WaitSec: rec.WaitSec,
-			})
-		}
-		level := abr.ClampLevel(algo.Select(st), len(m.Tracks))
-		if trc != nil && !algoTraces {
-			trc.Record(telemetry.Event{
-				Session: session, TimeSec: st.Now, Kind: telemetry.KindDecide,
-				Chunk: i, Level: level, PrevLevel: prevLevel,
-				BufferSec: buffer, EstBps: st.Est,
-			})
-		}
+		s.SetNow(vnow())
+		s.Refresh(&st)
+		level := s.Decide(st)
 
 		v0 := vnow()
 		var sf segmentFetch
 		if fx != nil {
-			sf, err = fx.fetch(ctx, level, i, buffer, st.Est, playing)
+			sf, err = fx.fetch(ctx, level, i, s.BufferSec, st.Est, s.Playing)
 			if err != nil {
 				return nil, err
 			}
@@ -358,21 +304,19 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 		vdur := v1 - v0
 		bits := float64(sf.Bytes) * 8
 
-		rec.Level = sf.Level
-		rec.SizeBits = bits
-		rec.StartTime = v0
-		rec.DownloadSec = vdur
-		rec.Retries = sf.Retries
-		rec.Truncations = sf.Truncations
-		rec.Abandonments = sf.Abandonments
-		rec.WastedBits = sf.WastedBits
-		rec.Skipped = sf.Skipped
+		s.Rec.Level = sf.Level
+		s.Rec.SizeBits = bits
+		s.Rec.StartTime = v0
+		s.Rec.DownloadSec = vdur
+		s.Rec.Retries = sf.Retries
+		s.Rec.Truncations = sf.Truncations
+		s.Rec.Abandonments = sf.Abandonments
+		s.Rec.WastedBits = sf.WastedBits
+		s.Rec.Skipped = sf.Skipped
 		if vdur > 0 && !sf.Skipped {
-			rec.ThroughputBps = bits / vdur
+			s.Rec.ThroughputBps = bits / vdur
 		}
-		stall := advance(v1)
-		res.TotalRebufferSec += stall
-		rec.RebufferSec += stall
+		s.AddStall(s.ElapseTo(v1))
 		res.TotalRetries += sf.Retries
 		res.TotalTruncations += sf.Truncations
 		res.TotalAbandonments += sf.Abandonments
@@ -391,17 +335,13 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 				return nil, fmt.Errorf("dash: aborting after %d consecutive skipped segments (segment %d)",
 					consecSkips, i)
 			}
-			res.SkippedChunks++
-			res.TotalRebufferSec += m.ChunkDurSec
-			rec.RebufferSec += m.ChunkDurSec
-			rec.BufferAfter = buffer
-			res.Chunks = append(res.Chunks, rec)
+			s.SkipChunk()
 			c.mSkips.Inc()
 			if trc != nil {
 				trc.Record(telemetry.Event{
-					Session: session, TimeSec: v1, Kind: telemetry.KindSkip,
-					Chunk: i, Level: sf.Level, PrevLevel: prevLevel,
-					BufferSec: buffer, RebufferSec: rec.RebufferSec,
+					Session: s.Session(), TimeSec: v1, Kind: telemetry.KindSkip,
+					Chunk: i, Level: sf.Level, PrevLevel: s.PrevLevel,
+					BufferSec: s.BufferSec, RebufferSec: s.Rec.RebufferSec,
 					Attempt: sf.Retries, Detail: "retries exhausted",
 				})
 			}
@@ -412,45 +352,17 @@ func (c *Client) Run(ctx context.Context) (*player.Result, error) {
 			if err := sleepVirtual(m.ChunkDurSec); err != nil {
 				return nil, err
 			}
-			lastV = vnow()
+			s.SetNow(vnow())
 		} else {
 			consecSkips = 0
-			buffer += m.ChunkDurSec
-			rec.BufferAfter = buffer
-
-			pred.ObserveDownload(bits, vdur)
-			lastThroughput = rec.ThroughputBps
-			res.Chunks = append(res.Chunks, rec)
-			res.TotalBits += bits
-			if trc != nil {
-				// PrevLevel is the previous chunk's track (-1 on the first),
-				// so record before prevLevel advances to this chunk's level —
-				// the same ordering as the pure simulator.
-				trc.Record(telemetry.Event{
-					Session: session, TimeSec: v1, Kind: telemetry.KindDownload,
-					Chunk: i, Level: sf.Level, PrevLevel: prevLevel,
-					BufferSec: buffer, EstBps: st.Est,
-					SizeBits: bits, DownloadSec: vdur, ThroughputBps: rec.ThroughputBps,
-					RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
-				})
-			}
-			prevLevel = sf.Level
+			s.FinishDownload(st.Est)
 		}
 
-		if !playing && (buffer >= c.cfg.StartupSec || i == n-1) {
-			playing = true
-			res.StartupDelaySec = vnow()
-			lastV = res.StartupDelaySec
-			if trc != nil {
-				trc.Record(telemetry.Event{
-					Session: session, TimeSec: res.StartupDelaySec, Kind: telemetry.KindStartup,
-					Chunk: i, Level: rec.Level, PrevLevel: prevLevel, BufferSec: buffer,
-				})
-			}
-		}
+		s.MaybeStartup(vnow())
+		s.NextChunk()
 	}
-	res.SessionSec = vnow()
-	return res, nil
+	s.SetNow(vnow())
+	return s.Take(), nil
 }
 
 // fetchSegment downloads one segment fully, returning its byte count. The

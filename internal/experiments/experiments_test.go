@@ -13,7 +13,8 @@ var tinyOpt = Options{Traces: 3}
 func TestIDsComplete(t *testing.T) {
 	want := []string{"alpha", "autotune", "baselines", "cap4x", "cbrvbr", "chaos", "chunkdur", "codec",
 		"edge", "fig1", "fig10", "fig11", "fig2", "fig3", "fig4", "fig7", "fig7b", "fig8", "fig9",
-		"live", "liveext", "multiclient", "oracle", "prederr", "robustness", "startup", "table1", "table2"}
+		"fleet", "live", "liveext", "multiclient", "oracle", "prederr", "robustness", "startup",
+		"table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs() = %v, want %v", got, want)

@@ -1,0 +1,398 @@
+// Package fleet is the discrete-event fleet simulator: up to a million
+// concurrent ABR streaming sessions in one process, driven by a single
+// binary-heap priority queue of (session, wakeup) events over virtual time.
+//
+// Where the chaos harness proves the stack survives N goroutine-per-client
+// sessions with real sockets (N in the low hundreds), the fleet engine
+// answers the scale question the paper's trace-driven methodology implies:
+// what do QoE, rebuffering and switching look like across an entire
+// population? Every session runs the same player.StepState core as
+// player.Simulate and the DASH testbed client — one simulator, three
+// frontends — so a one-session fleet reproduces player.Simulate exactly
+// (see TestFleetEquivalence).
+//
+// Scale comes from three properties:
+//
+//   - shared immutable data: all sessions read the same video ladders and
+//     bandwidth traces, each at its own per-session trace offset (staggered
+//     arrivals, wraparound past the corpus end), so per-session memory is a
+//     few hundred bytes of state, not a copy of the corpus;
+//   - an allocation-free event loop: with chunk retention off and a nil
+//     recorder, advancing a session performs zero allocations (guarded by
+//     TestFleetZeroAllocPerEvent), and the event heap is typed and
+//     preallocated;
+//   - batched decisions: all sessions due at the same virtual instant are
+//     drained from the heap and decided as one batch, in deterministic
+//     session-id order.
+//
+// Every run is a pure function of Config (seeded rand only, no wall
+// clock); the package sits in abrlint's determinism and units analyzer
+// sets.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cava/internal/abr"
+	"cava/internal/cache"
+	"cava/internal/metrics"
+	"cava/internal/player"
+	"cava/internal/quality"
+	"cava/internal/telemetry"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// Config describes one fleet run. Videos, Traces and Scheme are required;
+// zero values elsewhere select the documented defaults.
+type Config struct {
+	// Videos is the shared content catalog; each session streams one,
+	// assigned by the seeded rng.
+	Videos []*video.Video
+	// Traces is the shared bandwidth corpus; each session replays one,
+	// assigned by the seeded rng.
+	Traces []*trace.Trace
+	// Scheme is the adaptation algorithm every session runs (one fresh
+	// instance per session, built lazily at the session's first event).
+	Scheme abr.Scheme
+	// Player is the shared player configuration (§6.1 defaults when zero).
+	Player player.Config
+	// Sessions is the fleet size (0 is a valid empty fleet).
+	Sessions int
+	// ArrivalRatePerSec staggers session starts as a seeded Poisson
+	// process with this mean arrival rate in virtual time; non-positive
+	// starts every session at virtual time 0.
+	ArrivalRatePerSec float64
+	// RandomTraceOffsets starts each session at a seeded uniform offset
+	// into its trace (wrapping past the end), decorrelating sessions that
+	// share a trace. Off, every session reads its trace from time 0 —
+	// required for bit-exact equivalence with player.Simulate.
+	RandomTraceOffsets bool
+	// Seed drives every random assignment (videos, traces, offsets,
+	// arrivals). Same seed, same fleet, same result.
+	Seed int64
+	// MaxChunks truncates each session after this many chunks (0 = full
+	// video), bounding run time for smokes and benchmarks.
+	MaxChunks int
+	// Metric is the perceptual metric for per-chunk quality accounting
+	// (default VMAF TV, matching the paper's FCC evaluation).
+	Metric quality.Metric
+	// Cache memoizes per-video quality tables across runs (nil computes
+	// them directly).
+	Cache *cache.Cache
+	// Collect retains every session's full per-chunk player.Result —
+	// memory grows with sessions × chunks, so this is for equivalence
+	// tests and small-fleet debugging, not scale runs.
+	Collect bool
+	// Metrics, when non-nil, receives fleet_events_total,
+	// fleet_sessions_completed_total and the fleet_sessions_active gauge.
+	Metrics *telemetry.Registry
+}
+
+// Result aggregates a completed fleet run. The distributions hold one
+// sample per session, queryable at any percentile via metrics.Sorted.
+type Result struct {
+	// Sessions is the fleet size; Events counts chunk-step events
+	// processed (each session contributes exactly its chunk count).
+	Sessions int
+	Events   int64
+	// ExpectedEvents is Σ per-session chunk counts — the exact event
+	// budget of a run with no livelock.
+	ExpectedEvents int64
+	// VirtualSec is the fleet virtual time at which the last session
+	// completed.
+	VirtualSec float64
+	// RebufferSec, StartupDelaySec, CompletionSec and SessionLenSec are
+	// per-session stall totals, startup delays, completion times (arrival +
+	// session length) and session lengths in virtual seconds. SessionLenSec
+	// is the starvation signal: a session whose length blows past the
+	// content duration is being starved by its trace.
+	RebufferSec     metrics.Sorted
+	StartupDelaySec metrics.Sorted
+	CompletionSec   metrics.Sorted
+	SessionLenSec   metrics.Sorted
+	// AvgQuality and QualityChange are the per-session mean delivered
+	// quality and mean absolute quality change per chunk; AvgLevel and
+	// Switches are the mean selected track and the track-switch count.
+	AvgQuality    metrics.Sorted
+	QualityChange metrics.Sorted
+	AvgLevel      metrics.Sorted
+	Switches      metrics.Sorted
+	// DataMB is per-session downloaded volume in megabytes.
+	DataMB metrics.Sorted
+	// Results holds the full per-session results when Config.Collect is
+	// set (session order), nil otherwise.
+	Results []*player.Result
+}
+
+// session is one fleet member: the shared step core plus its corpus
+// assignment and the online aggregates that replace per-chunk records.
+type session struct {
+	step       player.StepState
+	v          *video.Video
+	tr         *trace.Trace
+	qt         *quality.Table
+	offsetSec  float64
+	arrivalSec float64
+	started    bool
+
+	chunks        int
+	lastLevel     int
+	lastQual      float64
+	switches      int
+	levelSum      int
+	qualSum       float64
+	qualChangeSum float64
+}
+
+// Engine runs one fleet to completion. It is single-goroutine: the event
+// loop is sequential by construction (virtual time orders everything), and
+// one core comfortably clears hundreds of thousands of sessions.
+type Engine struct {
+	cfg      Config
+	sessions []session
+	heap     *eventHeap
+	batch    []int32
+
+	events         int64
+	expectedEvents int64
+	maxDoneSec     float64
+	completed      int
+
+	rebufferSec, startupSec, completionSec, sessionLenSec []float64
+	avgQuality, qualityChange                             []float64
+	avgLevel, switches, dataMB                            []float64
+	results                                               []*player.Result
+
+	mEvents    *telemetry.Counter
+	mCompleted *telemetry.Counter
+	mActive    *telemetry.Gauge
+}
+
+// New validates the config, assigns every session its video, trace, offset
+// and arrival from the seed, and primes the event queue with the arrivals.
+func New(cfg Config) (*Engine, error) {
+	if len(cfg.Videos) == 0 || len(cfg.Traces) == 0 || cfg.Scheme.New == nil {
+		return nil, fmt.Errorf("fleet: Config needs Videos, Traces and Scheme")
+	}
+	if cfg.Sessions < 0 {
+		return nil, fmt.Errorf("fleet: negative session count %d", cfg.Sessions)
+	}
+	if cfg.Sessions > math.MaxInt32 {
+		return nil, fmt.Errorf("fleet: session count %d exceeds the int32 event id space", cfg.Sessions)
+	}
+	if cfg.Sessions > 1 && cfg.Player.Predictor != nil {
+		// A Predictor instance is single-session state; sharing one across
+		// interleaved sessions would blend their throughput histories. Each
+		// session gets its own default predictor when this is nil.
+		return nil, fmt.Errorf("fleet: Player.Predictor is per-session state; leave it nil for multi-session fleets")
+	}
+	for _, v := range cfg.Videos {
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: video %s: %w", v.ID(), err)
+		}
+	}
+	qts := make(map[string]*quality.Table, len(cfg.Videos))
+	for _, v := range cfg.Videos {
+		qts[v.ID()] = cfg.Cache.QualityTable(v, cfg.Metric)
+	}
+	for _, tr := range cfg.Traces {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("fleet: trace %s: %w", tr.ID, err)
+		}
+	}
+
+	n := cfg.Sessions
+	e := &Engine{
+		cfg:           cfg,
+		sessions:      make([]session, n),
+		heap:          newEventHeap(n),
+		batch:         make([]int32, 0, minInt(n, 4096)),
+		rebufferSec:   make([]float64, 0, n),
+		startupSec:    make([]float64, 0, n),
+		completionSec: make([]float64, 0, n),
+		sessionLenSec: make([]float64, 0, n),
+		avgQuality:    make([]float64, 0, n),
+		qualityChange: make([]float64, 0, n),
+		avgLevel:      make([]float64, 0, n),
+		switches:      make([]float64, 0, n),
+		dataMB:        make([]float64, 0, n),
+		mEvents:       cfg.Metrics.Counter("fleet_events_total", "fleet chunk-step events processed"),
+		mCompleted:    cfg.Metrics.Counter("fleet_sessions_completed_total", "fleet sessions run to completion"),
+		mActive:       cfg.Metrics.Gauge("fleet_sessions_active", "fleet sessions arrived and not yet complete"),
+	}
+	if cfg.Collect {
+		e.results = make([]*player.Result, 0, n)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivalSec := 0.0
+	for i := 0; i < n; i++ {
+		v := cfg.Videos[rng.Intn(len(cfg.Videos))]
+		tr := cfg.Traces[rng.Intn(len(cfg.Traces))]
+		offSec := 0.0
+		if cfg.RandomTraceOffsets {
+			offSec = rng.Float64() * tr.Duration()
+		}
+		if cfg.ArrivalRatePerSec > 0 && i > 0 {
+			arrivalSec += rng.ExpFloat64() / cfg.ArrivalRatePerSec
+		}
+		e.sessions[i] = session{
+			v: v, tr: tr, qt: qts[v.ID()],
+			offsetSec: offSec, arrivalSec: arrivalSec,
+			lastLevel: -1,
+		}
+		chunks := v.NumChunks()
+		if cfg.MaxChunks > 0 && cfg.MaxChunks < chunks {
+			chunks = cfg.MaxChunks
+		}
+		e.expectedEvents += int64(chunks)
+		e.heap.push(event{wakeSec: arrivalSec, id: int32(i)})
+	}
+	return e, nil
+}
+
+// Run drains the event queue to completion and returns the aggregated
+// fleet result.
+func (e *Engine) Run() (*Result, error) {
+	for e.heap.len() > 0 {
+		e.runBatch()
+	}
+	if e.events != e.expectedEvents || e.completed != e.cfg.Sessions {
+		// Unreachable by construction (every Advance consumes exactly one
+		// chunk); if it ever trips, the engine is mis-scheduling and the
+		// run's aggregates cannot be trusted.
+		return nil, fmt.Errorf("fleet: processed %d events for %d expected, completed %d/%d sessions",
+			e.events, e.expectedEvents, e.completed, e.cfg.Sessions)
+	}
+	return &Result{
+		Sessions:        e.cfg.Sessions,
+		Events:          e.events,
+		ExpectedEvents:  e.expectedEvents,
+		VirtualSec:      e.maxDoneSec,
+		RebufferSec:     metrics.NewSorted(e.rebufferSec),
+		StartupDelaySec: metrics.NewSorted(e.startupSec),
+		CompletionSec:   metrics.NewSorted(e.completionSec),
+		SessionLenSec:   metrics.NewSorted(e.sessionLenSec),
+		AvgQuality:      metrics.NewSorted(e.avgQuality),
+		QualityChange:   metrics.NewSorted(e.qualityChange),
+		AvgLevel:        metrics.NewSorted(e.avgLevel),
+		Switches:        metrics.NewSorted(e.switches),
+		DataMB:          metrics.NewSorted(e.dataMB),
+		Results:         e.results,
+	}, nil
+}
+
+// runBatch drains every event due at the earliest pending instant and
+// advances those sessions as one batch. Heap order already yields the
+// batch in session-id order (the deterministic tie-break), so batched
+// decisions are reproducible run to run.
+func (e *Engine) runBatch() {
+	dueSec := e.heap.peek().wakeSec
+	e.batch = e.batch[:0]
+	//lint:allow floateq a batch is the bit-identical instant; a tolerance would merge distinct wakeups and reorder decisions
+	for e.heap.len() > 0 && e.heap.peek().wakeSec == dueSec {
+		e.batch = append(e.batch, e.heap.pop().id)
+	}
+	for _, id := range e.batch {
+		e.stepSession(id)
+	}
+}
+
+// stepSession advances one session by one chunk event and reschedules or
+// finalizes it.
+func (e *Engine) stepSession(id int32) {
+	s := &e.sessions[id]
+	if !s.started {
+		// Lazy start: the algorithm instance is built at the session's
+		// first event, so construction cost follows the arrival process
+		// instead of front-loading New, and completed sessions can be
+		// released while later arrivals are still warming up.
+		s.step.Init(s.v, s.v.ID(), s.tr.ID, e.cfg.Scheme.New(s.v), e.cfg.Player, e.cfg.Collect)
+		s.step.LimitChunks(e.cfg.MaxChunks)
+		s.started = true
+		e.mActive.Add(1)
+	}
+	wakeSec := s.step.Advance(s.tr, s.offsetSec)
+	e.events++
+	e.mEvents.Inc()
+	e.observeChunk(s)
+	if s.step.Done() {
+		e.finishSession(s)
+		return
+	}
+	e.heap.push(event{wakeSec: s.arrivalSec + wakeSec, id: id})
+}
+
+// observeChunk folds the just-completed chunk into the session's online
+// aggregates — the fleet-scale replacement for per-chunk records.
+func (e *Engine) observeChunk(s *session) {
+	rec := &s.step.Rec
+	q := s.qt.At(rec.Level, rec.Index)
+	if s.chunks > 0 {
+		if rec.Level != s.lastLevel {
+			s.switches++
+		}
+		s.qualChangeSum += math.Abs(q - s.lastQual)
+	}
+	s.lastLevel = rec.Level
+	s.lastQual = q
+	s.levelSum += rec.Level
+	s.qualSum += q
+	s.chunks++
+}
+
+// finishSession extracts the session's distribution samples and releases
+// its per-session state (algorithm, predictor) back to the collector.
+func (e *Engine) finishSession(s *session) {
+	res := s.step.Take()
+	doneSec := s.arrivalSec + res.SessionSec
+	if doneSec > e.maxDoneSec {
+		e.maxDoneSec = doneSec
+	}
+	e.rebufferSec = append(e.rebufferSec, res.TotalRebufferSec)
+	e.startupSec = append(e.startupSec, res.StartupDelaySec)
+	e.completionSec = append(e.completionSec, doneSec)
+	e.sessionLenSec = append(e.sessionLenSec, res.SessionSec)
+	e.dataMB = append(e.dataMB, res.TotalBits/8/1e6)
+	chunks := float64(maxInt(s.chunks, 1))
+	e.avgQuality = append(e.avgQuality, s.qualSum/chunks)
+	e.qualityChange = append(e.qualityChange, s.qualChangeSum/chunks)
+	e.avgLevel = append(e.avgLevel, float64(s.levelSum)/chunks)
+	e.switches = append(e.switches, float64(s.switches))
+	e.completed++
+	e.mCompleted.Inc()
+	e.mActive.Add(-1)
+	if e.cfg.Collect {
+		e.results = append(e.results, res)
+		return
+	}
+	// Drop the algorithm, predictor and step state; at fleet scale the
+	// arrived-but-unfinished working set is what bounds peak RSS.
+	s.step = player.StepState{}
+}
+
+// Run builds an engine for cfg and drains it — the one-call frontend.
+func Run(cfg Config) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package fleet
+
+// event is one scheduled wakeup: session id is due for service at wakeSec
+// of fleet virtual time. Events order by (wakeSec, id): simultaneous
+// wakeups tie-break deterministically by session id, so a run's event
+// order — and therefore its output — is a pure function of the seed, never
+// of insertion history or scheduling.
+type event struct {
+	wakeSec float64
+	id      int32
+}
+
+// eventLess is the heap order: earliest wakeup first, session id as the
+// deterministic tie-break.
+func eventLess(a, b event) bool {
+	//lint:allow floateq exact tie-break: equal wakeups are copied bits, and only bit-equal instants may fall through to the id order
+	if a.wakeSec != b.wakeSec {
+		return a.wakeSec < b.wakeSec
+	}
+	return a.id < b.id
+}
+
+// eventHeap is a binary min-heap of events with typed push/pop. It
+// deliberately does not use container/heap: the interface would box every
+// event into an `any` (one allocation per operation), which the engine's
+// zero-alloc per-event contract cannot afford. The backing slice is
+// preallocated to the fleet size, so steady-state push/pop never grows it.
+type eventHeap struct {
+	ev []event
+}
+
+func newEventHeap(capacity int) *eventHeap {
+	return &eventHeap{ev: make([]event, 0, capacity)}
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// peek returns the earliest event without removing it. Callers check len
+// first; peeking an empty heap is a caller bug and panics via the bounds
+// check.
+func (h *eventHeap) peek() event { return h.ev[0] }
+
+// push inserts an event, sifting it up to its ordered position.
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h.ev[i], h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event, sifting the displaced tail
+// element down.
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(h.ev[l], h.ev[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(h.ev[r], h.ev[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+}

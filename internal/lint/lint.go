@@ -75,14 +75,14 @@ func DefaultConfig() Config {
 			"internal/qoe", "internal/quality", "internal/oracle",
 			"internal/report", "internal/core", "internal/bandwidth",
 			"internal/plot", "internal/cliutil", "internal/lint",
-			"internal/dash", "internal/edge",
+			"internal/dash", "internal/edge", "internal/fleet",
 		},
 		DeterminismAllowFiles: []string{"internal/dash/clock.go"},
 		UnitsPkgs: []string{
 			"internal/video", "internal/trace", "internal/player",
 			"internal/abr", "internal/bandwidth", "internal/qoe",
 			"internal/metrics", "internal/core", "internal/oracle",
-			"internal/edge",
+			"internal/edge", "internal/fleet",
 		},
 	}
 }

@@ -115,6 +115,9 @@ func (r *Result) Levels() []int {
 // Simulate runs one streaming session of video v over trace tr with the
 // given adaptation algorithm. The algorithm instance must be fresh (it may
 // carry per-session state).
+//
+// Simulate is a thin frontend over the shared StepState core: a one-session
+// fleet (internal/fleet) driving the same core produces an identical Result.
 func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (*Result, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -122,157 +125,12 @@ func Simulate(v *video.Video, tr *trace.Trace, algo abr.Algorithm, cfg Config) (
 	if err := v.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.StartupSec <= 0 {
-		cfg.StartupSec = 10
+	var s StepState
+	s.Init(v, v.ID(), tr.ID, algo, cfg, true)
+	for !s.Done() {
+		s.Advance(tr, 0)
 	}
-	if cfg.MaxBufferSec <= 0 {
-		cfg.MaxBufferSec = 100
-	}
-	pred := cfg.Predictor
-	if pred == nil {
-		pred = bandwidth.NewHarmonicMean(bandwidth.DefaultWindow)
-	}
-	pred.Reset()
-
-	res := &Result{VideoID: v.ID(), TraceID: tr.ID, Scheme: algo.Name()}
-	delayer, canDelay := algo.(abr.Delayer)
-
-	// Decision tracing. When the algorithm records its own decide events
-	// (abr.Traced, e.g. CAVA with controller internals), the player emits
-	// only the step events around them; otherwise it records a plain decide
-	// per chunk, so every session produces the same schema.
-	trc := cfg.Recorder
-	session := ""
-	algoTraces := false
-	if trc != nil {
-		session = cfg.SessionID
-		if session == "" {
-			session = telemetry.SessionID(v.ID(), tr.ID, algo.Name())
-		}
-		if t, ok := algo.(abr.Traced); ok {
-			t.SetRecorder(trc, session)
-			algoTraces = true
-		}
-	}
-
-	now := 0.0
-	buffer := 0.0
-	playing := false
-	prevLevel := -1
-	lastThroughput := 0.0
-	n := v.NumChunks()
-
-	// drain advances time by dt, draining the buffer when playing and
-	// accounting any stall. Returns stall seconds incurred.
-	drain := func(dt float64) float64 {
-		now += dt
-		if !playing {
-			return 0
-		}
-		if buffer >= dt {
-			buffer -= dt
-			return 0
-		}
-		stall := dt - buffer
-		buffer = 0
-		return stall
-	}
-
-	for i := 0; i < n; i++ {
-		rec := ChunkRecord{Index: i, BufferBefore: buffer}
-
-		st := abr.State{
-			ChunkIndex:        i,
-			Now:               now,
-			Buffer:            buffer,
-			Playing:           playing,
-			PrevLevel:         prevLevel,
-			Est:               pred.Predict(now),
-			LastThroughputBps: lastThroughput,
-		}
-
-		// Algorithm-requested pause (e.g. BOLA above its buffer ceiling).
-		if canDelay {
-			if d := delayer.Delay(st); d > 0 {
-				rec.WaitSec += d
-				stall := drain(d)
-				res.TotalRebufferSec += stall
-				rec.RebufferSec += stall
-			}
-		}
-
-		// Full buffer: wait until the next chunk fits.
-		if playing && buffer+v.ChunkDurSec > cfg.MaxBufferSec {
-			wait := buffer + v.ChunkDurSec - cfg.MaxBufferSec
-			rec.WaitSec += wait
-			drain(wait) // cannot stall: buffer is at its maximum
-		}
-
-		// Refresh the state after any waiting.
-		st.Now, st.Buffer, st.Est = now, buffer, pred.Predict(now)
-		if trc != nil && rec.WaitSec > 0 {
-			trc.Record(telemetry.Event{
-				Session: session, TimeSec: now, Kind: telemetry.KindWait,
-				Chunk: i, Level: prevLevel, PrevLevel: prevLevel,
-				BufferSec: buffer, WaitSec: rec.WaitSec,
-			})
-		}
-		level := st2level(algo, st, v.NumTracks())
-		if trc != nil && !algoTraces {
-			trc.Record(telemetry.Event{
-				Session: session, TimeSec: now, Kind: telemetry.KindDecide,
-				Chunk: i, Level: level, PrevLevel: prevLevel,
-				BufferSec: buffer, EstBps: st.Est,
-			})
-		}
-		size := v.ChunkSize(level, i)
-
-		dl := tr.DownloadTime(now, size)
-		rec.Level = level
-		rec.SizeBits = size
-		rec.StartTime = now
-		rec.DownloadSec = dl
-		if dl > 0 {
-			rec.ThroughputBps = size / dl
-		}
-
-		stall := drain(dl)
-		res.TotalRebufferSec += stall
-		rec.RebufferSec += stall
-		buffer += v.ChunkDurSec
-		rec.BufferAfter = buffer
-
-		pred.ObserveDownload(size, dl)
-		lastThroughput = rec.ThroughputBps
-		res.Chunks = append(res.Chunks, rec)
-		res.TotalBits += size
-		if trc != nil {
-			// PrevLevel is the track of the *previous* chunk (-1 on the
-			// first), so it must be recorded before prevLevel advances to
-			// this chunk's level.
-			trc.Record(telemetry.Event{
-				Session: session, TimeSec: now, Kind: telemetry.KindDownload,
-				Chunk: i, Level: level, PrevLevel: prevLevel,
-				BufferSec: buffer, EstBps: st.Est,
-				SizeBits: size, DownloadSec: dl, ThroughputBps: rec.ThroughputBps,
-				RebufferSec: rec.RebufferSec, WaitSec: rec.WaitSec,
-			})
-		}
-		prevLevel = level
-
-		if !playing && (buffer >= cfg.StartupSec || i == n-1) {
-			playing = true
-			res.StartupDelaySec = now
-			if trc != nil {
-				trc.Record(telemetry.Event{
-					Session: session, TimeSec: now, Kind: telemetry.KindStartup,
-					Chunk: i, Level: level, PrevLevel: prevLevel, BufferSec: buffer,
-				})
-			}
-		}
-	}
-	res.SessionSec = now
-	return res, nil
+	return s.Take(), nil
 }
 
 // st2level queries the algorithm and clamps the result defensively, using

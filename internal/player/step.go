@@ -1,0 +1,365 @@
+package player
+
+import (
+	"cava/internal/abr"
+	"cava/internal/bandwidth"
+	"cava/internal/telemetry"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// StepState is the reusable session core behind every execution frontend:
+// the pure simulator (Simulate), the discrete-event fleet engine
+// (internal/fleet) and the live DASH testbed client (internal/dash) all
+// drive the same per-chunk state machine — one simulator, three frontends.
+//
+// The core is clock-agnostic: it never reads a clock. Virtual time only
+// moves when a frontend applies a duration (drain/ElapseTo), so the same
+// code runs under trace-integrated virtual time (Simulate, fleet) and
+// measured wall time (the testbed client). It is also allocation-free in
+// the steady state: with chunk-record retention off and a nil recorder,
+// Advance performs no allocations per event, which is what lets the fleet
+// engine hold hundreds of thousands of concurrent sessions in one process.
+//
+// A StepState is single-session, single-goroutine state. Zero value is not
+// usable; call Init first.
+type StepState struct {
+	v          *video.Video
+	algo       abr.Algorithm
+	delayer    abr.Delayer
+	pred       bandwidth.Predictor
+	trc        telemetry.Recorder
+	session    string
+	algoTraces bool
+	canDelay   bool
+	keepChunks bool
+
+	startupSec   float64
+	maxBufferSec float64
+	chunkDurSec  float64
+	numTracks    int
+	n            int
+
+	// NowSec is the session-local virtual clock (seconds since session
+	// start). BufferSec, Playing, PrevLevel and LastThroughputBps are the
+	// player state the next decision sees; Chunk is the next chunk index.
+	NowSec            float64
+	BufferSec         float64
+	Playing           bool
+	PrevLevel         int
+	LastThroughputBps float64
+	Chunk             int
+
+	// Rec is the record of the chunk currently in progress (or the last
+	// one completed). Frontends that obtain download outcomes themselves
+	// (the testbed client) fill its download fields before FinishDownload.
+	Rec ChunkRecord
+
+	res Result
+}
+
+// Init prepares the core for one session of v under algo. Config zero
+// values take the §6.1 defaults (startup 10 s, buffer cap 100 s, harmonic
+// mean predictor). videoID and traceID label the Result and the default
+// telemetry session identifier; keepChunks controls whether per-chunk
+// records accumulate on the Result (fleet-scale runs disable it to keep
+// the per-event path allocation-free).
+//
+// Init does not validate v: callers that accept external input run
+// v.Validate() (and trace validation) first, exactly as Simulate does.
+func (s *StepState) Init(v *video.Video, videoID, traceID string, algo abr.Algorithm, cfg Config, keepChunks bool) {
+	if cfg.StartupSec <= 0 {
+		cfg.StartupSec = 10
+	}
+	if cfg.MaxBufferSec <= 0 {
+		cfg.MaxBufferSec = 100
+	}
+	pred := cfg.Predictor
+	if pred == nil {
+		pred = bandwidth.NewHarmonicMean(bandwidth.DefaultWindow)
+	}
+	pred.Reset()
+
+	delayer, canDelay := algo.(abr.Delayer)
+
+	*s = StepState{
+		v:            v,
+		algo:         algo,
+		delayer:      delayer,
+		canDelay:     canDelay,
+		pred:         pred,
+		keepChunks:   keepChunks,
+		startupSec:   cfg.StartupSec,
+		maxBufferSec: cfg.MaxBufferSec,
+		chunkDurSec:  v.ChunkDurSec,
+		numTracks:    v.NumTracks(),
+		n:            v.NumChunks(),
+		PrevLevel:    -1,
+		res:          Result{VideoID: videoID, TraceID: traceID, Scheme: algo.Name()},
+	}
+
+	// Decision tracing. When the algorithm records its own decide events
+	// (abr.Traced, e.g. CAVA with controller internals), the core emits
+	// only the step events around them; otherwise it records a plain decide
+	// per chunk, so every session produces the same schema.
+	if trc := cfg.Recorder; trc != nil {
+		s.trc = trc
+		s.session = cfg.SessionID
+		if s.session == "" {
+			s.session = telemetry.SessionID(videoID, traceID, algo.Name())
+		}
+		if t, ok := algo.(abr.Traced); ok {
+			t.SetRecorder(trc, s.session)
+			s.algoTraces = true
+		}
+	}
+}
+
+// LimitChunks truncates the session after n chunks (the testbed client's
+// MaxChunks); non-positive or over-length values are ignored.
+func (s *StepState) LimitChunks(n int) {
+	if n > 0 && n < s.n {
+		s.n = n
+	}
+}
+
+// Done reports whether every chunk has been processed.
+func (s *StepState) Done() bool { return s.Chunk >= s.n }
+
+// Session returns the telemetry session identifier ("" when untraced).
+func (s *StepState) Session() string { return s.session }
+
+// Res exposes the in-progress Result for frontends that maintain extra
+// accounting on it (the testbed client's resilience totals).
+func (s *StepState) Res() *Result { return &s.res }
+
+// SetNow moves the virtual clock without draining the buffer. Frontends
+// running on a measured clock use it to sync the core to a fresh reading
+// at points where the elapsed sliver carries no playback meaning.
+func (s *StepState) SetNow(nowSec float64) { s.NowSec = nowSec }
+
+// drainFor advances time by dt, draining the buffer when playing.
+// Returns stall seconds incurred.
+func (s *StepState) drainFor(dt float64) float64 {
+	s.NowSec += dt
+	if !s.Playing {
+		return 0
+	}
+	if s.BufferSec >= dt {
+		s.BufferSec -= dt
+		return 0
+	}
+	stall := dt - s.BufferSec
+	s.BufferSec = 0
+	return stall
+}
+
+// ElapseTo advances the clock to the absolute virtual time nowSec,
+// draining the buffer while playing, and returns the stall incurred
+// (not yet accounted; see AddStall). A non-forward target only resets
+// the clock, mirroring the testbed client's measured-time bookkeeping.
+func (s *StepState) ElapseTo(nowSec float64) float64 {
+	dt := nowSec - s.NowSec
+	s.NowSec = nowSec
+	if dt <= 0 || !s.Playing {
+		return 0
+	}
+	if s.BufferSec >= dt {
+		s.BufferSec -= dt
+		return 0
+	}
+	stall := dt - s.BufferSec
+	s.BufferSec = 0
+	return stall
+}
+
+// AddStall accounts stall seconds to the current chunk and the session.
+func (s *StepState) AddStall(stallSec float64) {
+	s.res.TotalRebufferSec += stallSec
+	s.Rec.RebufferSec += stallSec
+}
+
+// NoteWait accounts idle seconds (scheme pause or full buffer) to the
+// current chunk.
+func (s *StepState) NoteWait(waitSec float64) { s.Rec.WaitSec += waitSec }
+
+// BeginChunk starts the current chunk: it resets the chunk record and
+// returns the decision state as of now.
+func (s *StepState) BeginChunk() abr.State {
+	s.Rec = ChunkRecord{Index: s.Chunk, BufferBefore: s.BufferSec}
+	return abr.State{
+		ChunkIndex:        s.Chunk,
+		Now:               s.NowSec,
+		Buffer:            s.BufferSec,
+		Playing:           s.Playing,
+		PrevLevel:         s.PrevLevel,
+		Est:               s.pred.Predict(s.NowSec),
+		LastThroughputBps: s.LastThroughputBps,
+	}
+}
+
+// WantDelay returns the algorithm-requested pause before the current chunk
+// (e.g. BOLA above its buffer ceiling), 0 when none.
+func (s *StepState) WantDelay(st abr.State) float64 {
+	if !s.canDelay {
+		return 0
+	}
+	if d := s.delayer.Delay(st); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// FullBufferWait returns how long the client must idle until the next
+// chunk fits under the buffer cap, 0 when it already fits.
+func (s *StepState) FullBufferWait() float64 {
+	if s.Playing && s.BufferSec+s.chunkDurSec > s.maxBufferSec {
+		return s.BufferSec + s.chunkDurSec - s.maxBufferSec
+	}
+	return 0
+}
+
+// Refresh re-reads the mutable decision inputs after any waiting and emits
+// the wait trace event when the chunk accumulated idle time.
+func (s *StepState) Refresh(st *abr.State) {
+	st.Now, st.Buffer, st.Est = s.NowSec, s.BufferSec, s.pred.Predict(s.NowSec)
+	if s.trc != nil && s.Rec.WaitSec > 0 {
+		s.trc.Record(telemetry.Event{
+			Session: s.session, TimeSec: s.NowSec, Kind: telemetry.KindWait,
+			Chunk: s.Chunk, Level: s.PrevLevel, PrevLevel: s.PrevLevel,
+			BufferSec: s.BufferSec, WaitSec: s.Rec.WaitSec,
+		})
+	}
+}
+
+// Decide queries the algorithm, clamps the result with the shared
+// abr.ClampLevel rule, and emits the plain decide event for algorithms
+// that do not trace themselves.
+func (s *StepState) Decide(st abr.State) int {
+	level := st2level(s.algo, st, s.numTracks)
+	if s.trc != nil && !s.algoTraces {
+		s.trc.Record(telemetry.Event{
+			Session: s.session, TimeSec: s.NowSec, Kind: telemetry.KindDecide,
+			Chunk: s.Chunk, Level: level, PrevLevel: s.PrevLevel,
+			BufferSec: s.BufferSec, EstBps: st.Est,
+		})
+	}
+	return level
+}
+
+// FinishDownload applies a completed download whose outcome is already in
+// Rec (level, size, timing): the buffer gains one chunk, the predictor
+// observes the transfer, totals and the download trace event advance, and
+// PrevLevel moves to the delivered level. estBps is the estimate the
+// decision saw (st.Est), echoed into the trace event.
+func (s *StepState) FinishDownload(estBps float64) {
+	s.BufferSec += s.chunkDurSec
+	s.Rec.BufferAfter = s.BufferSec
+
+	s.pred.ObserveDownload(s.Rec.SizeBits, s.Rec.DownloadSec)
+	s.LastThroughputBps = s.Rec.ThroughputBps
+	if s.keepChunks {
+		s.res.Chunks = append(s.res.Chunks, s.Rec)
+	}
+	s.res.TotalBits += s.Rec.SizeBits
+	if s.trc != nil {
+		// PrevLevel is the track of the *previous* chunk (-1 on the
+		// first), so it must be recorded before PrevLevel advances to
+		// this chunk's level.
+		s.trc.Record(telemetry.Event{
+			Session: s.session, TimeSec: s.NowSec, Kind: telemetry.KindDownload,
+			Chunk: s.Chunk, Level: s.Rec.Level, PrevLevel: s.PrevLevel,
+			BufferSec: s.BufferSec, EstBps: estBps,
+			SizeBits: s.Rec.SizeBits, DownloadSec: s.Rec.DownloadSec, ThroughputBps: s.Rec.ThroughputBps,
+			RebufferSec: s.Rec.RebufferSec, WaitSec: s.Rec.WaitSec,
+		})
+	}
+	s.PrevLevel = s.Rec.Level
+}
+
+// SkipChunk accounts a chunk that was never delivered (testbed client
+// after exhausting retries): playback jumps the gap, experienced as one
+// chunk duration of stall. PrevLevel, the predictor and the throughput
+// history deliberately do not advance.
+func (s *StepState) SkipChunk() {
+	s.res.SkippedChunks++
+	s.res.TotalRebufferSec += s.chunkDurSec
+	s.Rec.RebufferSec += s.chunkDurSec
+	s.Rec.BufferAfter = s.BufferSec
+	if s.keepChunks {
+		s.res.Chunks = append(s.res.Chunks, s.Rec)
+	}
+}
+
+// MaybeStartup starts playback once the startup buffer is filled (or the
+// last chunk arrived), stamping the startup delay with atSec and syncing
+// the clock to it. Reports whether playback started on this call.
+func (s *StepState) MaybeStartup(atSec float64) bool {
+	if s.Playing || (s.BufferSec < s.startupSec && s.Chunk != s.n-1) {
+		return false
+	}
+	s.Playing = true
+	s.res.StartupDelaySec = atSec
+	s.NowSec = atSec
+	if s.trc != nil {
+		s.trc.Record(telemetry.Event{
+			Session: s.session, TimeSec: atSec, Kind: telemetry.KindStartup,
+			Chunk: s.Chunk, Level: s.Rec.Level, PrevLevel: s.PrevLevel, BufferSec: s.BufferSec,
+		})
+	}
+	return true
+}
+
+// NextChunk advances to the next chunk index.
+func (s *StepState) NextChunk() { s.Chunk++ }
+
+// Advance runs one complete chunk step against a bandwidth trace: waits,
+// decision, trace-integrated download, accounting. The trace is read at
+// traceOffsetSec + session-local time, so fleet sessions can start at
+// staggered positions of a shared trace (wrapping past its end). It
+// returns the session-local virtual time at which the session next needs
+// service — the wakeup the discrete-event engine schedules.
+//
+// Advance performs no allocations in the steady state when the session
+// was initialized with keepChunks=false and a nil recorder.
+func (s *StepState) Advance(tr *trace.Trace, traceOffsetSec float64) float64 {
+	st := s.BeginChunk()
+
+	// Algorithm-requested pause (e.g. BOLA above its buffer ceiling).
+	if d := s.WantDelay(st); d > 0 {
+		s.NoteWait(d)
+		s.AddStall(s.drainFor(d))
+	}
+
+	// Full buffer: wait until the next chunk fits.
+	if wait := s.FullBufferWait(); wait > 0 {
+		s.NoteWait(wait)
+		s.drainFor(wait) // cannot stall: buffer is at its maximum
+	}
+
+	s.Refresh(&st)
+	level := s.Decide(st)
+	size := s.v.ChunkSize(level, s.Chunk)
+	dl := tr.DownloadTime(traceOffsetSec+s.NowSec, size)
+
+	s.Rec.Level = level
+	s.Rec.SizeBits = size
+	s.Rec.StartTime = s.NowSec
+	s.Rec.DownloadSec = dl
+	if dl > 0 {
+		s.Rec.ThroughputBps = size / dl
+	}
+
+	s.AddStall(s.drainFor(dl))
+	s.FinishDownload(st.Est)
+	s.MaybeStartup(s.NowSec)
+	s.NextChunk()
+	return s.NowSec
+}
+
+// Take finalizes and returns the session Result. The StepState must not
+// be advanced afterwards.
+func (s *StepState) Take() *Result {
+	s.res.SessionSec = s.NowSec
+	return &s.res
+}

@@ -26,6 +26,12 @@ go test -bench=Telemetry -benchtime=100x -run='TestZeroAllocUpdates|TestTelemetr
 # Sweep-memoization gate: warm replay must do zero sim work and reproduce
 # the cold output byte-for-byte (short mode; `make bench-sweep` for timings).
 go test -short -run='TestSweepColdWarm$' -count=1 .
+# Fleet-engine gates: the zero-alloc-per-event guard runs with the race
+# tests above; here the reduced scaling point enforces the sessions/sec
+# floor, and the fleet chaos smoke checks the discrete-event engine's
+# livelock and starvation invariants over 2000 virtual sessions.
+go test -short -run='TestFleetBench$' -count=1 .
+go test -run='TestFleetChaosSmoke$' -count=1 ./internal/chaos
 # Chaos soak: 32 concurrent sessions vs the lossy fault profile behind
 # admission control, race-enabled. Asserts no livelock, bounded honest
 # shedding (503 + Retry-After), and goroutines back to baseline.

@@ -67,19 +67,21 @@ bench-edge:
 	BENCH_EDGE_OUT=BENCH_edge.json $(GO) test -run='TestEdgeBench$$' -count=1 -v .
 
 # Fleet-engine chaos smoke: 2000 discrete-event sessions with Poisson
-# arrivals and random trace offsets; asserts the engine's livelock and
-# starvation invariants (exact event accounting, every session finishes
+# arrivals and random trace offsets, sharded across 4 workers and run under
+# the race detector (the multi-worker cell); asserts the engine's livelock
+# and starvation invariants (exact event accounting, every session finishes
 # within the virtual-time deadline).
 soak-fleet:
-	$(GO) test -run='TestFleetChaosSmoke$$' -count=1 -v ./internal/chaos
+	$(GO) test -race -run='TestFleetChaosSmoke$$' -count=1 -v ./internal/chaos
 
-# Fleet scaling benchmark: full-length sessions at 10k and the headline
-# 100k-concurrent point (every session live at virtual time 0); writes
-# sessions/sec, events/sec and peak RSS per point to BENCH_fleet.json.
+# Fleet scaling benchmark over the full 200-trace corpus (lte:100,fcc:100):
+# a 1-worker 100k baseline and the headline multi-core 1M-session point
+# (every session live at virtual time 0); writes sessions/sec, events/sec,
+# peak RSS and the measured speedup-per-worker to BENCH_fleet.json.
 bench-fleet:
-	BENCH_FLEET_OUT=BENCH_fleet.json $(GO) test -run='TestFleetBench$$' -count=1 -v .
+	BENCH_FLEET_OUT=BENCH_fleet.json $(GO) test -timeout 30m -run='TestFleetBench$$' -count=1 -v .
 
-# Short-mode variant wired into `check`: one reduced point under the same
-# sessions/sec floor, no artifact written.
+# Short-mode variant wired into `check`: one reduced multi-worker point
+# under the same per-worker sessions/sec floor, no artifact written.
 bench-fleet-short:
 	$(GO) test -short -run='TestFleetBench$$' -count=1 .

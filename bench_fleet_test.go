@@ -21,6 +21,7 @@ type benchFleetPoint struct {
 	Scheme         string  `json:"scheme"`
 	Sessions       int     `json:"sessions"`
 	MaxChunks      int     `json:"max_chunks"` // 0 = full-length sessions
+	Workers        int     `json:"workers"`
 	Events         int64   `json:"events"`
 	VirtualSec     float64 `json:"virtual_sec"`
 	WallSec        float64 `json:"wall_sec"`
@@ -29,19 +30,28 @@ type benchFleetPoint struct {
 	PeakRSSMB      float64 `json:"peak_rss_mb"`
 }
 
-// benchFleetReport is the BENCH_fleet.json schema.
+// benchFleetReport is the BENCH_fleet.json schema. The speedup fields
+// compare the headline multi-worker 1M-session point against the 1-worker
+// 100k baseline: SpeedupVsOneWorker is the events/sec ratio, and
+// SpeedupPerWorker divides that by the worker count — near 1.0 means the
+// shards scale linearly in cores.
 type benchFleetReport struct {
-	GoMaxProcs  int               `json:"go_max_procs"`
-	Points      []benchFleetPoint `json:"points"`
-	ScalingNote string            `json:"scaling_note"`
+	GoMaxProcs           int               `json:"go_max_procs"`
+	Points               []benchFleetPoint `json:"points"`
+	BaselineEventsPerSec float64           `json:"baseline_events_per_sec"`
+	HeadlineEventsPerSec float64           `json:"headline_events_per_sec"`
+	SpeedupVsOneWorker   float64           `json:"speedup_vs_one_worker"`
+	SpeedupPerWorker     float64           `json:"speedup_per_worker"`
+	ScalingNote          string            `json:"scaling_note"`
 }
 
-// scalingNote documents the measured path to a million sessions.
-const scalingNote = "Single-goroutine engine; events/sec is near-flat in fleet size (within " +
-	"~20% from 10k to 100k sessions, the drop being cache pressure on the larger working set) " +
-	"and peak RSS grows linearly in concurrent sessions (~2.4 KB/session at 100k), so 1M " +
-	"sessions is ~2.5 GB RSS and ~10x the 100k point's wall time on one core. All sessions " +
-	"arrive at virtual time 0 (worst case: the entire fleet is concurrently live)."
+// scalingNote documents the measured 1M-session point.
+const scalingNote = "Sharded engine: sessions partition by id into Config.Workers shards (one " +
+	"event heap per shard, results bit-identical for every worker count), so events/sec scales " +
+	"with cores while staying near-flat in fleet size per worker (residual drop is cache " +
+	"pressure on the larger working set). Peak RSS grows linearly in concurrent sessions " +
+	"(~2.4 KB/session); the 1M point below is measured, not extrapolated. All sessions arrive " +
+	"at virtual time 0 (worst case: the entire fleet is concurrently live)."
 
 // peakRSSMB reads the process's peak resident set in MB (ru_maxrss is KB on
 // Linux).
@@ -54,12 +64,14 @@ func peakRSSMB(t *testing.T) float64 {
 }
 
 // TestFleetBench is the fleet engine's scaling benchmark and its throughput
-// gate in one. Full mode runs full-length sessions at 10k and the headline
-// 100k-concurrent point and writes BENCH_fleet.json when BENCH_FLEET_OUT is
-// set; short mode (wired into `make check`) runs a reduced point with the
-// same sessions/sec floor. Every session arrives at virtual time 0, so the
-// fleet size IS the concurrency — there is no arrival-process discounting
-// in the claimed numbers.
+// gate in one. Full mode runs full-length sessions over the full 200-trace
+// corpus (lte:100,fcc:100): a 1-worker 100k baseline and the headline
+// multi-core 1M-session point, writing BENCH_fleet.json (with the measured
+// speedup over the baseline) when BENCH_FLEET_OUT is set. Short mode (wired
+// into `make check`) runs a reduced multi-worker point under the same
+// per-worker sessions/sec floor. Every session arrives at virtual time 0,
+// so the fleet size IS the concurrency — there is no arrival-process
+// discounting in the claimed numbers.
 func TestFleetBench(t *testing.T) {
 	cavaFactory, err := cliutil.SchemeByName("cava")
 	if err != nil {
@@ -73,11 +85,13 @@ func TestFleetBench(t *testing.T) {
 		video.YouTubeVideo(video.Title{Name: "ED", Genre: video.SciFi}),
 		video.YouTubeVideo(video.Title{Name: "BBB", Genre: video.Animation}),
 	}
-	traces := make([]*trace.Trace, 0, 60)
-	traces = append(traces, trace.GenLTESet(40)...)
-	traces = append(traces, trace.GenFCCSet(20)...)
+	// The full 200-trace corpus the paper-scale experiments use, not the
+	// reduced 60-trace mix earlier revisions benchmarked.
+	traces := make([]*trace.Trace, 0, 200)
+	traces = append(traces, trace.GenLTESet(100)...)
+	traces = append(traces, trace.GenFCCSet(100)...)
 
-	run := func(name string, factory abr.Factory, sessions, maxChunks int) benchFleetPoint {
+	run := func(name string, factory abr.Factory, sessions, maxChunks, workers int) benchFleetPoint {
 		start := time.Now()
 		res, err := fleet.Run(fleet.Config{
 			Videos:             videos,
@@ -85,6 +99,7 @@ func TestFleetBench(t *testing.T) {
 			Scheme:             abr.Scheme{Name: name, New: factory},
 			Player:             player.DefaultConfig(),
 			Sessions:           sessions,
+			Workers:            workers,
 			RandomTraceOffsets: true,
 			Seed:               1,
 			MaxChunks:          maxChunks,
@@ -93,46 +108,78 @@ func TestFleetBench(t *testing.T) {
 			t.Fatal(err)
 		}
 		wall := time.Since(start).Seconds()
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
 		p := benchFleetPoint{
-			Scheme: name, Sessions: sessions, MaxChunks: maxChunks,
+			Scheme: name, Sessions: sessions, MaxChunks: maxChunks, Workers: workers,
 			Events: res.Events, VirtualSec: res.VirtualSec, WallSec: wall,
 			EventsPerSec:   float64(res.Events) / wall,
 			SessionsPerSec: float64(sessions) / wall,
 			PeakRSSMB:      peakRSSMB(t),
 		}
-		t.Logf("%s × %d sessions: %d events, %.2f s wall, %.0f events/s, %.0f sessions/s, peak RSS %.0f MB",
-			p.Scheme, p.Sessions, p.Events, p.WallSec, p.EventsPerSec, p.SessionsPerSec, p.PeakRSSMB)
+		t.Logf("%s × %d sessions, %d workers: %d events, %.2f s wall, %.0f events/s, %.0f sessions/s, peak RSS %.0f MB",
+			p.Scheme, p.Sessions, p.Workers, p.Events, p.WallSec, p.EventsPerSec, p.SessionsPerSec, p.PeakRSSMB)
 		return p
 	}
 
-	// The floor is deliberately conservative (one core, CAVA decisions,
-	// full session semantics): a regression that serializes allocation or
-	// re-derives per-chunk state would land far below it.
-	const sessionsPerSecFloor = 200.0
+	// The floor is deliberately conservative (CAVA decisions, full session
+	// semantics): a regression that serializes allocation or re-derives
+	// per-chunk state would land far below it. It is per worker, so the
+	// gate is meaningful on any core count.
+	const sessionsPerSecPerWorkerFloor = 200.0
 
+	if testing.Short() {
+		p := run("cava", cavaFactory, 5000, 60, 0)
+		// Short-mode sessions run 60 chunks vs ~120 full-length, so the
+		// per-worker floor doubles.
+		if perWorker := p.SessionsPerSec / float64(p.Workers); perWorker < 2*sessionsPerSecPerWorkerFloor {
+			t.Errorf("fleet throughput %.0f sessions/s/worker below the %.0f floor",
+				perWorker, 2*sessionsPerSecPerWorkerFloor)
+		}
+		return
+	}
+
+	// The 1M headline runs only for the artifact-writing `make bench-fleet`
+	// invocation (BENCH_FLEET_OUT set): it is a multi-minute measurement,
+	// and plain `go test ./...` must stay a fast tier-1 gate. The default
+	// full mode still exercises the identical code path — baseline and a
+	// multi-worker point — at 100k sessions.
+	out := os.Getenv("BENCH_FLEET_OUT")
+	headlineSessions := 100_000
+	if out != "" {
+		headlineSessions = 1_000_000
+	}
 	var points []benchFleetPoint
-	if testing.Short() {
-		points = append(points, run("cava", cavaFactory, 5000, 60))
-	} else {
-		points = append(points, run("bba1", bbaFactory, 10_000, 0))
-		points = append(points, run("cava", cavaFactory, 10_000, 0))
-		points = append(points, run("cava", cavaFactory, 100_000, 0))
+	points = append(points, run("bba1", bbaFactory, 10_000, 0, 1))
+	baseline := run("cava", cavaFactory, 100_000, 0, 1)
+	points = append(points, baseline)
+	headline := run("cava", cavaFactory, headlineSessions, 0, 0)
+	points = append(points, headline)
+
+	if perWorker := headline.SessionsPerSec / float64(headline.Workers); perWorker < sessionsPerSecPerWorkerFloor {
+		t.Errorf("fleet throughput %.0f sessions/s/worker below the %.0f floor",
+			perWorker, sessionsPerSecPerWorkerFloor)
 	}
-	headline := points[len(points)-1]
-	// Scaled floor: full-length sessions run ~120 chunks, short-mode ones 60.
-	floor := sessionsPerSecFloor
-	if testing.Short() {
-		floor *= 2
-	}
-	if headline.SessionsPerSec < floor {
-		t.Errorf("fleet throughput %.0f sessions/s below the %.0f floor", headline.SessionsPerSec, floor)
+	speedup := headline.EventsPerSec / baseline.EventsPerSec
+	perWorkerSpeedup := speedup / float64(headline.Workers)
+	t.Logf("%dk @ %d workers vs 100k @ 1 worker: %.2fx events/s (%.2fx per worker)",
+		headlineSessions/1000, headline.Workers, speedup, perWorkerSpeedup)
+	// Near-linear gate with slack for the larger working set's cache
+	// pressure at the 1M point.
+	if perWorkerSpeedup < 0.5 {
+		t.Errorf("per-worker speedup %.2fx at the headline point is below 0.5x the 1-worker 100k baseline — sharding is not scaling", perWorkerSpeedup)
 	}
 
-	if out := os.Getenv("BENCH_FLEET_OUT"); out != "" {
+	if out != "" {
 		rep := benchFleetReport{
-			GoMaxProcs:  runtime.GOMAXPROCS(0),
-			Points:      points,
-			ScalingNote: scalingNote,
+			GoMaxProcs:           runtime.GOMAXPROCS(0),
+			Points:               points,
+			BaselineEventsPerSec: baseline.EventsPerSec,
+			HeadlineEventsPerSec: headline.EventsPerSec,
+			SpeedupVsOneWorker:   speedup,
+			SpeedupPerWorker:     perWorkerSpeedup,
+			ScalingNote:          scalingNote,
 		}
 		raw, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fleetsim -sessions 100000 -arrival 50 -trace-corpus lte:40,fcc:20 -scheme cava
+//	fleetsim -sessions 1000000 -workers 0 -trace-corpus lte:100,fcc:100 -scheme cava
 //	fleetsim -sessions 2000 -scheme robustmpc -videos ED-youtube-h264
 //	fleetsim -smoke                              (chaos invariants mode)
 package main
@@ -34,6 +34,7 @@ func main() {
 		corpusSpec = flag.String("trace-corpus", "lte:40,fcc:20", "trace corpus: lte:<n>,fcc:<n>,const:<mbps>,mahimahi:<path>")
 		schemeName = flag.String("scheme", "cava", "adaptation scheme (see cava-sim -list-schemes)")
 		videoIDs   = flag.String("videos", "ED-youtube-h264,BBB-youtube-h264", "comma-separated dataset video ids")
+		workers    = flag.Int("workers", 0, "event-loop shards/worker goroutines (0: all cores); results are identical for every value")
 		seed       = flag.Int64("seed", 1, "seed for corpus assignment, offsets and arrivals")
 		maxChunks  = flag.Int("max-chunks", 0, "truncate each session after this many chunks (0: full video)")
 		smoke      = flag.Bool("smoke", false, "chaos smoke mode: run the fleet invariant checks and exit non-zero on violation")
@@ -55,7 +56,7 @@ func main() {
 	scheme := abr.Scheme{Name: *schemeName, New: factory}
 
 	if *smoke {
-		runSmoke(videos, traces, scheme, *sessions, *arrival, *seed, *maxChunks)
+		runSmoke(videos, traces, scheme, *sessions, *arrival, *workers, *seed, *maxChunks)
 		return
 	}
 
@@ -66,6 +67,7 @@ func main() {
 		Scheme:             scheme,
 		Player:             player.DefaultConfig(),
 		Sessions:           *sessions,
+		Workers:            *workers,
 		ArrivalRatePerSec:  *arrival,
 		RandomTraceOffsets: true,
 		Seed:               *seed,
@@ -76,10 +78,14 @@ func main() {
 	}
 	wall := time.Since(start).Seconds()
 
+	shards := *workers
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
 	fmt.Printf("fleet: %d sessions (%s), %d videos × %d traces, arrival %g/s, seed %d\n",
 		res.Sessions, *schemeName, len(videos), len(traces), *arrival, *seed)
-	fmt.Printf("engine: %d events in %.2f s wall — %.0f events/s, %.0f sessions/s (GOMAXPROCS %d)\n",
-		res.Events, wall, float64(res.Events)/wall, float64(res.Sessions)/wall, runtime.GOMAXPROCS(0))
+	fmt.Printf("engine: %d events in %.2f s wall — %.0f events/s, %.0f sessions/s (%d workers, GOMAXPROCS %d)\n",
+		res.Events, wall, float64(res.Events)/wall, float64(res.Sessions)/wall, shards, runtime.GOMAXPROCS(0))
 	fmt.Printf("virtual horizon: %.0f s (last completion)\n\n", res.VirtualSec)
 
 	fmt.Printf("%-16s %10s %10s %10s %10s\n", "per-session", "p10", "p50", "p90", "p99")
@@ -100,10 +106,10 @@ func main() {
 // runSmoke executes the chaos -fleet mode: invariant checks against the
 // discrete-event engine, exiting 1 when any invariant is violated.
 func runSmoke(videos []*video.Video, traces []*trace.Trace, scheme abr.Scheme,
-	sessions int, arrival float64, seed int64, maxChunks int) {
+	sessions int, arrival float64, workers int, seed int64, maxChunks int) {
 	rep, err := chaos.RunFleet(chaos.FleetConfig{
 		Videos: videos, Traces: traces, Scheme: scheme,
-		Sessions: sessions, ArrivalRatePerSec: arrival,
+		Sessions: sessions, ArrivalRatePerSec: arrival, Workers: workers,
 		Seed: seed, MaxChunks: maxChunks,
 	})
 	if err != nil {

@@ -6,6 +6,7 @@
 package bandwidth
 
 import (
+	"math"
 	"math/rand"
 
 	"cava/internal/trace"
@@ -181,8 +182,15 @@ func (o *NoisyOracle) Predict(now float64) float64 {
 	if h <= 0 {
 		h = 8
 	}
-	// Average the trace over [now, now+h).
-	steps := int(h/o.tr.IntervalSec) + 1
+	// Average the trace over the half-open window [now, now+h): one sample
+	// per interval boundary strictly before now+h. The previous step count
+	// (int(h/interval) + 1) reached one interval past the horizon whenever
+	// h divided evenly — 9 samples for h=8 at 1 s intervals — silently
+	// widening the documented window.
+	steps := int(math.Ceil(h / o.tr.IntervalSec))
+	if steps < 1 {
+		steps = 1
+	}
 	sum, n := 0.0, 0
 	for k := 0; k < steps; k++ {
 		sum += o.tr.BandwidthAt(now + float64(k)*o.tr.IntervalSec)

@@ -173,3 +173,106 @@ func TestNoisyOracleTracksTrace(t *testing.T) {
 		t.Error("oracle should see the low step at t=10")
 	}
 }
+
+// TestNoisyOracleHorizonWindow is the off-by-one regression test: the
+// oracle averages the half-open window [now, now+h), hand-computed here on
+// a trace whose samples are all distinct. With h = 8 and 1 s intervals the
+// average covers exactly the 8 samples at now..now+7; the old step count
+// (int(h/interval) + 1) reached the 9th sample at now+8.
+func TestNoisyOracleHorizonWindow(t *testing.T) {
+	tr := &trace.Trace{ID: "ramp", IntervalSec: 1,
+		Samples: []float64{1e6, 2e6, 3e6, 4e6, 5e6, 6e6, 7e6, 8e6, 9e6, 10e6, 11e6, 12e6}}
+	o := NewNoisyOracle(tr, 0, 1)
+	// Mean of samples 0..7 — sample 8 (9e6) must NOT contribute.
+	want := (1e6 + 2e6 + 3e6 + 4e6 + 5e6 + 6e6 + 7e6 + 8e6) / 8
+	if got := o.Predict(0); got != want {
+		t.Errorf("Predict(0) over [0,8) = %v, want %v", got, want)
+	}
+	// Shifted window: samples 2..9.
+	want = (3e6 + 4e6 + 5e6 + 6e6 + 7e6 + 8e6 + 9e6 + 10e6) / 8
+	if got := o.Predict(2); got != want {
+		t.Errorf("Predict(2) over [2,10) = %v, want %v", got, want)
+	}
+	// A horizon that does not divide evenly still samples every interval
+	// boundary strictly before now+h: h = 2.5 covers samples 0, 1 and 2.
+	o.Horizon = 2.5
+	want = (1e6 + 2e6 + 3e6) / 3
+	if got := o.Predict(0); got != want {
+		t.Errorf("Predict(0) over [0,2.5) = %v, want %v", got, want)
+	}
+	// A horizon shorter than one interval degenerates to the current sample.
+	o.Horizon = 0.25
+	if got := o.Predict(3); got != 4e6 {
+		t.Errorf("Predict(3) over [3,3.25) = %v, want 4e6", got)
+	}
+}
+
+// naiveHarmonicMean is the slice-based reference implementation the fixed
+// ring replaced: append every throughput, keep the last W, harmonic-mean
+// them oldest to newest.
+type naiveHarmonicMean struct {
+	window int
+	hist   []float64
+}
+
+func (n *naiveHarmonicMean) ObserveDownload(bits, seconds float64) {
+	if seconds <= 0 || bits <= 0 {
+		return
+	}
+	n.hist = append(n.hist, bits/seconds)
+	if len(n.hist) > n.window {
+		n.hist = n.hist[len(n.hist)-n.window:]
+	}
+}
+
+func (n *naiveHarmonicMean) Predict() float64 {
+	if len(n.hist) == 0 {
+		return 0
+	}
+	inv := 0.0
+	for _, tp := range n.hist {
+		inv += 1 / tp
+	}
+	return float64(len(n.hist)) / inv
+}
+
+func (n *naiveHarmonicMean) Reset() { n.hist = nil }
+
+// TestHarmonicMeanRingMatchesNaive cross-checks the ring against the naive
+// append-window reference over randomized seeded observation streams:
+// partial windows, full windows with wraparound, invalid observations and
+// Reset-then-refill sequences must all stay bit-identical.
+func TestHarmonicMeanRingMatchesNaive(t *testing.T) {
+	for _, window := range []int{1, 2, 5, 8} {
+		// A fixed LCG drives the stream without math/rand, keeping the
+		// sequence reproducible across Go releases.
+		lcg := uint64(0x9e3779b97f4a7c15) + uint64(window)
+		next := func() uint64 {
+			lcg = lcg*6364136223846793005 + 1442695040888963407
+			return lcg >> 33
+		}
+		ring := NewHarmonicMean(window)
+		naive := &naiveHarmonicMean{window: window}
+		for i := 0; i < 500; i++ {
+			switch next() % 10 {
+			case 0: // invalid observations must be ignored identically
+				ring.ObserveDownload(0, 1)
+				naive.ObserveDownload(0, 1)
+				ring.ObserveDownload(1e6, -2)
+				naive.ObserveDownload(1e6, -2)
+			case 1: // reset-then-refill must restart both cleanly
+				ring.Reset()
+				naive.Reset()
+			default:
+				bits := float64(next()%100000) + 1
+				seconds := (float64(next()%1000) + 1) / 100
+				ring.ObserveDownload(bits, seconds)
+				naive.ObserveDownload(bits, seconds)
+			}
+			if got, want := ring.Predict(0), naive.Predict(); got != want {
+				t.Fatalf("window %d, step %d: ring predicts %v, naive reference %v",
+					window, i, got, want)
+			}
+		}
+	}
+}

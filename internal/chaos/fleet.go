@@ -29,6 +29,10 @@ type FleetConfig struct {
 	Scheme abr.Scheme
 	// Sessions is the fleet size (default 2000).
 	Sessions int
+	// Workers is the engine shard count (non-positive: GOMAXPROCS). The
+	// soak cell runs multi-worker under the race detector, so the shard
+	// partition itself is what the smoke exercises.
+	Workers int
 	// ArrivalRatePerSec staggers arrivals (default 20/s).
 	ArrivalRatePerSec float64
 	// Seed drives corpus assignment, offsets and arrivals (seeded rand
@@ -104,6 +108,7 @@ func RunFleet(cfg FleetConfig) (*FleetReport, error) {
 		Traces:             cfg.Traces,
 		Scheme:             cfg.Scheme,
 		Sessions:           cfg.Sessions,
+		Workers:            cfg.Workers,
 		ArrivalRatePerSec:  cfg.ArrivalRatePerSec,
 		RandomTraceOffsets: true,
 		Seed:               cfg.Seed,

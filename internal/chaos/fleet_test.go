@@ -33,10 +33,13 @@ func TestFleetChaosConfigValidation(t *testing.T) {
 
 // TestFleetChaosSmoke is the -fleet smoke: two thousand CAVA sessions with
 // Poisson arrivals and random trace offsets over a mixed LTE/FCC corpus,
-// checked against the engine's livelock and starvation invariants.
+// sharded across four workers (a multi-worker cell even on one core, so
+// the race-enabled soak exercises the shard partition itself), checked
+// against the engine's livelock and starvation invariants.
 func TestFleetChaosSmoke(t *testing.T) {
 	cfg := fleetTestConfig()
 	cfg.MaxChunks = 40 // bounded smoke; the bench runs full-length sessions
+	cfg.Workers = 4
 	rep, err := RunFleet(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -19,14 +19,17 @@ func init() {
 // runFleet is the population-scale counterpart of the per-session sweeps:
 // instead of one session per (video, trace, scheme) cell, the discrete-event
 // engine runs thousands of concurrent sessions with Poisson arrivals and
-// random trace offsets over a shared corpus, and reports each scheme's
-// fleet-level distributions — the tail percentiles an operator sees, which
-// cell means hide. Sessions scale with the trace-count option (25 sessions
-// per trace: 200 traces → 5000 sessions at paper scale).
+// random trace offsets over the full mixed corpus — half LTE, half FCC
+// (lte:100,fcc:100 = the 200-trace paper corpus at default scale, not the
+// reduced bench mix) — and reports each scheme's fleet-level distributions:
+// the tail percentiles an operator sees, which cell means hide. Sessions
+// scale with the trace-count option (25 sessions per trace: 200 traces →
+// 5000 sessions at paper scale); the engine shards across opt.Workers.
 func runFleet(opt Options) (*Result, error) {
 	videos := []*video.Video{edYouTube(), edFFmpeg()}
-	traces := trace.GenLTESet(opt.traces())
-	sessions := 25 * opt.traces()
+	nTraces := opt.traces()
+	traces := append(trace.GenLTESet((nTraces+1)/2), trace.GenFCCSet(nTraces/2)...)
+	sessions := 25 * nTraces
 	schemes := []abr.Scheme{cavaScheme(), mpcScheme(true), bbaScheme(), rbaScheme()}
 
 	header := []string{"scheme", "metric", "p10", "p50", "p90", "p99"}
@@ -38,6 +41,7 @@ func runFleet(opt Options) (*Result, error) {
 			Scheme:             sc,
 			Player:             defaultConfig(),
 			Sessions:           sessions,
+			Workers:            opt.Workers,
 			ArrivalRatePerSec:  2,
 			RandomTraceOffsets: true,
 			Seed:               1,
@@ -64,8 +68,8 @@ func runFleet(opt Options) (*Result, error) {
 	}
 
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d sessions per scheme, %d videos × %d LTE traces, Poisson arrivals (2/s), random trace offsets\n\n",
-		sessions, len(videos), len(traces))
+	fmt.Fprintf(&sb, "%d sessions per scheme, %d videos × %d traces (%d LTE + %d FCC), Poisson arrivals (2/s), random trace offsets\n\n",
+		sessions, len(videos), len(traces), (nTraces+1)/2, nTraces/2)
 	sb.WriteString(table(header, rows))
 	sb.WriteString("\nReading: per-session distributions across the whole fleet; p99 rebuffer is the\n" +
 		"operator's pain metric. Every scheme sees the identical session population\n" +

@@ -1,6 +1,7 @@
 // Package fleet is the discrete-event fleet simulator: up to a million
-// concurrent ABR streaming sessions in one process, driven by a single
-// binary-heap priority queue of (session, wakeup) events over virtual time.
+// concurrent ABR streaming sessions in one process, driven by per-shard
+// binary-heap priority queues of (session, wakeup) events over virtual
+// time.
 //
 // Where the chaos harness proves the stack survives N goroutine-per-client
 // sessions with real sockets (N in the low hundreds), the fleet engine
@@ -11,7 +12,7 @@
 // frontends — so a one-session fleet reproduces player.Simulate exactly
 // (see TestFleetEquivalence).
 //
-// Scale comes from three properties:
+// Scale comes from four properties:
 //
 //   - shared immutable data: all sessions read the same video ladders and
 //     bandwidth traces, each at its own per-session trace offset (staggered
@@ -19,11 +20,17 @@
 //     few hundred bytes of state, not a copy of the corpus;
 //   - an allocation-free event loop: with chunk retention off and a nil
 //     recorder, advancing a session performs zero allocations (guarded by
-//     TestFleetZeroAllocPerEvent), and the event heap is typed and
-//     preallocated;
-//   - batched decisions: all sessions due at the same virtual instant are
-//     drained from the heap and decided as one batch, in deterministic
-//     session-id order.
+//     TestFleetZeroAllocPerEvent, which holds per shard), and each shard's
+//     event heap is typed and preallocated;
+//   - batched decisions: within a shard, all sessions due at the same
+//     virtual instant are drained from the heap and decided in rounds of
+//     ascending session id (see drainInstant);
+//   - sharding: sessions are mutually independent, so the event loop
+//     partitions by session id into Config.Workers shards that run
+//     concurrently, one heap per shard. The seeded assignment pass stays
+//     sequential and per-shard outputs are written to id-indexed slices,
+//     so the Result is bit-identical for every worker count
+//     (TestFleetShardEquivalence).
 //
 // Every run is a pure function of Config (seeded rand only, no wall
 // clock); the package sits in abrlint's determinism and units analyzer
@@ -34,6 +41,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"cava/internal/abr"
 	"cava/internal/cache"
@@ -56,11 +65,21 @@ type Config struct {
 	Traces []*trace.Trace
 	// Scheme is the adaptation algorithm every session runs (one fresh
 	// instance per session, built lazily at the session's first event).
+	// The factory must be safe for concurrent calls, the same contract
+	// sim.Run's worker pool already imposes on every registry scheme.
 	Scheme abr.Scheme
 	// Player is the shared player configuration (§6.1 defaults when zero).
 	Player player.Config
 	// Sessions is the fleet size (0 is a valid empty fleet).
 	Sessions int
+	// Workers is the shard count: sessions are partitioned by id into
+	// Workers contiguous shards, each drained on its own goroutine with
+	// its own event heap. Sessions are mutually independent and every
+	// shard writes only its own sessions' slots of the shared id-indexed
+	// aggregates, so the Result is bit-identical for every worker count
+	// (pinned by TestFleetShardEquivalence). Non-positive selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
 	// ArrivalRatePerSec staggers session starts as a seeded Poisson
 	// process with this mean arrival rate in virtual time; non-positive
 	// starts every session at virtual time 0.
@@ -88,6 +107,8 @@ type Config struct {
 	Collect bool
 	// Metrics, when non-nil, receives fleet_events_total,
 	// fleet_sessions_completed_total and the fleet_sessions_active gauge.
+	// Counters and gauges are lock-free atomics, so shards update them
+	// concurrently without coordination.
 	Metrics *telemetry.Registry
 }
 
@@ -123,7 +144,7 @@ type Result struct {
 	// DataMB is per-session downloaded volume in megabytes.
 	DataMB metrics.Sorted
 	// Results holds the full per-session results when Config.Collect is
-	// set (session order), nil otherwise.
+	// set, indexed by session id, nil otherwise.
 	Results []*player.Result
 }
 
@@ -147,20 +168,26 @@ type session struct {
 	qualChangeSum float64
 }
 
-// Engine runs one fleet to completion. It is single-goroutine: the event
-// loop is sequential by construction (virtual time orders everything), and
-// one core comfortably clears hundreds of thousands of sessions.
+// Engine runs one fleet to completion. It is split into three layers:
+//
+//   - assignment (New): one sequential pass over the seeded rng gives every
+//     session its video, trace, offset and arrival — bit-identical draws
+//     regardless of the worker count;
+//   - shard pass (Run): the id-partitioned shards drain their event heaps
+//     concurrently, each writing only its own sessions' slots of the
+//     shared id-indexed sample slices;
+//   - merge (Run): per-shard scalar tallies (events, completions, horizon)
+//     fold in shard-index order and the id-indexed samples feed the sorted
+//     distributions.
 type Engine struct {
-	cfg      Config
-	sessions []session
-	heap     *eventHeap
-	batch    []int32
-
-	events         int64
+	cfg            Config
+	sessions       []session
+	shards         []shard
 	expectedEvents int64
-	maxDoneSec     float64
-	completed      int
 
+	// Per-session samples, indexed by session id and written exactly once
+	// by the owning shard — disjoint writes, no synchronization needed,
+	// and a merge order that cannot depend on the worker count.
 	rebufferSec, startupSec, completionSec, sessionLenSec []float64
 	avgQuality, qualityChange                             []float64
 	avgLevel, switches, dataMB                            []float64
@@ -172,7 +199,9 @@ type Engine struct {
 }
 
 // New validates the config, assigns every session its video, trace, offset
-// and arrival from the seed, and primes the event queue with the arrivals.
+// and arrival from the seed (sequentially, so the draws are identical for
+// every worker count), and partitions the sessions into shards with primed
+// event queues.
 func New(cfg Config) (*Engine, error) {
 	if len(cfg.Videos) == 0 || len(cfg.Traces) == 0 || cfg.Scheme.New == nil {
 		return nil, fmt.Errorf("fleet: Config needs Videos, Traces and Scheme")
@@ -208,25 +237,26 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:           cfg,
 		sessions:      make([]session, n),
-		heap:          newEventHeap(n),
-		batch:         make([]int32, 0, minInt(n, 4096)),
-		rebufferSec:   make([]float64, 0, n),
-		startupSec:    make([]float64, 0, n),
-		completionSec: make([]float64, 0, n),
-		sessionLenSec: make([]float64, 0, n),
-		avgQuality:    make([]float64, 0, n),
-		qualityChange: make([]float64, 0, n),
-		avgLevel:      make([]float64, 0, n),
-		switches:      make([]float64, 0, n),
-		dataMB:        make([]float64, 0, n),
+		rebufferSec:   make([]float64, n),
+		startupSec:    make([]float64, n),
+		completionSec: make([]float64, n),
+		sessionLenSec: make([]float64, n),
+		avgQuality:    make([]float64, n),
+		qualityChange: make([]float64, n),
+		avgLevel:      make([]float64, n),
+		switches:      make([]float64, n),
+		dataMB:        make([]float64, n),
 		mEvents:       cfg.Metrics.Counter("fleet_events_total", "fleet chunk-step events processed"),
 		mCompleted:    cfg.Metrics.Counter("fleet_sessions_completed_total", "fleet sessions run to completion"),
 		mActive:       cfg.Metrics.Gauge("fleet_sessions_active", "fleet sessions arrived and not yet complete"),
 	}
 	if cfg.Collect {
-		e.results = make([]*player.Result, 0, n)
+		e.results = make([]*player.Result, n)
 	}
 
+	// Assignment pass: one sequential walk of the seeded rng, independent
+	// of the worker count, so video/trace/offset/arrival draws are
+	// bit-identical to the single-goroutine engine's.
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	arrivalSec := 0.0
 	for i := 0; i < n; i++ {
@@ -249,29 +279,71 @@ func New(cfg Config) (*Engine, error) {
 			chunks = cfg.MaxChunks
 		}
 		e.expectedEvents += int64(chunks)
-		e.heap.push(event{wakeSec: arrivalSec, id: int32(i)})
+	}
+
+	// Shard pass setup: partition [0, n) into contiguous id ranges (cache-
+	// friendly: a shard walks a dense slab of the sessions slice).
+	p := cfg.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	e.shards = make([]shard, p)
+	for s := range e.shards {
+		e.shards[s].init(e, int32(n*s/p), int32(n*(s+1)/p))
 	}
 	return e, nil
 }
 
-// Run drains the event queue to completion and returns the aggregated
-// fleet result.
+// Run drains every shard's event queue to completion — concurrently when
+// the engine has more than one shard — merges the per-shard tallies in
+// shard-index order, and returns the aggregated fleet result.
 func (e *Engine) Run() (*Result, error) {
-	for e.heap.len() > 0 {
-		e.runBatch()
+	if len(e.shards) == 1 {
+		e.shards[0].drain()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(e.shards))
+		for i := range e.shards {
+			go func(sh *shard) {
+				defer wg.Done()
+				sh.drain()
+			}(&e.shards[i])
+		}
+		wg.Wait()
 	}
-	if e.events != e.expectedEvents || e.completed != e.cfg.Sessions {
+
+	// Merge layer: scalar tallies fold in shard-index order; the sample
+	// slices are already id-indexed (each shard wrote only its own range),
+	// so the distributions below cannot depend on the worker count.
+	var events int64
+	completed := 0
+	maxDoneSec := 0.0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		events += sh.events
+		completed += sh.completed
+		if sh.maxDoneSec > maxDoneSec {
+			maxDoneSec = sh.maxDoneSec
+		}
+	}
+	if events != e.expectedEvents || completed != e.cfg.Sessions {
 		// Unreachable by construction (every Advance consumes exactly one
 		// chunk); if it ever trips, the engine is mis-scheduling and the
 		// run's aggregates cannot be trusted.
 		return nil, fmt.Errorf("fleet: processed %d events for %d expected, completed %d/%d sessions",
-			e.events, e.expectedEvents, e.completed, e.cfg.Sessions)
+			events, e.expectedEvents, completed, e.cfg.Sessions)
 	}
 	return &Result{
 		Sessions:        e.cfg.Sessions,
-		Events:          e.events,
+		Events:          events,
 		ExpectedEvents:  e.expectedEvents,
-		VirtualSec:      e.maxDoneSec,
+		VirtualSec:      maxDoneSec,
 		RebufferSec:     metrics.NewSorted(e.rebufferSec),
 		StartupDelaySec: metrics.NewSorted(e.startupSec),
 		CompletionSec:   metrics.NewSorted(e.completionSec),
@@ -283,95 +355,6 @@ func (e *Engine) Run() (*Result, error) {
 		DataMB:          metrics.NewSorted(e.dataMB),
 		Results:         e.results,
 	}, nil
-}
-
-// runBatch drains every event due at the earliest pending instant and
-// advances those sessions as one batch. Heap order already yields the
-// batch in session-id order (the deterministic tie-break), so batched
-// decisions are reproducible run to run.
-func (e *Engine) runBatch() {
-	dueSec := e.heap.peek().wakeSec
-	e.batch = e.batch[:0]
-	//lint:allow floateq a batch is the bit-identical instant; a tolerance would merge distinct wakeups and reorder decisions
-	for e.heap.len() > 0 && e.heap.peek().wakeSec == dueSec {
-		e.batch = append(e.batch, e.heap.pop().id)
-	}
-	for _, id := range e.batch {
-		e.stepSession(id)
-	}
-}
-
-// stepSession advances one session by one chunk event and reschedules or
-// finalizes it.
-func (e *Engine) stepSession(id int32) {
-	s := &e.sessions[id]
-	if !s.started {
-		// Lazy start: the algorithm instance is built at the session's
-		// first event, so construction cost follows the arrival process
-		// instead of front-loading New, and completed sessions can be
-		// released while later arrivals are still warming up.
-		s.step.Init(s.v, s.v.ID(), s.tr.ID, e.cfg.Scheme.New(s.v), e.cfg.Player, e.cfg.Collect)
-		s.step.LimitChunks(e.cfg.MaxChunks)
-		s.started = true
-		e.mActive.Add(1)
-	}
-	wakeSec := s.step.Advance(s.tr, s.offsetSec)
-	e.events++
-	e.mEvents.Inc()
-	e.observeChunk(s)
-	if s.step.Done() {
-		e.finishSession(s)
-		return
-	}
-	e.heap.push(event{wakeSec: s.arrivalSec + wakeSec, id: id})
-}
-
-// observeChunk folds the just-completed chunk into the session's online
-// aggregates — the fleet-scale replacement for per-chunk records.
-func (e *Engine) observeChunk(s *session) {
-	rec := &s.step.Rec
-	q := s.qt.At(rec.Level, rec.Index)
-	if s.chunks > 0 {
-		if rec.Level != s.lastLevel {
-			s.switches++
-		}
-		s.qualChangeSum += math.Abs(q - s.lastQual)
-	}
-	s.lastLevel = rec.Level
-	s.lastQual = q
-	s.levelSum += rec.Level
-	s.qualSum += q
-	s.chunks++
-}
-
-// finishSession extracts the session's distribution samples and releases
-// its per-session state (algorithm, predictor) back to the collector.
-func (e *Engine) finishSession(s *session) {
-	res := s.step.Take()
-	doneSec := s.arrivalSec + res.SessionSec
-	if doneSec > e.maxDoneSec {
-		e.maxDoneSec = doneSec
-	}
-	e.rebufferSec = append(e.rebufferSec, res.TotalRebufferSec)
-	e.startupSec = append(e.startupSec, res.StartupDelaySec)
-	e.completionSec = append(e.completionSec, doneSec)
-	e.sessionLenSec = append(e.sessionLenSec, res.SessionSec)
-	e.dataMB = append(e.dataMB, res.TotalBits/8/1e6)
-	chunks := float64(maxInt(s.chunks, 1))
-	e.avgQuality = append(e.avgQuality, s.qualSum/chunks)
-	e.qualityChange = append(e.qualityChange, s.qualChangeSum/chunks)
-	e.avgLevel = append(e.avgLevel, float64(s.levelSum)/chunks)
-	e.switches = append(e.switches, float64(s.switches))
-	e.completed++
-	e.mCompleted.Inc()
-	e.mActive.Add(-1)
-	if e.cfg.Collect {
-		e.results = append(e.results, res)
-		return
-	}
-	// Drop the algorithm, predictor and step state; at fleet scale the
-	// arrived-but-unfinished working set is what bounds peak RSS.
-	s.step = player.StepState{}
 }
 
 // Run builds an engine for cfg and drains it — the one-call frontend.

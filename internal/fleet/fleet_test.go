@@ -2,12 +2,15 @@ package fleet
 
 import (
 	"math"
+	"math/rand"
 	"reflect"
+	"runtime"
 	"sort"
 	"testing"
 
 	"cava/internal/abr"
 	"cava/internal/bandwidth"
+	"cava/internal/metrics"
 	"cava/internal/player"
 	"cava/internal/sim"
 	"cava/internal/trace"
@@ -327,19 +330,20 @@ func TestFleetZeroAllocPerEvent(t *testing.T) {
 	})
 	e, err := New(Config{
 		Videos: []*video.Video{v}, Traces: []*trace.Trace{trace.GenLTE(4)},
-		Scheme: fixedScheme(2), Sessions: 4,
+		Scheme: fixedScheme(2), Sessions: 4, Workers: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sh := &e.shards[0]
 	// Warm-up: lazy session Init (algorithm + predictor construction) and
 	// predictor window fill are startup costs, not steady state.
-	for i := 0; i < 20 && e.heap.len() > 0; i++ {
-		e.runBatch()
+	for i := 0; i < 20 && sh.heap.len() > 0; i++ {
+		sh.runBatch()
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if e.heap.len() > 0 {
-			e.runBatch()
+		if sh.heap.len() > 0 {
+			sh.runBatch()
 		}
 	})
 	if allocs != 0 {
@@ -353,6 +357,135 @@ func TestFleetZeroAllocPerEvent(t *testing.T) {
 	}
 	if res.Events != res.ExpectedEvents {
 		t.Errorf("events %d != expected %d after alloc probe", res.Events, res.ExpectedEvents)
+	}
+}
+
+// TestFleetShardEquivalence is the sharding contract: the Result — every
+// sorted distribution, Events, VirtualSec and the Collect-mode per-session
+// Results — is bit-identical for every worker count at a fixed seed. The
+// assignment pass is sequential and sessions are mutually independent, so
+// partitioning must be unobservable in the output.
+func TestFleetShardEquivalence(t *testing.T) {
+	cfg := Config{
+		Videos: []*video.Video{shortVideo(), video.Generate(video.GenConfig{
+			Name: "fleet-shard-2", Genre: video.Sports,
+			ChunkDurSec: 2, DurationSec: 80, Seed: 11,
+		})},
+		Traces:             []*trace.Trace{trace.GenLTE(0), trace.GenLTE(1), trace.GenFCC(0)},
+		Scheme:             fixedScheme(2),
+		Sessions:           60,
+		ArrivalRatePerSec:  1.5,
+		RandomTraceOffsets: true,
+		Seed:               42,
+		Collect:            true,
+	}
+	cfg.Workers = 1
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 7, runtime.GOMAXPROCS(0), 61} {
+		cfg.Workers = p
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", p, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d diverges from workers=1", p)
+		}
+	}
+}
+
+// TestFleetSoloReference pins the one-worker engine against an independent
+// reconstruction of the pre-shard semantics: the test replays the seeded
+// assignment pass by hand (same rng draw order), runs each session solo
+// through player.Simulate, and rebuilds every distribution. Arrivals only
+// shift completion times; per-session trajectories must match the solo
+// runs bit for bit.
+func TestFleetSoloReference(t *testing.T) {
+	videos := []*video.Video{shortVideo(), video.Generate(video.GenConfig{
+		Name: "fleet-ref-2", Genre: video.Nature,
+		ChunkDurSec: 2, DurationSec: 60, Seed: 21,
+	})}
+	traces := []*trace.Trace{trace.GenLTE(0), trace.GenFCC(1)}
+	const (
+		n    = 24
+		rate = 2.0
+		seed = 99
+	)
+	sc := fixedScheme(1)
+	res, err := Run(Config{
+		Videos: videos, Traces: traces, Scheme: sc,
+		Sessions: n, ArrivalRatePerSec: rate, Seed: seed,
+		Workers: 1, Collect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical rng walk to the engine's assignment pass (no offset draw:
+	// RandomTraceOffsets is off above).
+	rng := rand.New(rand.NewSource(seed))
+	arrivalSec := 0.0
+	completion := make([]float64, n)
+	rebuffer := make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := videos[rng.Intn(len(videos))]
+		tr := traces[rng.Intn(len(traces))]
+		if i > 0 {
+			arrivalSec += rng.ExpFloat64() / rate
+		}
+		want, err := player.Simulate(v, tr, sc.New(v), player.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, res.Results[i]) {
+			t.Fatalf("session %d diverges from its solo player.Simulate run", i)
+		}
+		completion[i] = arrivalSec + want.SessionSec
+		rebuffer[i] = want.TotalRebufferSec
+	}
+	if got, want := res.CompletionSec, metrics.NewSorted(completion); !reflect.DeepEqual(got, want) {
+		t.Error("completion distribution diverges from the solo reconstruction")
+	}
+	if got, want := res.RebufferSec, metrics.NewSorted(rebuffer); !reflect.DeepEqual(got, want) {
+		t.Error("rebuffer distribution diverges from the solo reconstruction")
+	}
+}
+
+// TestDrainInstantSameInstantRewake pins the re-wake ordering fix: a
+// session re-pushed with a wake time equal to the instant being drained is
+// processed in a later round of the *same* drainInstant call — the instant
+// completes before the function returns — and later-instant events stay
+// queued. The old engine returned after the first round, so a same-instant
+// re-wake leaked into a separate batch.
+func TestDrainInstantSameInstantRewake(t *testing.T) {
+	h := newEventHeap(8)
+	for _, id := range []int32{2, 0, 1} {
+		h.push(event{wakeSec: 5, id: id})
+	}
+	h.push(event{wakeSec: 9, id: 3})
+
+	var order []int32
+	rewoken := false
+	step := func(id int32) {
+		order = append(order, id)
+		// Session 0's step completes instantaneously once: a zero-duration
+		// chunk re-wakes it at the instant being drained.
+		if id == 0 && !rewoken {
+			rewoken = true
+			h.push(event{wakeSec: 5, id: 0})
+		}
+	}
+	drainInstant(h, nil, step)
+
+	// Round 1 is ids 0,1,2 in order; the re-wake forms round 2.
+	want := []int32{0, 1, 2, 0}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("instant drained in order %v, want %v", order, want)
+	}
+	if h.len() != 1 || h.peek().wakeSec != 9 {
+		t.Errorf("later-instant event disturbed: %d events left, head %+v", h.len(), h.peek())
 	}
 }
 

@@ -54,6 +54,38 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
+// drainInstant pops and processes every event due at the earliest pending
+// instant before returning, so virtual time never advances past work still
+// scheduled at the current instant. Processing proceeds in rounds: one
+// round pops the instant's currently queued events — heap order yields them
+// in ascending session id, the deterministic tie-break — and steps each; a
+// session that step re-pushes at the same instant (a zero-duration wakeup)
+// lands in the *next round of the same call*, never in a later instant.
+// The previous engine returned after the first round, deferring same-
+// instant re-wakes to a later batch and breaking the documented ordering
+// contract; the round structure is now the contract (a session stepped
+// twice in one instant necessarily interleaves ids across rounds, so a
+// single globally id-sorted pass cannot exist).
+//
+// batch is the caller's reusable scratch buffer, returned (possibly grown)
+// for the next call; with a preallocated buffer and a prebuilt step func
+// the drain allocates nothing.
+func drainInstant(h *eventHeap, batch []int32, step func(id int32)) []int32 {
+	dueSec := h.peek().wakeSec
+	//lint:allow floateq a round is the bit-identical instant; a tolerance would merge distinct wakeups and reorder decisions
+	for h.len() > 0 && h.peek().wakeSec == dueSec {
+		batch = batch[:0]
+		//lint:allow floateq same exact-instant membership test as the outer round condition
+		for h.len() > 0 && h.peek().wakeSec == dueSec {
+			batch = append(batch, h.pop().id)
+		}
+		for _, id := range batch {
+			step(id)
+		}
+	}
+	return batch
+}
+
 // pop removes and returns the earliest event, sifting the displaced tail
 // element down.
 func (h *eventHeap) pop() event {

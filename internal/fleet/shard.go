@@ -1,0 +1,133 @@
+package fleet
+
+import (
+	"math"
+
+	"cava/internal/player"
+)
+
+// shard is one worker's slice of the fleet: a contiguous session-id range
+// with its own event heap, batch buffer and scalar tallies. Sessions are
+// mutually independent, so a shard never reads or writes another shard's
+// sessions; the only shared state it touches is immutable (corpus, quality
+// tables, Config), atomic (telemetry handles) or id-indexed slots it alone
+// owns (the engine's per-session sample slices). That makes the shard pass
+// race-free by partition and its output independent of scheduling.
+type shard struct {
+	e     *Engine
+	heap  *eventHeap
+	batch []int32
+	// stepFn is the stepSession method value, bound once here so the hot
+	// drain loop passes a prebuilt func value instead of allocating a
+	// closure per batch (the zero-alloc-per-event guard holds per shard).
+	stepFn func(int32)
+
+	events     int64
+	maxDoneSec float64
+	completed  int
+}
+
+// init primes the shard for the session-id range [lo, hi): the heap is
+// preallocated to the shard size and seeded with the range's arrivals
+// (pushed in id order; arrival times are nondecreasing in id).
+func (sh *shard) init(e *Engine, lo, hi int32) {
+	size := int(hi - lo)
+	sh.e = e
+	sh.heap = newEventHeap(size)
+	sh.batch = make([]int32, 0, minInt(size, 4096))
+	sh.stepFn = sh.stepSession
+	for id := lo; id < hi; id++ {
+		sh.heap.push(event{wakeSec: e.sessions[id].arrivalSec, id: id})
+	}
+}
+
+// drain runs the shard to completion, one virtual instant at a time.
+func (sh *shard) drain() {
+	for sh.heap.len() > 0 {
+		sh.runBatch()
+	}
+}
+
+// runBatch fully drains the earliest pending virtual instant: every event
+// due then — including sessions re-woken at that same instant by a
+// zero-duration step — is processed before the shard's clock moves on, in
+// rounds of ascending session id (see drainInstant).
+func (sh *shard) runBatch() {
+	sh.batch = drainInstant(sh.heap, sh.batch, sh.stepFn)
+}
+
+// stepSession advances one session by one chunk event and reschedules or
+// finalizes it.
+func (sh *shard) stepSession(id int32) {
+	e := sh.e
+	s := &e.sessions[id]
+	if !s.started {
+		// Lazy start: the algorithm instance is built at the session's
+		// first event, so construction cost follows the arrival process
+		// instead of front-loading New, and completed sessions can be
+		// released while later arrivals are still warming up.
+		s.step.Init(s.v, s.v.ID(), s.tr.ID, e.cfg.Scheme.New(s.v), e.cfg.Player, e.cfg.Collect)
+		s.step.LimitChunks(e.cfg.MaxChunks)
+		s.started = true
+		e.mActive.Add(1)
+	}
+	wakeSec := s.step.Advance(s.tr, s.offsetSec)
+	sh.events++
+	e.mEvents.Inc()
+	observeChunk(s)
+	if s.step.Done() {
+		sh.finishSession(id, s)
+		return
+	}
+	sh.heap.push(event{wakeSec: s.arrivalSec + wakeSec, id: id})
+}
+
+// observeChunk folds the just-completed chunk into the session's online
+// aggregates — the fleet-scale replacement for per-chunk records.
+func observeChunk(s *session) {
+	rec := &s.step.Rec
+	q := s.qt.At(rec.Level, rec.Index)
+	if s.chunks > 0 {
+		if rec.Level != s.lastLevel {
+			s.switches++
+		}
+		s.qualChangeSum += math.Abs(q - s.lastQual)
+	}
+	s.lastLevel = rec.Level
+	s.lastQual = q
+	s.levelSum += rec.Level
+	s.qualSum += q
+	s.chunks++
+}
+
+// finishSession writes the session's distribution samples into its
+// id-indexed slots and releases its per-session state (algorithm,
+// predictor) back to the collector.
+func (sh *shard) finishSession(id int32, s *session) {
+	e := sh.e
+	res := s.step.Take()
+	doneSec := s.arrivalSec + res.SessionSec
+	if doneSec > sh.maxDoneSec {
+		sh.maxDoneSec = doneSec
+	}
+	e.rebufferSec[id] = res.TotalRebufferSec
+	e.startupSec[id] = res.StartupDelaySec
+	e.completionSec[id] = doneSec
+	e.sessionLenSec[id] = res.SessionSec
+	e.dataMB[id] = res.TotalBits / 8 / 1e6
+	chunks := float64(maxInt(s.chunks, 1))
+	e.avgQuality[id] = s.qualSum / chunks
+	e.qualityChange[id] = s.qualChangeSum / chunks
+	e.avgLevel[id] = float64(s.levelSum) / chunks
+	e.switches[id] = float64(s.switches)
+	sh.completed++
+	e.mCompleted.Inc()
+	e.mActive.Add(-1)
+	if e.cfg.Collect {
+		e.results[id] = res
+		return
+	}
+	// Drop the algorithm, predictor and step state; at fleet scale the
+	// arrived-but-unfinished working set is what bounds peak RSS.
+	s.step = player.StepState{}
+}

@@ -159,7 +159,12 @@ func run(req Request) (*Results, error) {
 	sessionsTot := req.Metrics.Counter("sim_sessions_total", "sweep sessions completed")
 	errorsTot := req.Metrics.Counter("sim_session_errors_total", "sweep sessions that failed")
 	pending := req.Metrics.Gauge("sim_jobs_pending", "sweep sessions not yet finished")
-	pending.Set(float64(len(req.Videos) * len(req.Traces) * len(req.Schemes)))
+	// Add, not Set: concurrent sweeps may share one registry (overlapping
+	// experiment runners), and Set would clobber the other sweep's pending
+	// count. Every job — completed, failed or skipped after a failure —
+	// takes its Add(-1), so the gauge composes across sweeps and returns
+	// to zero when all of them finish.
+	pending.Add(float64(len(req.Videos) * len(req.Traces) * len(req.Schemes)))
 
 	// Per-video quality tables and classifications, computed once here and
 	// at most once per process when a cache is attached (req.Cache may be

@@ -156,3 +156,84 @@ func TestRunSweepMetrics(t *testing.T) {
 		t.Errorf("sim_jobs_pending not drained to 0:\n%s", text)
 	}
 }
+
+// gatedAlgo blocks its first Select until released, letting a test hold a
+// sweep mid-flight deterministically.
+type gatedAlgo struct {
+	ready   chan<- struct{}
+	release <-chan struct{}
+	once    bool
+}
+
+func (g *gatedAlgo) Name() string { return "Gated" }
+func (g *gatedAlgo) Select(abr.State) int {
+	if !g.once {
+		g.once = true
+		g.ready <- struct{}{}
+		<-g.release
+	}
+	return 0
+}
+
+// TestPendingGaugeComposesAcrossSweeps pins the Add-vs-Set gauge contract:
+// two sweeps sharing one registry must each contribute their own job count
+// to sim_jobs_pending while in flight (Set would clobber the first sweep's
+// contribution with the second's), and the gauge must drain to zero once
+// both finish.
+func TestPendingGaugeComposesAcrossSweeps(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	gauge := reg.Gauge("sim_jobs_pending", "sweep sessions not yet finished")
+
+	release := make(chan struct{})
+	launch := func(n int) (<-chan error, int) {
+		req := smallRequest(1)
+		req.Metrics = reg
+		// Buffered: every session's algorithm signals once, the test only
+		// waits for the first (the rest must not block their sessions).
+		ready := make(chan struct{}, 8)
+		req.Schemes = []abr.Scheme{{Name: "Gated", New: func(*video.Video) abr.Algorithm {
+			return &gatedAlgo{ready: ready, release: release}
+		}}}
+		req.Traces = req.Traces[:n]
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(req)
+			done <- err
+		}()
+		// With one worker, the sweep is now parked inside its first
+		// session's first decision; its full job count is pending.
+		<-ready
+		return done, len(req.Videos) * len(req.Traces) * len(req.Schemes)
+	}
+
+	doneA, jobsA := launch(3)
+	doneB, jobsB := launch(2)
+	if got, want := gauge.Value(), float64(jobsA+jobsB); got != want {
+		t.Errorf("two in-flight sweeps: sim_jobs_pending = %v, want %v (Set clobbers, Add composes)", got, want)
+	}
+	close(release)
+	for _, done := range []<-chan error{doneA, doneB} {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := gauge.Value(); got != 0 {
+		t.Errorf("after both sweeps finished: sim_jobs_pending = %v, want 0", got)
+	}
+}
+
+// TestPendingGaugeDrainsOnFailure pins the failure path: a sweep aborted by
+// a session error must still take every job's decrement — completed, failed
+// and skipped-after-failure alike — so the gauge returns to zero.
+func TestPendingGaugeDrainsOnFailure(t *testing.T) {
+	req := smallRequest(2)
+	reg := telemetry.NewRegistry()
+	req.Metrics = reg
+	req.Traces = append(req.Traces, &trace.Trace{ID: "broken"})
+	if _, err := Run(req); err == nil {
+		t.Fatal("sweep with an invalid trace returned no error")
+	}
+	if got := reg.Gauge("sim_jobs_pending", "").Value(); got != 0 {
+		t.Errorf("after failed sweep: sim_jobs_pending = %v, want 0", got)
+	}
+}

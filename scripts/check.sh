@@ -18,20 +18,24 @@ go run ./cmd/abrlint ./...
 go build ./...
 go test -race ./...
 # Hammer the concurrency-heavy packages a second time under the race
-# detector: the cache's singleflight path, the sim worker pool, and the
-# telemetry registry are where a data race would land.
-go test -race -count=2 ./internal/sim ./internal/cache ./internal/telemetry
+# detector: the cache's singleflight path, the sim worker pool, the
+# telemetry registry, and the fleet engine's multi-worker shard pass
+# (TestFleetShardEquivalence runs 2/7/GOMAXPROCS-shard fleets) are where a
+# data race would land.
+go test -race -count=2 ./internal/sim ./internal/cache ./internal/telemetry ./internal/fleet
 go test -bench=Telemetry -benchtime=100x -run='TestZeroAllocUpdates|TestTelemetryDisabledAllocBound' \
 	./internal/telemetry ./internal/player
 # Sweep-memoization gate: warm replay must do zero sim work and reproduce
 # the cold output byte-for-byte (short mode; `make bench-sweep` for timings).
 go test -short -run='TestSweepColdWarm$' -count=1 .
-# Fleet-engine gates: the zero-alloc-per-event guard runs with the race
-# tests above; here the reduced scaling point enforces the sessions/sec
-# floor, and the fleet chaos smoke checks the discrete-event engine's
-# livelock and starvation invariants over 2000 virtual sessions.
+# Fleet-engine gates: the zero-alloc-per-event guard and the shard
+# equivalence test run with the race tests above; here the reduced
+# multi-worker scaling point enforces the per-worker sessions/sec floor,
+# and the race-enabled fleet chaos smoke checks the discrete-event
+# engine's livelock and starvation invariants over 2000 virtual sessions
+# sharded across 4 workers.
 go test -short -run='TestFleetBench$' -count=1 .
-go test -run='TestFleetChaosSmoke$' -count=1 ./internal/chaos
+go test -race -run='TestFleetChaosSmoke$' -count=1 ./internal/chaos
 # Chaos soak: 32 concurrent sessions vs the lossy fault profile behind
 # admission control, race-enabled. Asserts no livelock, bounded honest
 # shedding (503 + Retry-After), and goroutines back to baseline.

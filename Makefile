@@ -1,17 +1,23 @@
 GO ?= go
 
-.PHONY: check lint build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak soak-edge soak-fleet bench-edge bench-fleet bench-fleet-short
+.PHONY: check lint lint-fixtures build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak soak-edge soak-fleet bench-edge bench-fleet bench-fleet-short
 
 # check is the one-command tier-1 gate every PR must pass.
 check: lint build race bench-telemetry bench-sweep-short bench-fleet-short soak soak-edge soak-fleet
 
 # lint is the static-analysis gate: formatting, go vet, and abrlint (the
 # project analyzer suite in internal/lint — determinism, units, nopanic,
-# floateq, errdrop; see DESIGN.md "Static analysis").
+# floateq, errdrop, hotalloc, locks, goroleak, atomicmix, metricname; see
+# DESIGN.md "Static analysis").
 lint: vet
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) run ./cmd/abrlint ./...
+
+# lint-fixtures runs only the golden fixture corpus — the fast inner loop
+# for analyzer development (no repo-wide load, no vet).
+lint-fixtures:
+	$(GO) test ./internal/lint -run 'TestAnalyzersAgainstFixtures|TestSuppression|TestStacked|TestUnknownAnalyzer' -count=1
 
 build:
 	$(GO) build ./...

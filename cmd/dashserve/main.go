@@ -171,6 +171,9 @@ func main() {
 	}
 	protection := dash.Protect(pcfg, inner)
 	protection.SetMetrics(reg)
+	// On every exit path, drain any request still queued for admission
+	// after the listener stops accepting.
+	defer protection.Close()
 	if *maxSess > 0 || *breaker {
 		fmt.Printf("overload protection: max-sessions %d, shed-immediately %v, breaker %v\n",
 			*maxSess, *shed, *breaker)

@@ -17,7 +17,7 @@
 //     invocations across processes skip completed sweeps.
 //
 // Telemetry: cache_hits_total{kind}, cache_misses_total{kind} and
-// cache_bytes (serialized bytes moved through the JSON layer) when a
+// cache_bytes_total (serialized bytes moved through the JSON layer) when a
 // registry is attached with WithMetrics; Stats exposes the same counts
 // programmatically for tests. A nil *Cache disables caching: every helper
 // computes directly.
@@ -68,11 +68,11 @@ func WithDir(dir string) Option {
 
 // WithMetrics mirrors the hit/miss/bytes counters into a telemetry
 // registry as cache_hits_total{kind=...}, cache_misses_total{kind=...} and
-// cache_bytes.
+// cache_bytes_total.
 func WithMetrics(reg *telemetry.Registry) Option {
 	return func(c *Cache) {
 		c.reg = reg
-		c.bytes = reg.Counter("cache_bytes", "serialized bytes moved through the cache JSON layer")
+		c.bytes = reg.Counter("cache_bytes_total", "serialized bytes moved through the cache JSON layer")
 	}
 }
 

@@ -155,7 +155,7 @@ func TestCacheTelemetryCounters(t *testing.T) {
 	for _, want := range []string{
 		`cache_hits_total{kind="sim"} 2`,
 		`cache_misses_total{kind="sim"} 1`,
-		`cache_bytes`,
+		`cache_bytes_total`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)

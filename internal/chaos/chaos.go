@@ -289,7 +289,10 @@ func Run(cfg Config) (*Report, error) {
 	}
 
 	// Teardown, then require the goroutine count to drain to baseline.
+	// protection.Close drains any request goroutine still parked in the
+	// admission queue before the leak check counts survivors.
 	_ = hsrv.Close()
+	protection.Close()
 	httpClient.CloseIdleConnections()
 	rep.LeakErr = baseline.Settle(wallSeconds(cfg.SettleWallTimeoutSec))
 	rep.GoroutinesAfter = leakcheck.Snapshot().Count()

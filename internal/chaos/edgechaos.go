@@ -264,6 +264,7 @@ func RunEdge(cfg Config) (*Report, error) {
 		// A failed rebind leaves the run unable to test recovery; that is a
 		// harness failure, not a system-under-test finding.
 		_ = hsrv.Close()
+		protection.Close()
 		eg.Close()
 		for _, o := range origins {
 			o.kill()
@@ -299,9 +300,11 @@ func RunEdge(cfg Config) (*Report, error) {
 	}
 
 	// Teardown order matters for the leak check: stop accepting client
-	// traffic, drain the edge's background refreshers, then drop the
-	// origins and idle connections before requiring the baseline back.
+	// traffic, drain the admission queue, drain the edge's background
+	// refreshers, then drop the origins and idle connections before
+	// requiring the baseline back.
 	_ = hsrv.Close()
+	protection.Close()
 	es := eg.Stats()
 	rep.Edge = &es
 	if rep.OriginRestarts > 0 && es.Hits > hitsAtRestart {

@@ -154,7 +154,11 @@ type Protection struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	waiting  int
+	closed   bool
 	stats    AdmissionStats
+	// drain tracks the goroutines parked in waitForSlot's poll loop, so
+	// Close can prove the admission queue is empty before returning.
+	drain sync.WaitGroup
 
 	// Telemetry handles (nil-safe).
 	activeGauge  *telemetry.Gauge
@@ -262,6 +266,9 @@ const (
 func (p *Protection) tryAdmit(key string) (admitOutcome, float64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return admitNoSlot, p.cfg.RetryAfterSec
+	}
 	now := p.clock.Now()
 	s, ok := p.sessions[key]
 	if !ok {
@@ -370,11 +377,14 @@ func (p *Protection) waitForSlot(r *http.Request, key string) (admitOutcome, str
 		return admitNoSlot, "queue_full", p.cfg.RetryAfterSec
 	}
 	p.mu.Lock()
-	if p.waiting >= p.cfg.QueueDepth {
+	if p.closed || p.waiting >= p.cfg.QueueDepth {
 		p.mu.Unlock()
 		return admitNoSlot, "queue_full", p.cfg.RetryAfterSec
 	}
 	p.waiting++
+	// drain.Add happens under the same mutex Close holds while setting
+	// closed, so no waiter can join the queue after Close started waiting.
+	p.drain.Add(1)
 	p.waitingGauge.Set(float64(p.waiting))
 	p.mu.Unlock()
 	defer func() {
@@ -382,10 +392,19 @@ func (p *Protection) waitForSlot(r *http.Request, key string) (admitOutcome, str
 		p.waiting--
 		p.waitingGauge.Set(float64(p.waiting))
 		p.mu.Unlock()
+		p.drain.Done()
 	}()
 
 	deadline := p.clock.Now().Add(wallSeconds(p.cfg.QueueTimeoutSec))
 	for {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			// Close drained the queue: shed honestly so the client retries
+			// against whatever replaces this server.
+			return admitNoSlot, "queue_full", p.cfg.RetryAfterSec
+		}
 		if err := r.Context().Err(); err != nil {
 			// The client gave up while queued; the response goes nowhere,
 			// but the books stay balanced.
@@ -400,6 +419,19 @@ func (p *Protection) waitForSlot(r *http.Request, key string) (admitOutcome, str
 		}
 		p.clock.Sleep(admissionPollInterval)
 	}
+}
+
+// Close marks the protection layer closed and drains the admission queue:
+// every waiter parked in waitForSlot's poll loop is shed on its next poll,
+// new arrivals are shed immediately, and Close blocks until the last
+// queued goroutine has left. Idempotent; the idle-expiry sweep needs no
+// separate stop because it is lazy (it runs inside tryAdmit and
+// ActiveSessions, never on its own goroutine).
+func (p *Protection) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.drain.Wait()
 }
 
 // wallSeconds converts float seconds to a time.Duration.

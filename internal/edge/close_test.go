@@ -1,0 +1,77 @@
+package edge
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cava/internal/chaos/leakcheck"
+	"cava/internal/dash"
+)
+
+// TestEdgeCloseDrainsBackgroundRefresh pins the edge stop path that the
+// goroleak analyzer audits: a stale manifest hit spawns refreshManifest on
+// a background goroutine, and Close must cancel its in-flight origin fetch
+// (the refresh runs under e.ctx) and block until the goroutine has exited.
+// The origin parks the refresh request until the client abandons it, so
+// the refresher is provably mid-fetch when Close runs; the leak check
+// proves nothing survived.
+func TestEdgeCloseDrainsBackgroundRefresh(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	refreshing := make(chan struct{})
+	var requests atomic.Int64
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if requests.Add(1) == 1 {
+			// The cold fetch that seeds the cache.
+			w.Write([]byte("v1"))
+			return
+		}
+		// The background refresh parks here until Close cancels e.ctx,
+		// which aborts this request and fires r.Context().
+		close(refreshing)
+		<-r.Context().Done()
+	}))
+	defer origin.Close()
+
+	clock := dash.NewFakeClock(time.Unix(1000, 0))
+	e, err := New(Config{
+		Origins:            []string{origin.URL},
+		VideoID:            "vid",
+		ManifestSoftTTLSec: 1,
+		ManifestHardTTLSec: 60,
+		Clock:              clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the cache, then age the entry into the stale-while-revalidate
+	// window: the next hit serves the stale body and spawns the refresher.
+	if rec := get(e, "/manifest.json", "s1"); rec.Code != 200 || rec.Body.String() != "v1" {
+		t.Fatalf("cold manifest = %d %q", rec.Code, rec.Body.String())
+	}
+	clock.Advance(2 * time.Second)
+	if rec := get(e, "/manifest.json", "s1"); rec.Code != 200 || rec.Body.String() != "v1" {
+		t.Fatalf("stale manifest = %d %q, want the cached body immediately", rec.Code, rec.Body.String())
+	}
+	select {
+	case <-refreshing:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background refresh never reached the origin")
+	}
+
+	// Close must cancel the parked fetch and wait the refresher out. If it
+	// did not, the deferred leak check would catch the straggler (and with
+	// a blocked origin handler pinned to it, the origin's Close would hang
+	// too).
+	e.Close()
+	if s := e.Stats(); s.StaleServed != 1 || s.Refreshes != 0 {
+		t.Fatalf("stats = %+v, want 1 stale served and the aborted refresh not counted as a success", s)
+	}
+	if n := requests.Load(); n != 2 {
+		t.Fatalf("origin saw %d requests, want 2 (cold fetch + aborted refresh)", n)
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The atomicmix analyzer guards the lock-free structures (the telemetry
+// registry's counters, the fleet gauges) against the two ways atomic
+// discipline silently degrades:
+//
+//   - a variable or field that is the target of a sync/atomic function
+//     call (atomic.AddUint64(&x.n, 1), atomic.LoadInt64(&v), …) but is
+//     also read or written plainly elsewhere in the package: the plain
+//     access races with the atomic ones, and the race detector only sees
+//     it when both sides fire;
+//   - a value of a typed-atomic-bearing type (atomic.Uint64, atomic.Value,
+//     …) copied by value — a parameter, receiver, result, or assignment
+//     copy: the copy carries its own cell, so updates through it are lost,
+//     and the vet copylocks check only catches types with a noCopy field.
+//
+// The fix for the first is always to pick one discipline — the typed
+// atomics make the atomic one self-enforcing; the fix for the second is to
+// pass a pointer.
+
+func runAtomicMix(p *Package, cfg Config) []Finding {
+	out := copiedByValue(p, "atomicmix", containsAtomic, "typed atomic")
+	out = append(out, mixedAccessFindings(p)...)
+	return out
+}
+
+// atomicTypeName returns the sync/atomic type name behind t, or "".
+func atomicTypeName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// containsAtomic reports whether t holds a sync/atomic typed value by
+// value (directly, in a struct field, or in an array element).
+func containsAtomic(t types.Type) bool {
+	return containsType(t, func(t types.Type) bool { return atomicTypeName(t) != "" }, map[types.Type]bool{})
+}
+
+// inSpans reports whether pos falls inside any of the source spans.
+func inSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, s := range spans {
+		if pos >= s[0] && pos < s[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// mixedAccessFindings flags package variables and fields accessed both
+// through sync/atomic function calls and plainly.
+func mixedAccessFindings(p *Package) []Finding {
+	// Pass 1: every object handed by address to a sync/atomic function,
+	// and the source spans of those calls (uses inside them are atomic).
+	targets := map[types.Object]bool{}
+	var spans [][2]token.Pos
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || pkgNameOf(p.Info, sel.X) != "sync/atomic" {
+				return true
+			}
+			spans = append(spans, [2]token.Pos{call.Pos(), call.End()})
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(p.Info, un.X); obj != nil {
+					targets[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	// Pass 2: any use of a target outside an atomic call span is a plain
+	// access racing the atomic ones.
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[id]
+			if obj == nil || !targets[obj] || inSpans(spans, id.Pos()) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos: p.Fset.Position(id.Pos()), Analyzer: "atomicmix",
+				Message: fmt.Sprintf("%s is accessed atomically elsewhere but plainly here; every access must go through sync/atomic (or migrate to a typed atomic)", obj.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// addressedObject resolves the variable or field behind an &expr argument.
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.ParenExpr:
+		return addressedObject(info, e.X)
+	case *ast.IndexExpr:
+		return addressedObject(info, e.X)
+	}
+	return nil
+}

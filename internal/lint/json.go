@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"strings"
+)
+
+// JSON exposition for editor and CI tooling: one Finding object per line
+// (JSON Lines), so consumers stream-parse without buffering the whole
+// report. Suppressed findings are included and marked — the exit status
+// ignores them, but an auditor can see every active waiver.
+
+// jsonFinding is the wire form of one Finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// WriteJSON renders findings as JSON Lines. Filenames are written as
+// given; callers relativize Pos.Filename first when they want
+// module-relative paths.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+		}
+		if err := enc.Encode(jf); err != nil {
+			return fmt.Errorf("lint: encode finding: %w", err)
+		}
+	}
+	return nil
+}
+
+// ParseJSON reads a JSON Lines finding stream back into Findings — the
+// round-trip consumers (and TestJSONRoundTrip) rely on.
+func ParseJSON(r io.Reader) ([]Finding, error) {
+	var out []Finding
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var jf jsonFinding
+		if err := json.Unmarshal([]byte(text), &jf); err != nil {
+			return nil, fmt.Errorf("lint: parse JSON finding on line %d: %w", line, err)
+		}
+		out = append(out, Finding{
+			Pos:        token.Position{Filename: jf.File, Line: jf.Line, Column: jf.Col},
+			Analyzer:   jf.Analyzer,
+			Message:    jf.Message,
+			Suppressed: jf.Suppressed,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lint: read JSON findings: %w", err)
+	}
+	return out, nil
+}

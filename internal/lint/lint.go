@@ -4,38 +4,51 @@
 // every simulation path must be seed-deterministic (the sweep cache replays
 // warm results byte-for-byte), every float64 carries its unit only in its
 // name (bits vs bytes, Bps vs Kbps, seconds vs milliseconds), and library
-// packages return errors instead of panicking — and two are bug-class
-// gates (float equality, silently dropped errors).
+// packages return errors instead of panicking — two are bug-class gates
+// (float equality, silently dropped errors), and five guard the
+// fleet-scale concurrency and allocation contracts (hotalloc, locks,
+// goroleak, atomicmix, metricname) that are otherwise pinned only
+// dynamically by testing.AllocsPerRun and -race soaks.
 //
 // The suite is built on go/parser and go/types with the source importer
 // only, so it works offline with zero module dependencies and runs as a
-// tier-1 gate next to go vet.
+// tier-1 gate next to go vet. Analysis fans out across GOMAXPROCS workers
+// per package; output order is position-sorted and identical to a
+// sequential run.
 //
 // Suppressions: a finding may be waived with a comment on the flagged line
-// or the line directly above it:
+// or on the directive stack directly above it:
 //
 //	//lint:allow <analyzer> <reason>
 //
-// The reason is mandatory; a reason-less suppression is itself reported
-// (analyzer name "allow"). Suppressions are per-line and per-analyzer.
+// The reason is mandatory; a reason-less directive, or one naming an
+// unknown analyzer, is itself reported (analyzer name "allow").
+// Suppressions are per-line and per-analyzer; consecutive directive lines
+// stack, so several analyzers can be waived above one flagged line.
 package lint
 
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one reported violation.
 type Finding struct {
 	// Pos locates the violation (file, line, column).
 	Pos token.Position
-	// Analyzer is the reporting analyzer's name (determinism, units,
-	// nopanic, floateq, errdrop, or allow for broken suppressions).
+	// Analyzer is the reporting analyzer's name (one of Analyzers, or
+	// "allow" for broken suppression directives).
 	Analyzer string
 	// Message describes the violation.
 	Message string
+	// Suppressed marks a finding waived by a lint:allow directive. The CLI
+	// exit status and the repo-clean gate ignore suppressed findings; the
+	// -json output carries them so tooling can audit the waiver set.
+	Suppressed bool
 }
 
 // String renders the finding in the canonical file:line: [analyzer] form.
@@ -59,6 +72,11 @@ type Config struct {
 	// UnitsPkgs is the domain set whose numeric identifiers must carry
 	// explicit unit suffixes.
 	UnitsPkgs []string
+	// HotPathFuncs is the zero-alloc hot-path set the hotalloc analyzer
+	// inspects: "pkg-suffix:FuncName" entries naming functions (or methods,
+	// by bare name) that run once per simulated event and must not allocate
+	// in the steady state.
+	HotPathFuncs []string
 }
 
 // DefaultConfig is the repository configuration: the deterministic set is
@@ -83,6 +101,26 @@ func DefaultConfig() Config {
 			"internal/abr", "internal/bandwidth", "internal/qoe",
 			"internal/metrics", "internal/core", "internal/oracle",
 			"internal/edge", "internal/fleet",
+		},
+		// The hot-path set is exactly the per-event code the fleet engine's
+		// zero-alloc guards (testing.AllocsPerRun) pin dynamically: the
+		// player chunk-step core, the fleet drain/shard loop and event heap,
+		// and the bandwidth predictor ring.
+		HotPathFuncs: []string{
+			"internal/player:Advance", "internal/player:BeginChunk",
+			"internal/player:WantDelay", "internal/player:FullBufferWait",
+			"internal/player:Refresh", "internal/player:Decide",
+			"internal/player:FinishDownload", "internal/player:SkipChunk",
+			"internal/player:MaybeStartup", "internal/player:NextChunk",
+			"internal/player:drainFor", "internal/player:ElapseTo",
+			"internal/player:AddStall", "internal/player:NoteWait",
+			"internal/fleet:drain", "internal/fleet:runBatch",
+			"internal/fleet:stepSession", "internal/fleet:observeChunk",
+			"internal/fleet:finishSession", "internal/fleet:drainInstant",
+			"internal/fleet:push", "internal/fleet:pop",
+			"internal/fleet:peek", "internal/fleet:eventLess",
+			"internal/bandwidth:ObserveDownload", "internal/bandwidth:Predict",
+			"internal/bandwidth:Reset",
 		},
 	}
 }
@@ -122,7 +160,23 @@ func Analyzers() []*Analyzer {
 		{Name: "nopanic", Run: runNoPanic},
 		{Name: "floateq", Run: runFloatEq},
 		{Name: "errdrop", Run: runErrDrop},
+		{Name: "hotalloc", Run: runHotAlloc},
+		{Name: "locks", Run: runLocks},
+		{Name: "goroleak", Run: runGoroleak},
+		{Name: "atomicmix", Run: runAtomicMix},
+		{Name: "metricname", Run: runMetricName},
 	}
+}
+
+// AnalyzerNames returns every valid analyzer name, including "allow" (the
+// pseudo-analyzer broken suppression directives report under). The
+// suppression scanner validates lint:allow directives against this set.
+func AnalyzerNames() []string {
+	names := make([]string, 0, 11)
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return append(names, "allow")
 }
 
 // Run loads every package under the given root directories and applies the
@@ -130,27 +184,93 @@ func Analyzers() []*Analyzer {
 // position. Load errors (parse or type-check failures) are returned as an
 // error: the suite only analyzes code that compiles.
 func Run(root string, cfg Config) ([]Finding, error) {
+	all, err := RunAll(root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return dropSuppressed(all), nil
+}
+
+// RunAll is Run including suppressed findings (marked, not dropped) — the
+// -json audit view.
+func RunAll(root string, cfg Config) ([]Finding, error) {
 	pkgs, err := LoadTree(root)
 	if err != nil {
 		return nil, err
 	}
-	return Analyze(pkgs, cfg), nil
+	return AnalyzeAll(pkgs, cfg), nil
 }
 
-// Analyze applies the suite to already-loaded packages.
+// Analyze applies the suite to already-loaded packages and returns the
+// surviving (non-suppressed) findings.
 func Analyze(pkgs []*Package, cfg Config) []Finding {
-	var all []Finding
-	for _, p := range pkgs {
-		sup := collectSuppressions(p)
-		all = append(all, sup.broken...)
-		for _, a := range Analyzers() {
-			for _, f := range a.Run(p, cfg) {
-				if !sup.allows(a.Name, f.Pos) {
-					all = append(all, f)
+	return dropSuppressed(AnalyzeAll(pkgs, cfg))
+}
+
+// AnalyzeAll applies the suite to already-loaded packages, fanning the
+// per-package analysis out across GOMAXPROCS workers, and returns every
+// finding — suppressed ones marked — in deterministic position order.
+func AnalyzeAll(pkgs []*Package, cfg Config) []Finding {
+	return analyzeAll(pkgs, cfg, runtime.GOMAXPROCS(0))
+}
+
+// analyzeAll runs the suite with an explicit worker count. Findings are
+// collected per package and flattened in package order, then sorted, so
+// the output is bit-identical for every worker count (the equivalence is
+// pinned by TestParallelAnalysisMatchesSequential).
+func analyzeAll(pkgs []*Package, cfg Config, workers int) []Finding {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	if workers <= 1 {
+		for i, p := range pkgs {
+			perPkg[i] = analyzePackage(p, cfg)
+		}
+	} else {
+		// Static interleaved partition: package i goes to worker i%workers.
+		// Analyzers only read shared state (ASTs, type info, the mutex-
+		// guarded FileSet), so the fan-out is race-free by construction.
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(pkgs); i += workers {
+					perPkg[i] = analyzePackage(pkgs[i], cfg)
 				}
-			}
+			}(w)
+		}
+		wg.Wait()
+	}
+	var all []Finding
+	for _, fs := range perPkg {
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all
+}
+
+// analyzePackage applies every analyzer to one package, marking suppressed
+// findings instead of dropping them.
+func analyzePackage(p *Package, cfg Config) []Finding {
+	sup := collectSuppressions(p)
+	all := append([]Finding(nil), sup.broken...)
+	for _, a := range Analyzers() {
+		for _, f := range a.Run(p, cfg) {
+			f.Suppressed = sup.allows(a.Name, f.Pos)
+			all = append(all, f)
 		}
 	}
+	return all
+}
+
+// sortFindings orders findings by (file, line, column, analyzer, message)
+// — a total order, so parallel and sequential runs print identically.
+func sortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -159,7 +279,26 @@ func Analyze(pkgs []*Package, cfg Config) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return all
+}
+
+// dropSuppressed filters marked-suppressed findings out.
+func dropSuppressed(all []Finding) []Finding {
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }

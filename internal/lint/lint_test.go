@@ -13,12 +13,29 @@ import (
 
 // fixtureConfig selects the fixture packages the way DefaultConfig selects
 // the real tree: determfix plays the deterministic simulator, unitsfix the
-// unit-suffixed domain model.
+// unit-suffixed domain model, hotallocfix's Hot* functions the zero-alloc
+// hot-path set.
 func fixtureConfig() Config {
 	return Config{
 		DeterministicPkgs: []string{"determfix"},
 		UnitsPkgs:         []string{"unitsfix"},
+		HotPathFuncs: []string{
+			"hotallocfix:HotStep", "hotallocfix:HotGrow",
+			"hotallocfix:HotFormat", "hotallocfix:HotConvert",
+			"hotallocfix:HotIface", "hotallocfix:HotBox",
+			"hotallocfix:HotClosure", "hotallocfix:HotAddr",
+			"hotallocfix:HotAllowed", "hotallocfix:HotBare",
+		},
 	}
+}
+
+// fixturePackages is the full golden corpus (the telemetry stub rides
+// along as a must-stay-clean package).
+var fixturePackages = []string{
+	"determfix", "unitsfix", "nopanicfix", "nopanicmain",
+	"floateqfix", "errdropfix", "hotallocfix", "locksfix",
+	"goroleakfix", "atomicmixfix", "metricfix", "suppressfix",
+	"telemetry",
 }
 
 // loadFixture type-checks one package under testdata/src.
@@ -71,10 +88,7 @@ func compact(fs []Finding) []string {
 // fixture source — every marker must fire, and nothing else may.
 func TestAnalyzersAgainstFixtures(t *testing.T) {
 	ld := NewLoader(filepath.Join("testdata", "src"), "fixture")
-	for _, name := range []string{
-		"determfix", "unitsfix", "nopanicfix", "nopanicmain",
-		"floateqfix", "errdropfix",
-	} {
+	for _, name := range fixturePackages {
 		t.Run(name, func(t *testing.T) {
 			p := loadFixture(t, ld, name)
 			got := compact(Analyze([]*Package{p}, fixtureConfig()))

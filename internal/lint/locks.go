@@ -1,0 +1,371 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The locks analyzer guards the three sync mistakes the -race soaks catch
+// only when the interleaving cooperates:
+//
+//   - sync.Mutex / sync.RWMutex / sync.WaitGroup copied by value (a value
+//     parameter, receiver, result, or assignment copy): the copy has its
+//     own state, so the original's exclusion silently stops applying;
+//   - Lock with no matching Unlock, or a return statement between a Lock
+//     and its Unlock with no deferred Unlock in scope: the early-return
+//     path leaves the mutex held forever;
+//   - WaitGroup.Add inside the goroutine it gates: the spawner can reach
+//     Wait before the goroutine is scheduled, so Wait returns early. Add
+//     must happen before the go statement, in the spawning goroutine.
+//
+// Lock/Unlock matching is per-object (the field or variable the method is
+// called on) and per-kind (Lock pairs with Unlock, RLock with RUnlock),
+// scanning each function body as its own scope.
+
+func runLocks(p *Package, cfg Config) []Finding {
+	out := copiedByValue(p, "locks", containsLocker, "sync primitive")
+	for _, body := range functionBodies(p) {
+		out = append(out, lockPairFindings(p, body)...)
+	}
+	out = append(out, addInsideGoroutine(p)...)
+	return out
+}
+
+// syncTypeName returns the sync-package type name (Mutex, RWMutex,
+// WaitGroup) behind t, or "".
+func syncTypeName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup":
+		return obj.Name()
+	}
+	return ""
+}
+
+// containsLocker reports whether t holds a sync.Mutex/RWMutex/WaitGroup by
+// value (directly, in a struct field, or in an array element).
+func containsLocker(t types.Type) bool {
+	return containsType(t, func(t types.Type) bool { return syncTypeName(t) != "" }, map[types.Type]bool{})
+}
+
+// containsType walks value-embedded structure (struct fields, arrays)
+// looking for a type matching the predicate. Pointers, slices, maps and
+// channels are references, not copies, so the walk stops there.
+func containsType(t types.Type, match func(types.Type) bool, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if match(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsType(u.Field(i).Type(), match, seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsType(u.Elem(), match, seen)
+	}
+	return false
+}
+
+// copiedByValue flags value parameters, receivers, results and assignment
+// copies whose type carries a non-copyable value (per the contains
+// predicate). Shared by locks and atomicmix.
+func copiedByValue(p *Package, analyzer string, contains func(types.Type) bool, what string) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, form string, t types.Type) {
+		out = append(out, Finding{
+			Pos: p.Fset.Position(pos), Analyzer: analyzer,
+			Message: fmt.Sprintf("%s of type %s copies a %s by value; pass a pointer", form, t, what),
+		})
+	}
+	checkField := func(fld *ast.Field, form string) {
+		tv, ok := p.Info.Types[fld.Type]
+		if !ok || tv.Type == nil || !contains(tv.Type) {
+			return
+		}
+		pos := fld.Type.Pos()
+		if len(fld.Names) > 0 {
+			pos = fld.Names[0].Pos()
+		}
+		flag(pos, form, tv.Type)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, fld := range n.Recv.List {
+						checkField(fld, "receiver")
+					}
+				}
+			case *ast.FuncType:
+				if n.Params != nil {
+					for _, fld := range n.Params.List {
+						checkField(fld, "parameter")
+					}
+				}
+				if n.Results != nil {
+					for _, fld := range n.Results.List {
+						checkField(fld, "result")
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !copiesExistingValue(rhs) {
+						continue
+					}
+					// Assigning to the blank identifier discards the value;
+					// no second copy of the state survives.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					tv, ok := p.Info.Types[rhs]
+					if ok && tv.Type != nil && contains(tv.Type) {
+						flag(rhs.Pos(), "assignment", tv.Type)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// copiesExistingValue reports whether the expression reads an existing
+// value (identifier, field, deref, or index) — the shapes whose assignment
+// duplicates state. Composite literals and calls build fresh values and
+// are fine to bind.
+func copiesExistingValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesExistingValue(e.X)
+	}
+	return false
+}
+
+// functionBodies yields every function scope in the package: each FuncDecl
+// body and each FuncLit body, analyzed independently.
+func functionBodies(p *Package) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					bodies = append(bodies, n.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, n.Body)
+			}
+			return true
+		})
+	}
+	return bodies
+}
+
+// lockEvent is one Lock/Unlock call inside a function scope.
+type lockEvent struct {
+	obj  types.Object // the mutex the method is called on
+	read bool         // RLock/RUnlock
+	pos  token.Pos
+	node ast.Node
+}
+
+// lockPairFindings checks one function scope for Lock calls with no
+// matching Unlock, or with a return statement on the path between Lock and
+// the first matching Unlock. A deferred Unlock for the same mutex (direct
+// or inside a deferred closure) clears every Lock of that mutex.
+func lockPairFindings(p *Package, body *ast.BlockStmt) []Finding {
+	type pairKey struct {
+		obj  types.Object
+		read bool
+	}
+	var locks, unlocks []lockEvent
+	deferred := map[pairKey]bool{}
+	var returns []token.Pos
+
+	classify := func(call *ast.CallExpr) (ev lockEvent, isLock, isUnlock bool) {
+		obj, name := syncMethodTarget(p.Info, call)
+		if obj == nil {
+			return
+		}
+		switch name {
+		case "Lock", "RLock":
+			return lockEvent{obj: obj, read: name == "RLock", pos: call.Pos(), node: call}, true, false
+		case "Unlock", "RUnlock":
+			return lockEvent{obj: obj, read: name == "RUnlock", pos: call.Pos(), node: call}, false, true
+		}
+		return
+	}
+
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, analyzed on its own
+		case *ast.DeferStmt:
+			if ev, _, isUnlock := classify(n.Call); isUnlock {
+				deferred[pairKey{ev.obj, ev.read}] = true
+				return false
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// A deferred closure's unlocks count as deferred here.
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if ev, _, isUnlock := classify(call); isUnlock {
+							deferred[pairKey{ev.obj, ev.read}] = true
+						}
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.CallExpr:
+			if ev, isLock, isUnlock := classify(n); isLock {
+				locks = append(locks, ev)
+			} else if isUnlock {
+				unlocks = append(unlocks, ev)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, scan)
+
+	var out []Finding
+	for _, l := range locks {
+		lockName, unlockName := "Lock", "Unlock"
+		if l.read {
+			lockName, unlockName = "RLock", "RUnlock"
+		}
+		if deferred[pairKey{l.obj, l.read}] {
+			continue
+		}
+		var first token.Pos
+		for _, u := range unlocks {
+			if u.obj == l.obj && u.read == l.read && u.pos > l.pos {
+				first = u.pos
+				break
+			}
+		}
+		if first == token.NoPos {
+			out = append(out, Finding{
+				Pos: p.Fset.Position(l.pos), Analyzer: "locks",
+				Message: fmt.Sprintf("%s.%s with no matching %s in this function; use defer %s.%s()",
+					l.obj.Name(), lockName, unlockName, l.obj.Name(), unlockName),
+			})
+			continue
+		}
+		for _, r := range returns {
+			if r > l.pos && r < first {
+				out = append(out, Finding{
+					Pos: p.Fset.Position(l.pos), Analyzer: "locks",
+					Message: fmt.Sprintf("return between %s.%s and its %s leaves the mutex held; use defer %s.%s()",
+						l.obj.Name(), lockName, unlockName, l.obj.Name(), unlockName),
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// syncMethodTarget resolves a call of the form x.M() where M is a method
+// of sync.Mutex/RWMutex/WaitGroup (including promoted embeddings),
+// returning the object x resolves to and the method name. The object is
+// the innermost field or variable the method is invoked on, so two locks
+// on the same field pair up even through different receivers.
+func syncMethodTarget(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	var obj types.Object
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	if obj == nil {
+		return nil, ""
+	}
+	return obj, fn.Name()
+}
+
+// addInsideGoroutine flags WaitGroup.Add calls lexically inside the
+// function literal a go statement runs: the spawner may reach Wait before
+// the goroutine executes Add.
+func addInsideGoroutine(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if obj, name := syncMethodTarget(p.Info, call); obj != nil && name == "Add" {
+					if syncTypeName(derefType(objType(obj))) == "WaitGroup" {
+						out = append(out, Finding{
+							Pos: p.Fset.Position(call.Pos()), Analyzer: "locks",
+							Message: fmt.Sprintf("%s.Add inside the goroutine it gates; call Add before the go statement", obj.Name()),
+						})
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// objType returns the object's type (nil-safe).
+func objType(obj types.Object) types.Type {
+	if obj == nil {
+		return nil
+	}
+	return obj.Type()
+}
+
+// derefType unwraps one level of pointer.
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,14 +1,18 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
 
 // Suppression grammar: `//lint:allow <analyzer> <reason>` on the flagged
-// line or on the line directly above it. The reason is mandatory — the
-// directive documents *why* the invariant is waived, and a bare waiver is
-// reported as its own finding so it cannot rot silently.
+// line or on the directive stack directly above it. The reason is
+// mandatory — the directive documents *why* the invariant is waived — and
+// the analyzer name must be one the suite knows; a bare waiver, or one
+// naming an unknown analyzer, is reported as its own finding so it cannot
+// rot silently. Consecutive directive lines stack: several analyzers can
+// be waived above one flagged line, each with its own reason.
 
 // allowKey identifies one (file, line, analyzer) waiver.
 type allowKey struct {
@@ -17,16 +21,27 @@ type allowKey struct {
 	analyzer string
 }
 
+// fileLine identifies one source line (for directive-stack walking).
+type fileLine struct {
+	file string
+	line int
+}
+
 // suppressions is the per-package waiver table.
 type suppressions struct {
 	keys   map[allowKey]bool
-	broken []Finding // reason-less directives
+	lines  map[fileLine]bool // every line holding a lint:allow directive
+	broken []Finding         // reason-less or unknown-analyzer directives
 }
 
-// allows reports whether the analyzer is waived at the position (same line
-// or the directive line directly above).
+// allows reports whether the analyzer is waived at the position: by a
+// directive on the same line, or anywhere in the contiguous run of
+// directive lines directly above it.
 func (s suppressions) allows(analyzer string, pos token.Position) bool {
-	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+	if s.keys[allowKey{pos.Filename, pos.Line, analyzer}] {
+		return true
+	}
+	for line := pos.Line - 1; s.lines[fileLine{pos.Filename, line}]; line-- {
 		if s.keys[allowKey{pos.Filename, line, analyzer}] {
 			return true
 		}
@@ -36,7 +51,11 @@ func (s suppressions) allows(analyzer string, pos token.Position) bool {
 
 // collectSuppressions scans a package's comments for lint:allow directives.
 func collectSuppressions(p *Package) suppressions {
-	s := suppressions{keys: map[allowKey]bool{}}
+	known := map[string]bool{}
+	for _, name := range AnalyzerNames() {
+		known[name] = true
+	}
+	s := suppressions{keys: map[allowKey]bool{}, lines: map[fileLine]bool{}}
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -45,11 +64,20 @@ func collectSuppressions(p *Package) suppressions {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
+				s.lines[fileLine{pos.Filename, pos.Line}] = true
 				fields := strings.Fields(text)
 				if len(fields) == 0 {
 					s.broken = append(s.broken, Finding{
 						Pos: pos, Analyzer: "allow",
 						Message: "lint:allow needs an analyzer name and a reason",
+					})
+					continue
+				}
+				if !known[fields[0]] {
+					s.broken = append(s.broken, Finding{
+						Pos: pos, Analyzer: "allow",
+						Message: fmt.Sprintf("lint:allow names unknown analyzer %q (known: %s)",
+							fields[0], strings.Join(AnalyzerNames(), ", ")),
 					})
 					continue
 				}

@@ -1,0 +1,60 @@
+// Package atomicmixfix exercises the atomicmix analyzer: a field that is
+// the target of sync/atomic function calls must never be read or written
+// plainly, and typed-atomic-bearing values must not be copied.
+package atomicmixfix
+
+import "sync/atomic"
+
+type hits struct {
+	n     int64
+	other int64
+}
+
+func (h *hits) bump() {
+	atomic.AddInt64(&h.n, 1)
+}
+
+func (h *hits) read() int64 {
+	return atomic.LoadInt64(&h.n)
+}
+
+func (h *hits) mixedWrite() {
+	h.n++ // want atomicmix
+}
+
+func (h *hits) mixedRead() int64 {
+	return h.n // want atomicmix
+}
+
+// plainOnly is fine: other is never touched atomically.
+func (h *hits) plainOnly() {
+	h.other++
+}
+
+type gauge struct {
+	v atomic.Uint64
+}
+
+func byValue(g gauge) uint64 { // want atomicmix
+	return g.v.Load()
+}
+
+func (g gauge) valueRecv() uint64 { // want atomicmix
+	return g.v.Load()
+}
+
+func copyAssign(g *gauge) {
+	snapshot := *g // want atomicmix
+	_ = snapshot
+}
+
+// byPointer is the safe shape.
+func byPointer(g *gauge) uint64 {
+	return g.v.Load()
+}
+
+// bareWaiver shows that a reason-less directive does not suppress.
+func bareWaiver(h *hits) {
+	//lint:allow atomicmix
+	h.n++ // want atomicmix
+}

@@ -1,0 +1,106 @@
+// Package goroleakfix exercises the goroleak analyzer: go statements with
+// no visible stop mechanism are flagged; WaitGroup-gated spawns,
+// channel-fed workers, select/done loops, ctx-watched bodies, and
+// goroutines holding an object the package registers a Close on are not.
+package goroleakfix
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+type counter struct{ n int }
+
+func spin(c *counter) {
+	for {
+		c.n++
+	}
+}
+
+func LeakNamed(c *counter) {
+	go spin(c) // want goroleak
+}
+
+func LeakLit() {
+	go func() { // want goroleak
+		x := 0
+		for {
+			x++
+		}
+	}()
+}
+
+func LeakExternal(msg string) {
+	go fmt.Println(msg) // want goroleak
+}
+
+// WaitGroupGated: Add before the go statement.
+func WaitGroupGated(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// ChannelFed: the worker dies when jobs is closed.
+func ChannelFed(jobs chan int, c *counter) {
+	go func() {
+		for j := range jobs {
+			c.n += j
+		}
+	}()
+}
+
+// DoneStopped: a done channel breaks the loop.
+func DoneStopped(done chan struct{}, c *counter) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				c.n++
+			}
+		}
+	}()
+}
+
+// CtxStopped: the spawned body (resolved in-package) watches a context.
+func CtxStopped(ctx context.Context, c *counter) {
+	go watch(ctx, c)
+}
+
+func watch(ctx context.Context, c *counter) {
+	<-ctx.Done()
+	c.n = 0
+}
+
+// server's serve loop is stoppable because the package registers a Close
+// on its type (StopServer): matched by type, not by the specific variable.
+type server struct{ n int }
+
+func (s *server) serve() {
+	for {
+		s.n++
+	}
+}
+
+func (s *server) Close() { s.n = -1 }
+
+func StartServer(s *server) {
+	go s.serve()
+}
+
+func StopServer(s *server) {
+	s.Close()
+}
+
+// bareWaiver shows that a reason-less directive does not suppress.
+func bareWaiver(c *counter) {
+	//lint:allow goroleak
+	go spin(c) // want goroleak
+}

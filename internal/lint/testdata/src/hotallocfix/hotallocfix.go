@@ -1,0 +1,80 @@
+// Package hotallocfix exercises the hotalloc analyzer: every
+// allocation-inducing construct inside the configured hot-path functions
+// must be flagged, identical constructs outside the hot set must not, and
+// a reasoned lint:allow waives a provably amortized append while a bare
+// one is itself reported.
+package hotallocfix
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type state struct {
+	buf []int
+}
+
+func (s *state) HotStep(n int) {
+	v := make([]int, n) // want hotalloc
+	_ = v
+	p := new(point) // want hotalloc
+	_ = p
+}
+
+func (s *state) HotGrow(x int) {
+	s.buf = append(s.buf, x) // want hotalloc
+}
+
+func (s *state) HotFormat(id int) string {
+	return fmt.Sprintf("session-%d", id) // want hotalloc
+}
+
+func HotConvert(msg string) int {
+	b := []byte(msg) // want hotalloc
+	return len(b)
+}
+
+func HotIface(x int) any {
+	return any(x) // want hotalloc
+}
+
+func HotBox(x int) int {
+	return boxed(x) // want hotalloc
+}
+
+func HotClosure(n int) func() int {
+	return func() int { return n } // want hotalloc
+}
+
+func HotAddr(x, y int) *point {
+	return &point{x: x, y: y} // want hotalloc
+}
+
+// HotAllowed shows the amortized-append waiver: the reason names the
+// preallocation site, so the finding is suppressed.
+func (s *state) HotAllowed(x int) {
+	//lint:allow hotalloc buf is preallocated by the caller to a fixed capacity
+	s.buf = append(s.buf, x)
+}
+
+// HotBare shows that a reason-less waiver does not suppress: the directive
+// is reported as broken and the append still fires.
+func (s *state) HotBare(x int) {
+	//lint:allow hotalloc
+	s.buf = append(s.buf, x) // want hotalloc
+}
+
+// coldPath uses every flagged construct outside the hot set: no findings.
+func coldPath(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func boxed(v any) int {
+	if v == nil {
+		return 0
+	}
+	return 1
+}

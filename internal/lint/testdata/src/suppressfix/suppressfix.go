@@ -1,0 +1,30 @@
+// Package suppressfix exercises the suppression grammar's edge cases: the
+// same-line waiver, the stacked directive run above a flagged line, and a
+// directive naming an unknown analyzer (itself reported).
+package suppressfix
+
+// sameLine waives on the flagged line itself.
+func sameLine() {
+	panic("unreachable: fixture") //lint:allow nopanic fixture demonstrates the same-line waiver
+}
+
+// stacked waives through a run of directives: the matching directive is
+// the top of the stack, with another valid directive between it and the
+// flagged line.
+func stacked() {
+	//lint:allow nopanic fixture demonstrates the stacked-directive walk
+	//lint:allow floateq fixture stacks a second valid waiver in between
+	panic("unreachable: fixture")
+}
+
+// control shows the unwaived finding still fires.
+func control() {
+	panic("unreachable: fixture") // want nopanic
+}
+
+// unknown's directive names an analyzer the suite does not have: the
+// directive itself is the finding.
+func unknown() {
+	//lint:allow nosuchcheck this analyzer does not exist // want allow
+	_ = 1
+}

@@ -259,6 +259,7 @@ func (s *StepState) FinishDownload(estBps float64) {
 	s.pred.ObserveDownload(s.Rec.SizeBits, s.Rec.DownloadSec)
 	s.LastThroughputBps = s.Rec.ThroughputBps
 	if s.keepChunks {
+		//lint:allow hotalloc guarded by keepChunks, false on the zero-alloc fleet path; only the single-session simulator keeps per-chunk records
 		s.res.Chunks = append(s.res.Chunks, s.Rec)
 	}
 	s.res.TotalBits += s.Rec.SizeBits
@@ -287,6 +288,7 @@ func (s *StepState) SkipChunk() {
 	s.Rec.RebufferSec += s.chunkDurSec
 	s.Rec.BufferAfter = s.BufferSec
 	if s.keepChunks {
+		//lint:allow hotalloc guarded by keepChunks, false on the zero-alloc fleet path; only the single-session simulator keeps per-chunk records
 		s.res.Chunks = append(s.res.Chunks, s.Rec)
 	}
 }

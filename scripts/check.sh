@@ -6,7 +6,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 # Static analysis first: formatting, go vet, then abrlint (the project
-# analyzer suite — determinism, units, nopanic, floateq, errdrop).
+# analyzer suite — determinism, units, nopanic, floateq, errdrop, hotalloc,
+# locks, goroleak, atomicmix, metricname). -counts prints the per-analyzer
+# tally so a regression is attributable to the analyzer that caught it.
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
@@ -14,7 +16,7 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 go vet ./...
-go run ./cmd/abrlint ./...
+go run ./cmd/abrlint -counts ./...
 go build ./...
 go test -race ./...
 # Hammer the concurrency-heavy packages a second time under the race

@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check lint lint-fixtures build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak soak-edge soak-fleet bench-edge bench-fleet bench-fleet-short
+.PHONY: check lint lint-fixtures build vet test race bench bench-telemetry bench-sweep bench-sweep-short soak soak-edge soak-fleet soak-crash bench-edge bench-fleet bench-fleet-short
 
 # check is the one-command tier-1 gate every PR must pass.
-check: lint build race bench-telemetry bench-sweep-short bench-fleet-short soak soak-edge soak-fleet
+check: lint build race bench-telemetry bench-sweep-short bench-fleet-short soak soak-edge soak-fleet soak-crash
 
 # lint is the static-analysis gate: formatting, go vet, and abrlint (the
 # project analyzer suite in internal/lint — determinism, units, nopanic,
@@ -79,6 +79,16 @@ bench-edge:
 # within the virtual-time deadline).
 soak-fleet:
 	$(GO) test -race -run='TestFleetChaosSmoke$$' -count=1 -v ./internal/chaos
+
+# Crash-tolerance soak: the fleet engine under seeded in-step panics, a
+# mid-run interrupt that forces a checkpoint, and a resume that must be
+# bit-identical to the uninterrupted baseline — race-enabled — plus a
+# disk-cache corruption pass (flipped byte, torn tail, mangled header)
+# proving checksum detection, quarantine and recompute. Asserts exact
+# quarantine accounting, closed event accounting and goroutines back to
+# baseline. Seeded fault schedule.
+soak-crash:
+	$(GO) test -race -run='TestCrashSoak$$' -count=1 -v ./internal/chaos
 
 # Fleet scaling benchmark over the full 200-trace corpus (lte:100,fcc:100):
 # a 1-worker 100k baseline and the headline multi-core 1M-session point

@@ -2,19 +2,33 @@
 // ABR sessions in one process over a shared trace corpus, reporting
 // fleet-level QoE distributions and engine throughput.
 //
+// Long runs are crash-tolerant: -checkpoint-dir snapshots the engine
+// periodically and on SIGINT/SIGTERM, and -resume restores a run whose
+// final output is bit-identical to the uninterrupted one. Even without a
+// checkpoint dir, an interrupt drains cleanly and reports the partial
+// population to stderr instead of losing all output.
+//
 // Usage:
 //
 //	fleetsim -sessions 1000000 -workers 0 -trace-corpus lte:100,fcc:100 -scheme cava
 //	fleetsim -sessions 2000 -scheme robustmpc -videos ED-youtube-h264
+//	fleetsim -sessions 1000000 -checkpoint-dir /tmp/fleet -checkpoint-every 60
+//	fleetsim -sessions 1000000 -checkpoint-dir /tmp/fleet -resume
 //	fleetsim -smoke                              (chaos invariants mode)
 package main
 
 import (
+	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"cava/internal/abr"
@@ -37,6 +51,10 @@ func main() {
 		workers    = flag.Int("workers", 0, "event-loop shards/worker goroutines (0: all cores); results are identical for every value")
 		seed       = flag.Int64("seed", 1, "seed for corpus assignment, offsets and arrivals")
 		maxChunks  = flag.Int("max-chunks", 0, "truncate each session after this many chunks (0: full video)")
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for engine checkpoints: written periodically and on SIGINT/SIGTERM, read by -resume")
+		ckptEvery  = flag.Float64("checkpoint-every", 60, "seconds between periodic checkpoints (with -checkpoint-dir; 0: only on interrupt)")
+		resumeRun  = flag.Bool("resume", false, "restore the run from -checkpoint-dir instead of starting fresh (same flags, any -workers)")
+		watchdog   = flag.Float64("watchdog", 0, "fail the run when any shard makes no event progress for this many wall seconds (0: disabled)")
 		smoke      = flag.Bool("smoke", false, "chaos smoke mode: run the fleet invariant checks and exit non-zero on violation")
 	)
 	flag.Parse()
@@ -60,8 +78,7 @@ func main() {
 		return
 	}
 
-	start := time.Now()
-	res, err := fleet.Run(fleet.Config{
+	cfg := fleet.Config{
 		Videos:             videos,
 		Traces:             traces,
 		Scheme:             scheme,
@@ -72,25 +89,77 @@ func main() {
 		RandomTraceOffsets: true,
 		Seed:               *seed,
 		MaxChunks:          *maxChunks,
-	})
-	if err != nil {
+	}
+	var e *fleet.Engine
+	if *resumeRun {
+		if *ckptDir == "" {
+			fail(errors.New("-resume requires -checkpoint-dir"))
+		}
+		if e, err = fleet.Resume(cfg, *ckptDir); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "fleetsim: resumed from %s\n", fleet.CheckpointPath(*ckptDir))
+	} else if e, err = fleet.New(cfg); err != nil {
 		fail(err)
 	}
-	wall := time.Since(start).Seconds()
 
-	shards := *workers
+	// SIGINT/SIGTERM cancel the run's context: the engine quiesces at a
+	// batch boundary, checkpoints when a dir is configured, and returns
+	// the partial population — a kill no longer loses all output.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	res, runErr := e.RunContext(ctx, fleet.RunOptions{
+		CheckpointDir:      *ckptDir,
+		CheckpointEverySec: *ckptEvery,
+		WatchdogSec:        *watchdog,
+	})
+	wallSec := time.Since(start).Seconds()
+	if runErr != nil && !errors.Is(runErr, fleet.ErrInterrupted) {
+		fail(runErr)
+	}
+
+	if errors.Is(runErr, fleet.ErrInterrupted) {
+		fmt.Fprintf(os.Stderr, "fleetsim: %v\n", runErr)
+		fmt.Fprintf(os.Stderr, "fleetsim: partial population: %d of %d sessions completed at interrupt\n",
+			res.Completed, res.Sessions)
+		if *ckptDir != "" {
+			fmt.Fprintf(os.Stderr, "fleetsim: checkpoint at %s — continue with -resume -checkpoint-dir %s\n",
+				fleet.CheckpointPath(*ckptDir), *ckptDir)
+		}
+		_ = summarize(os.Stderr, res, *schemeName, len(videos), len(traces), *arrival, *seed, *workers, wallSec)
+		reportQuarantines(res)
+		os.Exit(1)
+	}
+
+	if err := summarize(os.Stdout, res, *schemeName, len(videos), len(traces), *arrival, *seed, *workers, wallSec); err != nil {
+		fail(err)
+	}
+	reportQuarantines(res)
+}
+
+// summarize prints the run header, engine throughput and the per-session
+// QoE distribution table. It serves both the stdout happy path and the
+// stderr partial-population path, where the distributions cover only the
+// sessions that finished before the interrupt. Write errors latch in the
+// buffered writer and surface from the final Flush.
+func summarize(out io.Writer, res *fleet.Result, schemeName string, nVideos, nTraces int,
+	arrival float64, seed int64, workers int, wallSec float64) error {
+	shards := workers
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("fleet: %d sessions (%s), %d videos × %d traces, arrival %g/s, seed %d\n",
-		res.Sessions, *schemeName, len(videos), len(traces), *arrival, *seed)
-	fmt.Printf("engine: %d events in %.2f s wall — %.0f events/s, %.0f sessions/s (%d workers, GOMAXPROCS %d)\n",
-		res.Events, wall, float64(res.Events)/wall, float64(res.Sessions)/wall, shards, runtime.GOMAXPROCS(0))
-	fmt.Printf("virtual horizon: %.0f s (last completion)\n\n", res.VirtualSec)
+	w := bufio.NewWriter(out)
+	fmt.Fprintf(w, "fleet: %d sessions (%s), %d videos × %d traces, arrival %g/s, seed %d\n",
+		res.Sessions, schemeName, nVideos, nTraces, arrival, seed)
+	fmt.Fprintf(w, "engine: %d events in %.2f s wall — %.0f events/s, %.0f sessions/s (%d workers, GOMAXPROCS %d)\n",
+		res.Events, wallSec, float64(res.Events)/wallSec, float64(res.Sessions)/wallSec, shards, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "virtual horizon: %.0f s (last completion)\n\n", res.VirtualSec)
 
-	fmt.Printf("%-16s %10s %10s %10s %10s\n", "per-session", "p10", "p50", "p90", "p99")
+	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s\n", "per-session", "p10", "p50", "p90", "p99")
 	row := func(name string, s metrics.Sorted) {
-		fmt.Printf("%-16s %10.2f %10.2f %10.2f %10.2f\n",
+		fmt.Fprintf(w, "%-16s %10.2f %10.2f %10.2f %10.2f\n",
 			name, s.Percentile(10), s.Percentile(50), s.Percentile(90), s.Percentile(99))
 	}
 	row("rebuffer (s)", res.RebufferSec)
@@ -101,6 +170,21 @@ func main() {
 	row("switches", res.Switches)
 	row("data (MB)", res.DataMB)
 	row("session (s)", res.SessionLenSec)
+	return w.Flush()
+}
+
+// reportQuarantines surfaces panic-isolated sessions on stderr: the run
+// completed around them, but their absence from the distributions should
+// never be silent.
+func reportQuarantines(res *fleet.Result) {
+	if len(res.Quarantined) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "fleetsim: %d session(s) quarantined by panic isolation (excluded from distributions):\n",
+		len(res.Quarantined))
+	for _, q := range res.Quarantined {
+		fmt.Fprintf(os.Stderr, "  session %d at chunk %d: %s\n", q.SessionID, q.Chunk, q.Reason)
+	}
 }
 
 // runSmoke executes the chaos -fleet mode: invariant checks against the

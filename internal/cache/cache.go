@@ -16,16 +16,25 @@
 //     <dir>/<kind>/<fingerprint>.json, so repeated abrexport/abreval
 //     invocations across processes skip completed sweeps.
 //
-// Telemetry: cache_hits_total{kind}, cache_misses_total{kind} and
-// cache_bytes_total (serialized bytes moved through the JSON layer) when a
-// registry is attached with WithMetrics; Stats exposes the same counts
-// programmatically for tests. A nil *Cache disables caching: every helper
-// computes directly.
+// The disk layer is hardened against partial and corrupted files: every
+// entry is framed with a FNV-64a checksum header, written to a temp file
+// and renamed into place. A read that fails the checksum (bit rot, torn
+// write by a pre-rename crash, manual tampering) quarantines the file as
+// <name>.corrupt and falls back to recomputation, so a damaged entry can
+// degrade one request's latency but never poison a memoized figure.
+//
+// Telemetry: cache_hits_total{kind}, cache_misses_total{kind},
+// cache_corrupt_entries_total{kind} and cache_bytes_total (serialized
+// bytes moved through the JSON layer) when a registry is attached with
+// WithMetrics; Stats exposes the same counts programmatically for tests.
+// A nil *Cache disables caching: every helper computes directly.
 package cache
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
@@ -53,9 +62,11 @@ type entry struct {
 
 // Stats counts one kind's cache outcomes. Hits are requests served without
 // running the computation (in-memory, disk, or by waiting on another
-// caller's in-flight computation); Misses are actual computations.
+// caller's in-flight computation); Misses are actual computations; Corrupt
+// counts disk entries that failed checksum verification and were
+// quarantined (each such request also recomputes, so it counts a miss too).
 type Stats struct {
-	Hits, Misses uint64
+	Hits, Misses, Corrupt uint64
 }
 
 // Option configures a Cache.
@@ -257,19 +268,97 @@ func (c *Cache) diskPath(kind, key string) string {
 	return filepath.Join(c.dir, kind, key+".json")
 }
 
+// diskMagic opens every checksummed disk entry. The full header is one
+// line — "abrcache1 <fnv64a hex16> <payload byte count>\n" — followed by
+// the JSON payload the checksum covers. Files without the magic are
+// pre-checksum legacy entries: not corrupt, just unverifiable, so they
+// read as misses and get rewritten in the framed format.
+const diskMagic = "abrcache1 "
+
+// frameDisk wraps a payload in the checksum header.
+func frameDisk(payload []byte) []byte {
+	h := fnv.New64a()
+	h.Write(payload)
+	header := fmt.Sprintf("%s%016x %d\n", diskMagic, h.Sum64(), len(payload))
+	return append([]byte(header), payload...)
+}
+
+// unframeDisk verifies a framed entry and returns its payload. legacy
+// reports a file predating the checksum format; err reports a framed file
+// whose header or checksum does not match its contents.
+func unframeDisk(raw []byte) (payload []byte, legacy bool, err error) {
+	if !bytes.HasPrefix(raw, []byte(diskMagic)) {
+		return nil, true, nil
+	}
+	rest := raw[len(diskMagic):]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, false, fmt.Errorf("truncated header")
+	}
+	var sum uint64
+	var count int
+	if _, err := fmt.Sscanf(string(rest[:nl]), "%x %d", &sum, &count); err != nil {
+		return nil, false, fmt.Errorf("malformed header %q", rest[:nl])
+	}
+	payload = rest[nl+1:]
+	if len(payload) != count {
+		return nil, false, fmt.Errorf("payload is %d bytes, header says %d (torn write)", len(payload), count)
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	if got := h.Sum64(); got != sum {
+		return nil, false, fmt.Errorf("checksum %016x, header says %016x (bit rot)", got, sum)
+	}
+	return payload, false, nil
+}
+
+// readDisk loads and verifies one entry. A corrupt file — framed but
+// failing its length or checksum — is quarantined (renamed to
+// <name>.corrupt), counted, and reported as a miss so the caller
+// recomputes; it is never returned as data.
 func (c *Cache) readDisk(kind, key string) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	data, err := os.ReadFile(c.diskPath(kind, key))
+	path := c.diskPath(kind, key)
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
-	return data, true
+	payload, legacy, err := unframeDisk(raw)
+	if err != nil {
+		c.quarantineDisk(kind, path)
+		return nil, false
+	}
+	if legacy {
+		return nil, false
+	}
+	return payload, true
 }
 
-// writeDisk persists one entry via a temp-file rename so concurrent
-// processes never observe a torn file.
+// quarantineDisk moves a corrupt entry aside so the recomputed value can
+// take its place while the damaged bytes stay inspectable, and counts the
+// event (Stats.Corrupt, cache_corrupt_entries_total{kind}).
+func (c *Cache) quarantineDisk(kind, path string) {
+	_ = os.Rename(path, path+".corrupt") // best-effort: losing the evidence must not fail the request
+	c.mu.Lock()
+	s := c.stats[kind]
+	if s == nil {
+		s = &Stats{}
+		c.stats[kind] = s
+	}
+	s.Corrupt++
+	reg := c.reg
+	c.mu.Unlock()
+	if reg != nil {
+		reg.Counter("cache_corrupt_entries_total", "disk cache entries that failed checksum verification and were quarantined",
+			telemetry.Label{Name: "kind", Value: kind}).Inc()
+	}
+}
+
+// writeDisk persists one checksummed entry via a temp-file write, sync and
+// rename, so concurrent processes never observe a torn file and a crash
+// mid-write leaves the previous entry (or no entry) in place.
 func (c *Cache) writeDisk(kind, key string, data []byte) {
 	if c.dir == "" {
 		return
@@ -283,9 +372,10 @@ func (c *Cache) writeDisk(kind, key string, data []byte) {
 		return
 	}
 	name := tmp.Name()
-	_, werr := tmp.Write(data)
+	_, werr := tmp.Write(frameDisk(data))
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		_ = os.Remove(name) // best-effort cleanup of the temp file
 		return
 	}

@@ -3,6 +3,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -276,5 +277,128 @@ func TestStringSummary(t *testing.T) {
 	var nilc *Cache
 	if fmt.Sprint(nilc) != "cache(disabled)" {
 		t.Fatalf("nil String() = %q", fmt.Sprint(nilc))
+	}
+}
+
+// TestCacheDiskCorruptionQuarantine pins the hardened disk layer: a framed
+// entry whose payload no longer matches its checksum is detected on read,
+// quarantined as <name>.corrupt, counted (Stats.Corrupt and
+// cache_corrupt_entries_total), and transparently recomputed — the damaged
+// bytes never reach a caller.
+func TestCacheDiskCorruptionQuarantine(t *testing.T) {
+	type payload struct {
+		N int `json:"n"`
+	}
+	dir := t.TempDir()
+	seed := New(WithDir(dir))
+	if _, err := GetOrComputeJSON(seed, "sweep", "deadbeef", func() (payload, error) {
+		return payload{N: 7}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sweep", "deadbeef.json")
+
+	// Flip one payload byte under the intact header — classic bit rot.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rot := append([]byte(nil), raw...)
+	rot[len(rot)-2] ^= 0x01
+	if err := os.WriteFile(path, rot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	fresh := New(WithDir(dir), WithMetrics(reg))
+	recomputed := 0
+	got, err := GetOrComputeJSON(fresh, "sweep", "deadbeef", func() (payload, error) {
+		recomputed++
+		return payload{N: 7}, nil
+	})
+	if err != nil || got.N != 7 {
+		t.Fatalf("read after corruption: %+v, %v", got, err)
+	}
+	if recomputed != 1 {
+		t.Errorf("compute ran %d times, want 1 (corrupt entry must force recompute)", recomputed)
+	}
+	if s := fresh.Stats("sweep"); s.Corrupt != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 corrupt 1 miss", s)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt entry not quarantined: %v", err)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `cache_corrupt_entries_total{kind="sweep"} 1`) {
+		t.Errorf("exposition missing corrupt counter:\n%s", sb.String())
+	}
+
+	// The recomputed entry replaced the damaged one: a third process reads
+	// it cleanly with no compute and no new corruption count.
+	warm := New(WithDir(dir))
+	if _, err := GetOrComputeJSON(warm, "sweep", "deadbeef", func() (payload, error) {
+		t.Fatal("compute ran despite recomputed disk entry")
+		return payload{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats("sweep"); s.Corrupt != 0 || s.Hits != 1 {
+		t.Errorf("post-recovery stats = %+v, want 1 hit 0 corrupt", s)
+	}
+}
+
+// TestCacheDiskTornAndLegacyFiles covers the two non-checksum-match shapes:
+// a framed file cut short mid-payload (a torn write that somehow bypassed
+// the rename protocol) is corrupt and quarantined; a pre-checksum legacy
+// file (bare JSON, no magic) is merely unverifiable — recomputed and
+// rewritten in the framed format, but never counted or renamed as corrupt.
+func TestCacheDiskTornAndLegacyFiles(t *testing.T) {
+	dir := t.TempDir()
+	seed := New(WithDir(dir))
+	if _, err := GetOrComputeJSON(seed, "sweep", "torn", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	tornPath := filepath.Join(dir, "sweep", "torn.json")
+	raw, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, raw[:len(raw)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	legacyPath := filepath.Join(dir, "sweep", "legacy.json")
+	if err := os.WriteFile(legacyPath, []byte("3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(WithDir(dir))
+	if v, err := GetOrComputeJSON(c, "sweep", "torn", func() (int, error) { return 1, nil }); err != nil || v != 1 {
+		t.Fatalf("torn entry: %v, %v", v, err)
+	}
+	if _, err := os.Stat(tornPath + ".corrupt"); err != nil {
+		t.Errorf("torn entry not quarantined: %v", err)
+	}
+	if v, err := GetOrComputeJSON(c, "sweep", "legacy", func() (int, error) { return 9, nil }); err != nil || v != 9 {
+		t.Fatalf("legacy entry: %v, %v", v, err)
+	}
+	if _, err := os.Stat(legacyPath + ".corrupt"); err == nil {
+		t.Error("legacy (unframed) file was quarantined as corrupt")
+	}
+	if s := c.Stats("sweep"); s.Corrupt != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 corrupt 2 misses", s)
+	}
+	// Both keys are now framed on disk and verify cleanly.
+	for _, key := range []string{"torn", "legacy"} {
+		data, err := os.ReadFile(filepath.Join(dir, "sweep", key+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, legacy, err := unframeDisk(data); legacy || err != nil {
+			t.Errorf("%s not rewritten as a framed entry: legacy=%v err=%v", key, legacy, err)
+		}
 	}
 }

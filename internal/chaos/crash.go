@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"time"
+
+	"cava/internal/abr"
+	"cava/internal/fleet"
+	"cava/internal/telemetry"
+	"cava/internal/trace"
+	"cava/internal/video"
+)
+
+// CrashConfig describes one crash-injection soak: the chaos harness's
+// answer to "does a long fleet run survive its own process?". Where
+// RunFleet proves the event engine schedules a healthy fleet, RunCrash
+// attacks the same engine three ways at once — seeded panics inside
+// randomly chosen sessions' chunk steps, a mid-run interrupt that forces a
+// checkpoint, and a resume that must land bit-identical to the run that
+// was never interrupted. Panic isolation, checkpoint/resume and event
+// accounting are all load-bearing at once, which is exactly the state a
+// production OOM-kill or crashing ABR scheme would find them in.
+type CrashConfig struct {
+	// Videos and Traces form the shared corpus (required).
+	Videos []*video.Video
+	Traces []*trace.Trace
+	// Scheme is the adaptation algorithm every session runs (required).
+	Scheme abr.Scheme
+	// Sessions is the fleet size (default 2000).
+	Sessions int
+	// Workers is the engine shard count (non-positive: GOMAXPROCS).
+	Workers int
+	// ArrivalRatePerSec staggers arrivals (default 20/s).
+	ArrivalRatePerSec float64
+	// Seed drives corpus assignment AND the fault schedule: which sessions
+	// panic, at which chunk, and where the interrupt cut lands relative to
+	// event progress. Same seed, same faults.
+	Seed int64
+	// MaxChunks bounds each session's length (default 40).
+	MaxChunks int
+	// Faults is how many sessions get a panic injected into one of their
+	// chunk steps (default 25). Victim chunks are drawn below every
+	// video's chunk budget, so every scheduled fault actually fires.
+	Faults int
+	// CheckpointDir hosts the mid-run checkpoint (required): the run is
+	// interrupted once, checkpointed there, and resumed.
+	CheckpointDir string
+	// InterruptAfterEvents is the event count at which the run's context
+	// is cancelled (default one third of the maximum event budget).
+	InterruptAfterEvents int64
+	// Registry optionally collects the engine's telemetry across all
+	// three legs (baseline, interrupted, resumed).
+	Registry *telemetry.Registry
+}
+
+// withCrashDefaults validates the config and fills defaulted fields.
+func (c CrashConfig) withCrashDefaults() (CrashConfig, error) {
+	if len(c.Videos) == 0 || len(c.Traces) == 0 || c.Scheme.New == nil {
+		return c, errors.New("chaos: CrashConfig needs Videos, Traces and Scheme")
+	}
+	if c.CheckpointDir == "" {
+		return c, errors.New("chaos: CrashConfig needs a CheckpointDir for the interrupt/resume leg")
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 2000
+	}
+	if c.ArrivalRatePerSec <= 0 {
+		c.ArrivalRatePerSec = 20
+	}
+	if c.MaxChunks <= 0 {
+		c.MaxChunks = 40
+	}
+	if c.Faults <= 0 {
+		c.Faults = 25
+	}
+	if c.Faults > c.Sessions {
+		c.Faults = c.Sessions
+	}
+	if c.InterruptAfterEvents <= 0 {
+		c.InterruptAfterEvents = int64(c.Sessions) * int64(c.MaxChunks) / 3
+	}
+	return c, nil
+}
+
+// CrashReport aggregates one crash soak for invariant checking.
+type CrashReport struct {
+	// Sessions, Completed and Quarantined partition the fleet; every
+	// session must end up in exactly one of the latter two.
+	Sessions    int
+	Completed   int
+	Quarantined int
+	// FaultsInjected is the scheduled panic count; a healthy run
+	// quarantines exactly this many sessions — no faults lost, no
+	// collateral damage.
+	FaultsInjected int
+	// Events, ExpectedEvents and LostEvents echo the engine's accounting;
+	// Events != ExpectedEvents - LostEvents means the isolation path
+	// corrupted the schedule.
+	Events         int64
+	ExpectedEvents int64
+	LostEvents     int64
+	// Interrupted and Resumed report the checkpoint leg actually engaged:
+	// the cancel landed mid-run and the final result came from a resumed
+	// engine.
+	Interrupted bool
+	Resumed     bool
+	// ResumeMatches is the headline: the resumed run's Result equals the
+	// uninterrupted baseline's (quarantine stacks excepted — they name
+	// goroutines of different processes-in-spirit).
+	ResumeMatches bool
+	// WallSec is the soak's wall-clock duration (reporting only).
+	WallSec float64
+}
+
+// RunCrash executes one crash soak: an uninterrupted baseline run with the
+// seeded faults, then the same run interrupted mid-flight (checkpoint on
+// the way out) and resumed to completion. An error means the harness
+// itself could not run; fault-tolerance violations land in the report.
+func RunCrash(cfg CrashConfig) (*CrashReport, error) {
+	cfg, err := cfg.withCrashDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Victim chunks stay below every video's chunk budget so each fault is
+	// guaranteed to fire regardless of which video the session drew.
+	minBudget := cfg.MaxChunks
+	for _, v := range cfg.Videos {
+		if n := v.NumChunks(); n < minBudget {
+			minBudget = n
+		}
+	}
+	if minBudget < 2 {
+		return nil, fmt.Errorf("chaos: chunk budget %d leaves no room for mid-session faults", minBudget)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	victims := make(map[int32]int, cfg.Faults)
+	for len(victims) < cfg.Faults {
+		id := int32(rng.Intn(cfg.Sessions))
+		if _, dup := victims[id]; dup {
+			continue
+		}
+		victims[id] = 1 + rng.Intn(minBudget-1)
+	}
+	// faultHook panics at each victim's chunk; with a counter attached it
+	// also trips the interrupt once the event count crosses the cut.
+	faultHook := func(counter *atomic.Int64, cancel context.CancelFunc) func(int32, int) {
+		return func(id int32, chunk int) {
+			if counter != nil && counter.Add(1) == cfg.InterruptAfterEvents {
+				cancel()
+			}
+			if c, ok := victims[id]; ok && chunk == c {
+				//lint:allow nopanic deliberate fault injection: the soak exists to prove the engine survives this panic
+				panic(fmt.Sprintf("chaos: injected fault in session %d at chunk %d", id, chunk))
+			}
+		}
+	}
+
+	base := fleet.Config{
+		Videos:             cfg.Videos,
+		Traces:             cfg.Traces,
+		Scheme:             cfg.Scheme,
+		Sessions:           cfg.Sessions,
+		Workers:            cfg.Workers,
+		ArrivalRatePerSec:  cfg.ArrivalRatePerSec,
+		RandomTraceOffsets: true,
+		Seed:               cfg.Seed,
+		MaxChunks:          cfg.MaxChunks,
+		Metrics:            cfg.Registry,
+	}
+
+	// Leg 1: the uninterrupted baseline, faults and all.
+	bcfg := base
+	bcfg.CrashHook = faultHook(nil, nil)
+	want, err := fleet.Run(bcfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: baseline run: %w", err)
+	}
+
+	// Leg 2: the same run, cancelled mid-flight with a checkpoint.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events atomic.Int64
+	icfg := base
+	icfg.CrashHook = faultHook(&events, cancel)
+	e, err := fleet.New(icfg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: interrupted run: %w", err)
+	}
+	partial, runErr := e.RunContext(ctx, fleet.RunOptions{CheckpointDir: cfg.CheckpointDir})
+	interrupted := errors.Is(runErr, fleet.ErrInterrupted)
+	if runErr != nil && !interrupted {
+		return nil, fmt.Errorf("chaos: interrupted run: %w", runErr)
+	}
+
+	// Leg 3: resume from the checkpoint and finish. The hook rides along —
+	// faults that had not yet fired at the cut must still fire.
+	final := partial
+	resumed := false
+	if interrupted {
+		rcfg := base
+		rcfg.CrashHook = faultHook(nil, nil)
+		re, err := fleet.Resume(rcfg, cfg.CheckpointDir)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: resume: %w", err)
+		}
+		if final, err = re.Run(); err != nil {
+			return nil, fmt.Errorf("chaos: resumed run: %w", err)
+		}
+		resumed = true
+	}
+
+	return &CrashReport{
+		Sessions:       final.Sessions,
+		Completed:      final.Completed,
+		Quarantined:    len(final.Quarantined),
+		FaultsInjected: len(victims),
+		Events:         final.Events,
+		ExpectedEvents: final.ExpectedEvents,
+		LostEvents:     final.LostEvents,
+		Interrupted:    interrupted,
+		Resumed:        resumed,
+		ResumeMatches:  resultsMatch(want, final),
+		WallSec:        time.Since(start).Seconds(),
+	}, nil
+}
+
+// resultsMatch compares two fleet Results for bit-identity, ignoring
+// quarantine stacks (two recoveries of the same injected fault capture
+// stacks of different goroutines).
+func resultsMatch(a, b *fleet.Result) bool {
+	strip := func(r *fleet.Result) fleet.Result {
+		c := *r
+		c.Quarantined = append([]fleet.Quarantine(nil), r.Quarantined...)
+		for i := range c.Quarantined {
+			c.Quarantined[i].Stack = ""
+		}
+		return c
+	}
+	return reflect.DeepEqual(strip(a), strip(b))
+}
+
+// Invariants checks the report against the crash-tolerance contract and
+// returns every violation (empty means the soak passed):
+//
+//   - isolation is exact: every injected fault quarantined its session,
+//     and nothing else was quarantined;
+//   - the fleet completed around the faults: completed + quarantined
+//     partitions the population, and the event accounting closes as
+//     Events == ExpectedEvents - LostEvents with LostEvents > 0;
+//   - the checkpoint leg engaged: the run was interrupted and resumed;
+//   - resume is lossless: the resumed run's Result is bit-identical to
+//     the uninterrupted baseline's.
+func (r *CrashReport) Invariants() []error {
+	var out []error
+	if r.Completed+r.Quarantined != r.Sessions {
+		out = append(out, fmt.Errorf("chaos: %d completed + %d quarantined != %d sessions (sessions vanished)",
+			r.Completed, r.Quarantined, r.Sessions))
+	}
+	if r.Quarantined != r.FaultsInjected {
+		out = append(out, fmt.Errorf("chaos: %d sessions quarantined for %d injected faults (lost faults or collateral quarantine)",
+			r.Quarantined, r.FaultsInjected))
+	}
+	if r.Events != r.ExpectedEvents-r.LostEvents {
+		out = append(out, fmt.Errorf("chaos: accounting open: %d events for %d expected - %d lost",
+			r.Events, r.ExpectedEvents, r.LostEvents))
+	}
+	if r.FaultsInjected > 0 && r.LostEvents <= 0 {
+		out = append(out, fmt.Errorf("chaos: %d faults injected but no events lost (faults did not land mid-session)",
+			r.FaultsInjected))
+	}
+	if !r.Interrupted || !r.Resumed {
+		out = append(out, fmt.Errorf("chaos: interrupt leg never engaged (interrupted=%v resumed=%v)",
+			r.Interrupted, r.Resumed))
+	}
+	if !r.ResumeMatches {
+		out = append(out, errors.New("chaos: resumed run diverges from the uninterrupted baseline"))
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cava/internal/cache"
+	"cava/internal/chaos/leakcheck"
+	"cava/internal/telemetry"
+)
+
+func TestCrashConfigValidation(t *testing.T) {
+	if _, err := RunCrash(CrashConfig{}); err == nil {
+		t.Fatal("RunCrash accepted an empty config")
+	}
+	cfg := CrashConfig{
+		Videos: fleetTestConfig().Videos,
+		Traces: fleetTestConfig().Traces,
+		Scheme: fleetTestConfig().Scheme,
+	}
+	if _, err := RunCrash(cfg); err == nil || !strings.Contains(err.Error(), "CheckpointDir") {
+		t.Fatalf("RunCrash without CheckpointDir: %v", err)
+	}
+}
+
+// TestCrashSoak is the `make soak-crash` cell: the fleet engine under
+// seeded in-step panics, a mid-run interrupt with checkpoint, and a
+// resume — race-enabled — followed by a process-style disk-cache
+// corruption pass. Asserts the crash-tolerance contract (exact quarantine,
+// closed accounting, bit-identical resume), checksum detection and
+// recompute on the cache, and goroutines back to baseline.
+func TestCrashSoak(t *testing.T) {
+	defer leakcheck.Check(t)()
+	reg := telemetry.NewRegistry()
+
+	fc := fleetTestConfig()
+	rep, err := RunCrash(CrashConfig{
+		Videos:        fc.Videos,
+		Traces:        fc.Traces,
+		Scheme:        fc.Scheme,
+		Workers:       4,
+		Seed:          13,
+		CheckpointDir: t.TempDir(),
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Invariants() {
+		t.Errorf("invariant violated: %v", e)
+	}
+	if got := reg.Counter("fleet_sessions_quarantined_total", "").Value(); got == 0 {
+		t.Error("fleet_sessions_quarantined_total never incremented")
+	}
+	if got := reg.Counter("fleet_checkpoints_written_total", "").Value(); rep.Interrupted && got == 0 {
+		t.Error("run was interrupted with a checkpoint dir but fleet_checkpoints_written_total stayed 0")
+	}
+	t.Logf("crash soak: %d sessions, %d quarantined of %d faults, %d/%d events (%d lost), interrupted=%v resumed=%v match=%v (%.2f wall s)",
+		rep.Sessions, rep.Quarantined, rep.FaultsInjected, rep.Events, rep.ExpectedEvents,
+		rep.LostEvents, rep.Interrupted, rep.Resumed, rep.ResumeMatches, rep.WallSec)
+
+	cacheCorruptionLeg(t, reg)
+}
+
+// cacheCorruptionLeg seeds a checksummed disk cache, damages entries the
+// three ways a crashing process or decaying disk can (flipped payload
+// byte, truncated tail, mangled header), and proves a fresh cache detects
+// every one, quarantines the bytes, recomputes, and leaves the store fully
+// healed for the next reader.
+func cacheCorruptionLeg(t *testing.T, reg *telemetry.Registry) {
+	t.Helper()
+	dir := t.TempDir()
+	const kind = "sweep"
+	const keys = 8
+	keyName := func(i int) string { return strings.Repeat("k", 3) + string(rune('a'+i)) }
+
+	seed := cache.New(cache.WithDir(dir))
+	for i := 0; i < keys; i++ {
+		i := i
+		if _, err := cache.GetOrComputeJSON(seed, kind, keyName(i), func() (int, error) { return i * i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	damage := map[int]func(path string, raw []byte) []byte{
+		1: func(_ string, raw []byte) []byte { // bit rot in the payload
+			raw[len(raw)-1] ^= 0x08
+			return raw
+		},
+		4: func(_ string, raw []byte) []byte { // torn tail
+			return raw[:len(raw)-1]
+		},
+		6: func(_ string, raw []byte) []byte { // mangled header
+			return append([]byte("abrcache1 zzzz\n"), raw...)
+		},
+	}
+	for i, f := range damage {
+		path := filepath.Join(dir, kind, keyName(i)+".json")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, f(path, raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recomputes := 0
+	fresh := cache.New(cache.WithDir(dir), cache.WithMetrics(reg))
+	for i := 0; i < keys; i++ {
+		i := i
+		v, err := cache.GetOrComputeJSON(fresh, kind, keyName(i), func() (int, error) {
+			recomputes++
+			return i * i, nil
+		})
+		if err != nil || v != i*i {
+			t.Fatalf("key %d after corruption: %v, %v", i, v, err)
+		}
+	}
+	if s := fresh.Stats(kind); s.Corrupt != uint64(len(damage)) {
+		t.Errorf("Stats.Corrupt = %d, want %d", s.Corrupt, len(damage))
+	}
+	if recomputes != len(damage) {
+		t.Errorf("recomputed %d entries, want exactly the %d damaged ones", recomputes, len(damage))
+	}
+	for i := range damage {
+		if _, err := os.Stat(filepath.Join(dir, kind, keyName(i)+".json.corrupt")); err != nil {
+			t.Errorf("damaged entry %d not quarantined: %v", i, err)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `cache_corrupt_entries_total{kind="sweep"} 3`) {
+		t.Errorf("exposition missing corrupt counter:\n%s", sb.String())
+	}
+
+	// The store healed: a third process hits every key, nothing corrupt.
+	healed := cache.New(cache.WithDir(dir))
+	for i := 0; i < keys; i++ {
+		if _, err := cache.GetOrComputeJSON(healed, kind, keyName(i), func() (int, error) {
+			t.Fatalf("key %d recomputed after heal", i)
+			return 0, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := healed.Stats(kind); s.Corrupt != 0 || s.Hits != keys {
+		t.Errorf("healed stats = %+v, want %d hits 0 corrupt", s, keys)
+	}
+	t.Logf("cache leg: %d entries, %d damaged, all detected, quarantined and recomputed", keys, len(damage))
+}

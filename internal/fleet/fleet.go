@@ -42,6 +42,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 
 	"cava/internal/abr"
@@ -106,10 +107,32 @@ type Config struct {
 	// tests and small-fleet debugging, not scale runs.
 	Collect bool
 	// Metrics, when non-nil, receives fleet_events_total,
-	// fleet_sessions_completed_total and the fleet_sessions_active gauge.
-	// Counters and gauges are lock-free atomics, so shards update them
-	// concurrently without coordination.
+	// fleet_sessions_completed_total, fleet_sessions_quarantined_total and
+	// the fleet_sessions_active gauge. Counters and gauges are lock-free
+	// atomics, so shards update them concurrently without coordination.
 	Metrics *telemetry.Registry
+	// CrashHook, when non-nil, is invoked immediately before every chunk
+	// step with the session id and the chunk index about to be processed.
+	// It exists for crash-tolerance testing: a hook that panics exercises
+	// the per-shard panic isolation (the session is quarantined and the
+	// fleet completes without it), and a hook that blocks starves its
+	// shard and trips the RunContext watchdog. The hook is called from
+	// shard goroutines concurrently and must be safe for concurrent use.
+	CrashHook func(sessionID int32, chunk int)
+}
+
+// Quarantine records one session retired by the per-shard panic isolation:
+// a panic inside the session's chunk step is recovered, the session is
+// dropped from the schedule, and the rest of the fleet completes.
+type Quarantine struct {
+	// SessionID is the quarantined session's id.
+	SessionID int32
+	// Chunk is the 0-based index of the chunk whose step panicked.
+	Chunk int
+	// Reason is the stringified panic value.
+	Reason string
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
 }
 
 // Result aggregates a completed fleet run. The distributions hold one
@@ -120,8 +143,16 @@ type Result struct {
 	Sessions int
 	Events   int64
 	// ExpectedEvents is Σ per-session chunk counts — the exact event
-	// budget of a run with no livelock.
+	// budget of a run with no livelock and no quarantines. LostEvents is
+	// the part of that budget forfeited by quarantined sessions, so a
+	// healthy run always closes Events == ExpectedEvents - LostEvents.
 	ExpectedEvents int64
+	LostEvents     int64
+	// Completed counts sessions that ran to completion and Quarantined
+	// lists sessions retired by panic isolation (ascending session id,
+	// nil when none). Completed + len(Quarantined) == Sessions.
+	Completed   int
+	Quarantined []Quarantine
 	// VirtualSec is the fleet virtual time at which the last session
 	// completed.
 	VirtualSec float64
@@ -151,13 +182,15 @@ type Result struct {
 // session is one fleet member: the shared step core plus its corpus
 // assignment and the online aggregates that replace per-chunk records.
 type session struct {
-	step       player.StepState
-	v          *video.Video
-	tr         *trace.Trace
-	qt         *quality.Table
-	offsetSec  float64
-	arrivalSec float64
-	started    bool
+	step        player.StepState
+	v           *video.Video
+	tr          *trace.Trace
+	qt          *quality.Table
+	offsetSec   float64
+	arrivalSec  float64
+	started     bool
+	done        bool
+	quarantined bool
 
 	chunks        int
 	lastLevel     int
@@ -193,9 +226,12 @@ type Engine struct {
 	avgLevel, switches, dataMB                            []float64
 	results                                               []*player.Result
 
-	mEvents    *telemetry.Counter
-	mCompleted *telemetry.Counter
-	mActive    *telemetry.Gauge
+	mEvents      *telemetry.Counter
+	mCompleted   *telemetry.Counter
+	mQuarantined *telemetry.Counter
+	mCkptWritten *telemetry.Counter
+	mCkptErrors  *telemetry.Counter
+	mActive      *telemetry.Gauge
 }
 
 // New validates the config, assigns every session its video, trace, offset
@@ -248,6 +284,9 @@ func New(cfg Config) (*Engine, error) {
 		dataMB:        make([]float64, n),
 		mEvents:       cfg.Metrics.Counter("fleet_events_total", "fleet chunk-step events processed"),
 		mCompleted:    cfg.Metrics.Counter("fleet_sessions_completed_total", "fleet sessions run to completion"),
+		mQuarantined:  cfg.Metrics.Counter("fleet_sessions_quarantined_total", "fleet sessions retired by panic isolation"),
+		mCkptWritten:  cfg.Metrics.Counter("fleet_checkpoints_written_total", "fleet checkpoints written"),
+		mCkptErrors:   cfg.Metrics.Counter("fleet_checkpoint_errors_total", "fleet checkpoint writes that failed"),
 		mActive:       cfg.Metrics.Gauge("fleet_sessions_active", "fleet sessions arrived and not yet complete"),
 	}
 	if cfg.Collect {
@@ -274,11 +313,7 @@ func New(cfg Config) (*Engine, error) {
 			offsetSec: offSec, arrivalSec: arrivalSec,
 			lastLevel: -1,
 		}
-		chunks := v.NumChunks()
-		if cfg.MaxChunks > 0 && cfg.MaxChunks < chunks {
-			chunks = cfg.MaxChunks
-		}
-		e.expectedEvents += int64(chunks)
+		e.expectedEvents += int64(e.chunkBudget(int32(i)))
 	}
 
 	// Shard pass setup: partition [0, n) into contiguous id ranges (cache-
@@ -302,59 +337,113 @@ func New(cfg Config) (*Engine, error) {
 
 // Run drains every shard's event queue to completion — concurrently when
 // the engine has more than one shard — merges the per-shard tallies in
-// shard-index order, and returns the aggregated fleet result.
+// shard-index order, and returns the aggregated fleet result. For long
+// runs that need checkpointing, interruption or a watchdog, use
+// RunContext instead.
 func (e *Engine) Run() (*Result, error) {
 	if len(e.shards) == 1 {
-		e.shards[0].drain()
+		e.shards[0].drain(nil)
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(len(e.shards))
 		for i := range e.shards {
 			go func(sh *shard) {
 				defer wg.Done()
-				sh.drain()
+				sh.drain(nil)
 			}(&e.shards[i])
 		}
 		wg.Wait()
 	}
+	return e.merge()
+}
 
-	// Merge layer: scalar tallies fold in shard-index order; the sample
-	// slices are already id-indexed (each shard wrote only its own range),
-	// so the distributions below cannot depend on the worker count.
-	var events int64
-	completed := 0
-	maxDoneSec := 0.0
+// merge folds the quiescent per-shard tallies in shard-index order and
+// builds the aggregated fleet result. The sample slices are id-indexed
+// (each shard wrote only its own range), so the distributions cannot
+// depend on the worker count.
+func (e *Engine) merge() (*Result, error) {
+	events, completed, lost, maxDoneSec, quarantined := e.tallies()
+	if events != e.expectedEvents-lost || completed != e.cfg.Sessions-len(quarantined) {
+		// Unreachable by construction (every Advance consumes exactly one
+		// chunk); if it ever trips, the engine is mis-scheduling and the
+		// run's aggregates cannot be trusted.
+		return nil, fmt.Errorf("fleet: processed %d events for %d expected (%d lost to quarantine), completed %d+%d quarantined of %d sessions",
+			events, e.expectedEvents, lost, completed, len(quarantined), e.cfg.Sessions)
+	}
+	res := &Result{
+		Sessions:        e.cfg.Sessions,
+		Events:          events,
+		ExpectedEvents:  e.expectedEvents,
+		LostEvents:      lost,
+		Completed:       completed,
+		Quarantined:     quarantined,
+		VirtualSec:      maxDoneSec,
+		RebufferSec:     metrics.NewSorted(e.samples(e.rebufferSec)),
+		StartupDelaySec: metrics.NewSorted(e.samples(e.startupSec)),
+		CompletionSec:   metrics.NewSorted(e.samples(e.completionSec)),
+		SessionLenSec:   metrics.NewSorted(e.samples(e.sessionLenSec)),
+		AvgQuality:      metrics.NewSorted(e.samples(e.avgQuality)),
+		QualityChange:   metrics.NewSorted(e.samples(e.qualityChange)),
+		AvgLevel:        metrics.NewSorted(e.samples(e.avgLevel)),
+		Switches:        metrics.NewSorted(e.samples(e.switches)),
+		DataMB:          metrics.NewSorted(e.samples(e.dataMB)),
+		Results:         e.results,
+	}
+	return res, nil
+}
+
+// tallies folds the per-shard scalar tallies in shard-index order and
+// collects the quarantine records in ascending session id. It reads state
+// written by shard goroutines, so the engine must be quiescent (drained,
+// or paused at the control barrier).
+func (e *Engine) tallies() (events int64, completed int, lost int64, maxDoneSec float64, quarantined []Quarantine) {
 	for i := range e.shards {
 		sh := &e.shards[i]
 		events += sh.events
 		completed += sh.completed
+		lost += sh.lostEvents
 		if sh.maxDoneSec > maxDoneSec {
 			maxDoneSec = sh.maxDoneSec
 		}
+		// Shards own contiguous ascending id ranges and append in step
+		// order; a per-shard sort keeps the concatenation id-sorted even
+		// though steps within a shard are not id-monotonic across instants.
+		qs := append([]Quarantine(nil), sh.quarantined...)
+		sort.Slice(qs, func(a, b int) bool { return qs[a].SessionID < qs[b].SessionID })
+		quarantined = append(quarantined, qs...)
 	}
-	if events != e.expectedEvents || completed != e.cfg.Sessions {
-		// Unreachable by construction (every Advance consumes exactly one
-		// chunk); if it ever trips, the engine is mis-scheduling and the
-		// run's aggregates cannot be trusted.
-		return nil, fmt.Errorf("fleet: processed %d events for %d expected, completed %d/%d sessions",
-			events, e.expectedEvents, completed, e.cfg.Sessions)
+	return events, completed, lost, maxDoneSec, quarantined
+}
+
+// samples filters a full id-indexed sample slice down to the sessions that
+// actually produced samples: quarantined sessions' zero-valued slots must
+// not dilute the distributions. The common no-quarantine case returns the
+// slice as-is (NewSorted copies).
+func (e *Engine) samples(xs []float64) []float64 {
+	quarantined := 0
+	for i := range e.shards {
+		quarantined += len(e.shards[i].quarantined)
 	}
-	return &Result{
-		Sessions:        e.cfg.Sessions,
-		Events:          events,
-		ExpectedEvents:  e.expectedEvents,
-		VirtualSec:      maxDoneSec,
-		RebufferSec:     metrics.NewSorted(e.rebufferSec),
-		StartupDelaySec: metrics.NewSorted(e.startupSec),
-		CompletionSec:   metrics.NewSorted(e.completionSec),
-		SessionLenSec:   metrics.NewSorted(e.sessionLenSec),
-		AvgQuality:      metrics.NewSorted(e.avgQuality),
-		QualityChange:   metrics.NewSorted(e.qualityChange),
-		AvgLevel:        metrics.NewSorted(e.avgLevel),
-		Switches:        metrics.NewSorted(e.switches),
-		DataMB:          metrics.NewSorted(e.dataMB),
-		Results:         e.results,
-	}, nil
+	if quarantined == 0 {
+		return xs
+	}
+	out := make([]float64, 0, len(xs)-quarantined)
+	for id, x := range xs {
+		if !e.sessions[id].quarantined {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// chunkBudget is the number of chunk events session id is scheduled to
+// process: its video's chunk count, truncated by Config.MaxChunks.
+func (e *Engine) chunkBudget(id int32) int {
+	n := e.sessions[id].v.NumChunks()
+	if e.cfg.MaxChunks > 0 && e.cfg.MaxChunks < n {
+		n = e.cfg.MaxChunks
+	}
+	return n
 }
 
 // Run builds an engine for cfg and drains it — the one-call frontend.

@@ -1,7 +1,10 @@
 package fleet
 
 import (
+	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 
 	"cava/internal/player"
 )
@@ -10,9 +13,10 @@ import (
 // with its own event heap, batch buffer and scalar tallies. Sessions are
 // mutually independent, so a shard never reads or writes another shard's
 // sessions; the only shared state it touches is immutable (corpus, quality
-// tables, Config), atomic (telemetry handles) or id-indexed slots it alone
-// owns (the engine's per-session sample slices). That makes the shard pass
-// race-free by partition and its output independent of scheduling.
+// tables, Config), atomic (telemetry handles, the progress counter) or
+// id-indexed slots it alone owns (the engine's per-session sample slices).
+// That makes the shard pass race-free by partition and its output
+// independent of scheduling.
 type shard struct {
 	e     *Engine
 	heap  *eventHeap
@@ -21,10 +25,22 @@ type shard struct {
 	// drain loop passes a prebuilt func value instead of allocating a
 	// closure per batch (the zero-alloc-per-event guard holds per shard).
 	stepFn func(int32)
+	// stepID is the session currently being stepped, read by recoverStep
+	// when a panic unwinds the step mid-session.
+	stepID int32
 
 	events     int64
 	maxDoneSec float64
 	completed  int
+
+	// quarantined collects the shard's panic-isolated sessions;
+	// lostEvents is their forfeited remainder of the event budget.
+	quarantined []Quarantine
+	lostEvents  int64
+
+	// progress mirrors events after every batch for the RunContext
+	// watchdog, which samples it from the supervisor goroutine.
+	progress atomic.Int64
 }
 
 // init primes the shard for the session-id range [lo, hi): the heap is
@@ -41,11 +57,26 @@ func (sh *shard) init(e *Engine, lo, hi int32) {
 	}
 }
 
-// drain runs the shard to completion, one virtual instant at a time.
-func (sh *shard) drain() {
-	for sh.heap.len() > 0 {
-		sh.runBatch()
+// drain runs the shard to completion, one virtual instant at a time. A
+// supervised run (ctl non-nil) additionally checks the control barrier
+// between batches — parking for checkpoints, returning early on abort —
+// and publishes its event progress for the watchdog.
+func (sh *shard) drain(ctl *control) {
+	if ctl == nil {
+		for sh.heap.len() > 0 {
+			sh.runBatch()
+		}
+		return
 	}
+	for sh.heap.len() > 0 {
+		if !ctl.gate() {
+			return
+		}
+		sh.runBatch()
+		sh.progress.Store(sh.events)
+	}
+	sh.progress.Store(shardFinished)
+	ctl.shardDone()
 }
 
 // runBatch fully drains the earliest pending virtual instant: every event
@@ -56,9 +87,19 @@ func (sh *shard) runBatch() {
 	sh.batch = drainInstant(sh.heap, sh.batch, sh.stepFn)
 }
 
-// stepSession advances one session by one chunk event and reschedules or
-// finalizes it.
+// stepSession advances one session by one chunk event. It is the panic
+// isolation boundary: a panic anywhere inside the step is recovered by the
+// deferred recoverStep, which quarantines the offending session so the
+// shard's drain loop — and the rest of the fleet — keeps running.
 func (sh *shard) stepSession(id int32) {
+	sh.stepID = id
+	defer sh.recoverStep()
+	sh.advanceSession(id)
+}
+
+// advanceSession performs the actual chunk step and reschedules or
+// finalizes the session.
+func (sh *shard) advanceSession(id int32) {
 	e := sh.e
 	s := &e.sessions[id]
 	if !s.started {
@@ -71,6 +112,9 @@ func (sh *shard) stepSession(id int32) {
 		s.started = true
 		e.mActive.Add(1)
 	}
+	if hook := e.cfg.CrashHook; hook != nil {
+		hook(id, s.step.Chunk)
+	}
 	wakeSec := s.step.Advance(s.tr, s.offsetSec)
 	sh.events++
 	e.mEvents.Inc()
@@ -80,6 +124,38 @@ func (sh *shard) stepSession(id int32) {
 		return
 	}
 	sh.heap.push(event{wakeSec: s.arrivalSec + wakeSec, id: id})
+}
+
+// recoverStep converts a panic inside the current session's step into a
+// quarantine record: the session is retired without rescheduling, its
+// unprocessed remainder of the event budget is deducted from the
+// accounting, and its per-session state is released. Everything else about
+// the run — other sessions, other shards, the final distributions over the
+// surviving population — proceeds as if the session never existed past its
+// last completed chunk.
+func (sh *shard) recoverStep() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	e := sh.e
+	id := sh.stepID
+	s := &e.sessions[id]
+	buf := make([]byte, 64<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	sh.quarantined = append(sh.quarantined, Quarantine{
+		SessionID: id,
+		Chunk:     s.chunks,
+		Reason:    fmt.Sprint(r),
+		Stack:     string(buf),
+	})
+	sh.lostEvents += int64(e.chunkBudget(id) - s.chunks)
+	s.quarantined = true
+	if s.started {
+		e.mActive.Add(-1)
+	}
+	e.mQuarantined.Inc()
+	s.step = player.StepState{}
 }
 
 // observeChunk folds the just-completed chunk into the session's online
@@ -120,6 +196,7 @@ func (sh *shard) finishSession(id int32, s *session) {
 	e.qualityChange[id] = s.qualChangeSum / chunks
 	e.avgLevel[id] = float64(s.levelSum) / chunks
 	e.switches[id] = float64(s.switches)
+	s.done = true
 	sh.completed++
 	e.mCompleted.Inc()
 	e.mActive.Add(-1)

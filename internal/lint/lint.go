@@ -115,10 +115,12 @@ func DefaultConfig() Config {
 			"internal/player:drainFor", "internal/player:ElapseTo",
 			"internal/player:AddStall", "internal/player:NoteWait",
 			"internal/fleet:drain", "internal/fleet:runBatch",
-			"internal/fleet:stepSession", "internal/fleet:observeChunk",
+			"internal/fleet:stepSession", "internal/fleet:advanceSession",
+			"internal/fleet:observeChunk",
 			"internal/fleet:finishSession", "internal/fleet:drainInstant",
 			"internal/fleet:push", "internal/fleet:pop",
 			"internal/fleet:peek", "internal/fleet:eventLess",
+			"internal/fleet:gate",
 			"internal/bandwidth:ObserveDownload", "internal/bandwidth:Predict",
 			"internal/bandwidth:Reset",
 		},

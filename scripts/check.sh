@@ -47,4 +47,9 @@ go test -race -run='TestChaosSoak$' -count=1 ./internal/chaos
 # killed and restarted mid-run, race-enabled. Asserts ≥ 99% completion via
 # failover + stale serving, cache-hit recovery, and no goroutine leak.
 go test -race -run='TestEdgeChaosSoak$' -count=1 ./internal/chaos
+# Crash-tolerance soak: seeded panics inside session steps, a mid-run
+# interrupt with checkpoint, and a resume that must be bit-identical to
+# the uninterrupted baseline, plus disk-cache corruption detection and
+# recompute. Asserts exact quarantine/event accounting and no leak.
+go test -race -run='TestCrashSoak$' -count=1 ./internal/chaos
 echo "check: OK"

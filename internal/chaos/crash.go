@@ -51,7 +51,9 @@ type CrashConfig struct {
 	// interrupted once, checkpointed there, and resumed.
 	CheckpointDir string
 	// InterruptAfterEvents is the event count at which the run's context
-	// is cancelled (default one third of the maximum event budget).
+	// is cancelled (default one third of a lower bound on the actual
+	// event budget, derived from the shortest video in the corpus so the
+	// cut is always reached and the interrupt leg always engages).
 	InterruptAfterEvents int64
 	// Registry optionally collects the engine's telemetry across all
 	// three legs (baseline, interrupted, resumed).
@@ -81,9 +83,9 @@ func (c CrashConfig) withCrashDefaults() (CrashConfig, error) {
 	if c.Faults > c.Sessions {
 		c.Faults = c.Sessions
 	}
-	if c.InterruptAfterEvents <= 0 {
-		c.InterruptAfterEvents = int64(c.Sessions) * int64(c.MaxChunks) / 3
-	}
+	// InterruptAfterEvents is defaulted in RunCrash: the real per-session
+	// event budget is min(video.NumChunks, MaxChunks), which needs the
+	// corpus scan that also bounds victim chunks.
 	return c, nil
 }
 
@@ -138,6 +140,18 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 	}
 	if minBudget < 2 {
 		return nil, fmt.Errorf("chaos: chunk budget %d leaves no room for mid-session faults", minBudget)
+	}
+	if cfg.InterruptAfterEvents <= 0 {
+		// One third of a lower bound on the total event count: every
+		// non-victim session steps at least minBudget chunks, and every
+		// victim fires at least one event before its panic. Deriving the
+		// cut from MaxChunks instead would overshoot on a corpus of short
+		// videos and the interrupt leg would never engage.
+		budget := int64(cfg.Sessions-cfg.Faults)*int64(minBudget) + int64(cfg.Faults)
+		cfg.InterruptAfterEvents = budget / 3
+		if cfg.InterruptAfterEvents < 1 {
+			cfg.InterruptAfterEvents = 1
+		}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	victims := make(map[int32]int, cfg.Faults)

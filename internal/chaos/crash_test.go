@@ -9,6 +9,7 @@ import (
 	"cava/internal/cache"
 	"cava/internal/chaos/leakcheck"
 	"cava/internal/telemetry"
+	"cava/internal/video"
 )
 
 func TestCrashConfigValidation(t *testing.T) {
@@ -62,6 +63,46 @@ func TestCrashSoak(t *testing.T) {
 		rep.LostEvents, rep.Interrupted, rep.Resumed, rep.ResumeMatches, rep.WallSec)
 
 	cacheCorruptionLeg(t, reg)
+}
+
+// TestCrashShortCorpusEngagesInterrupt pins the default interrupt cut
+// against a corpus of videos much shorter than MaxChunks: the cut must be
+// derived from the real per-session event budget (min NumChunks), so the
+// cancel still fires mid-run and the interrupt/resume leg engages. A
+// MaxChunks-derived default overshoots here — the event count never
+// reaches it and a healthy engine reports a spurious "interrupt leg
+// never engaged" violation.
+func TestCrashShortCorpusEngagesInterrupt(t *testing.T) {
+	defer leakcheck.Check(t)()
+	fc := fleetTestConfig()
+	short := []*video.Video{
+		video.Generate(video.GenConfig{
+			Name: "crash-short-1", Genre: video.SciFi,
+			ChunkDurSec: 2, DurationSec: 12, Seed: 7,
+		}),
+		video.Generate(video.GenConfig{
+			Name: "crash-short-2", Genre: video.Sports,
+			ChunkDurSec: 2, DurationSec: 16, Seed: 8,
+		}),
+	}
+	rep, err := RunCrash(CrashConfig{
+		Videos:        short,
+		Traces:        fc.Traces,
+		Scheme:        fc.Scheme,
+		Sessions:      800,
+		Workers:       2,
+		Faults:        4,
+		Seed:          29,
+		CheckpointDir: t.TempDir(),
+		// MaxChunks stays at its default (40), far above the 6-chunk
+		// shortest video: the cut has to come from the corpus.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rep.Invariants() {
+		t.Errorf("invariant violated: %v", e)
+	}
 }
 
 // cacheCorruptionLeg seeds a checksummed disk cache, damages entries the

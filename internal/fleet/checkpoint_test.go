@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -133,6 +134,60 @@ func TestFleetInterruptResumeEquivalence(t *testing.T) {
 	}
 	if !reflect.DeepEqual(want, got) {
 		t.Error("run resumed from an interrupt checkpoint diverges from the uninterrupted run")
+	}
+}
+
+// TestControlBarrierBackToBackPause pins the barrier against stale parks
+// from a previous generation: a pauseAll issued immediately after
+// resumeAll (the shape of a pending SIGINT selected right after a
+// periodic checkpoint) must not count shards still waking from the prior
+// barrier as quiescent. Fake shard workers flag themselves mid-batch;
+// the supervisor pauses with no gap after each resume and asserts the
+// quiescence contract across a sleep standing in for the checkpoint
+// write. A barrier that lets resumeAll return before the previous
+// generation drains fails here within a few cycles.
+func TestControlBarrierBackToBackPause(t *testing.T) {
+	const workers = 4
+	ctl := newControl(workers)
+	var inBatch [workers]atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 200; n++ {
+				if !ctl.gate() {
+					return
+				}
+				inBatch[i].Store(true)
+				time.Sleep(50 * time.Microsecond)
+				inBatch[i].Store(false)
+			}
+			ctl.shardDone()
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	check := func(cycle int) {
+		for i := range inBatch {
+			if inBatch[i].Load() {
+				t.Fatalf("cycle %d: pauseAll reported quiescence while worker %d is mid-batch (stale parks from the previous generation)", cycle, i)
+			}
+		}
+	}
+	running := true
+	for cycle := 0; running; cycle++ {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		ctl.pauseAll()
+		check(cycle)
+		time.Sleep(200 * time.Microsecond) // the "checkpoint write"
+		check(cycle)
+		ctl.resumeAll()
 	}
 }
 

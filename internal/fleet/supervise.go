@@ -82,6 +82,7 @@ func (c *control) gate() bool {
 		c.cond.Wait()
 	}
 	c.parked--
+	c.cond.Broadcast() // wake resumeAll waiting for the barrier to drain
 	c.mu.Unlock()
 	return !c.abort.Load()
 }
@@ -107,12 +108,20 @@ func (c *control) pauseAll() {
 	c.mu.Unlock()
 }
 
-// resumeAll releases a pause.
+// resumeAll releases a pause and blocks until every shard parked at the
+// released barrier has left it. Without the drain, a pauseAll issued
+// immediately after (e.g. a pending ctx.Done selected right after a
+// periodic checkpoint) could observe parked >= active while the counts
+// still belong to the previous generation, report quiescence while the
+// woken shards run batches, and let writeCheckpoint race shard state.
 func (c *control) resumeAll() {
 	c.mu.Lock()
 	c.pause.Store(false)
 	c.gen++
 	c.cond.Broadcast()
+	for c.parked > 0 {
+		c.cond.Wait()
+	}
 	c.mu.Unlock()
 }
 
@@ -200,6 +209,14 @@ func (e *Engine) RunContext(ctx context.Context, opts RunOptions) (*Result, erro
 				e.mCkptErrors.Inc()
 			} else {
 				e.mCkptWritten.Inc()
+			}
+			// Shards were parked while the snapshot was written; a slow
+			// write can outlast WatchdogSec and leave a buffered watchdog
+			// tick pending. Forget the progress baselines so that tick
+			// re-baselines instead of failing a healthy run for "no
+			// progress" it was never allowed to make.
+			for i := range lastSeen {
+				lastSeen[i] = -2
 			}
 
 		case <-watchC:
